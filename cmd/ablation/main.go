@@ -1,0 +1,181 @@
+// Command ablation runs the design-choice studies: the §7 broadcast-
+// snooping CMP versus the baseline directory protocol, and a bit-select
+// signature size sweep (64 bits to 8 Kb) for the signature-sensitive
+// benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logtmse"
+	"logtmse/internal/sig"
+	"logtmse/internal/stats"
+	"logtmse/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "input scale (1.0 = paper inputs)")
+	seeds := flag.Int("seeds", 3, "seeds per cell")
+	flag.Parse()
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+	perfect, _ := logtmse.VariantByName("Perfect")
+
+	fmt.Printf("Ablation 1: directory vs. snooping coherence (Perfect signatures, scale %.2f)\n", *scale)
+	fmt.Printf("%-12s %16s %16s %10s\n", "Benchmark", "Directory c/u", "Snoop c/u", "Dir/Snoop")
+	for _, w := range logtmse.Workloads() {
+		dirP := logtmse.DefaultParams()
+		snpP := logtmse.DefaultParams()
+		snpP.Protocol = logtmse.ProtocolSnoop
+		dir, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &dirP})
+		if err != nil {
+			fatal(err)
+		}
+		snp, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &snpP})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %16.0f %16.0f %10.2f\n", w.Name, dir.Mean(), snp.Mean(),
+			stats.Speedup(dir.CPU, snp.CPU))
+	}
+
+	fmt.Printf("\nAblation 2: signature size sweep (speedup vs Perfect, scale %.2f)\n", *scale)
+	sizes := []int{64, 256, 1024, 2048, 8192}
+	kinds := []struct {
+		label string
+		kind  sig.Kind
+	}{
+		{"BS", sig.KindBitSelect},
+		{"H3", sig.KindH3}, // the multi-hash "creative signature" §5 anticipates
+	}
+	for _, k := range kinds {
+		fmt.Printf("%-12s", "Benchmark")
+		for _, s := range sizes {
+			fmt.Printf("%10s", fmt.Sprintf("%s_%d", k.label, s))
+		}
+		fmt.Println()
+		for _, name := range []string{"Raytrace", "Radiosity", "BerkeleyDB"} {
+			base, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-12s", name)
+			for _, size := range sizes {
+				v := logtmse.Variant{
+					Name: fmt.Sprintf("%s_%d", k.label, size),
+					Mode: workload.TM,
+					Sig:  sig.Config{Kind: k.kind, Bits: size},
+				}
+				agg, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: v, Scale: *scale, Seeds: seedList})
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%10.3f", stats.Speedup(base.CPU, agg.CPU))
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\nAblation 3: single CMP vs. four CMPs (§7), same 16 cores, scale %.2f\n", *scale)
+	fmt.Printf("%-12s %16s %16s %12s\n", "Benchmark", "1-chip c/u", "4-chip c/u", "Slowdown")
+	for _, name := range []string{"BerkeleyDB", "Mp3d"} {
+		oneP := logtmse.DefaultParams()
+		fourP := logtmse.DefaultParams()
+		fourP.Chips = 4
+		fourP.GridW, fourP.GridH = 2, 2
+		fourP.InterChipLat = 50
+		one, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &oneP})
+		if err != nil {
+			fatal(err)
+		}
+		four, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &fourP})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %16.0f %16.0f %11.2fx\n", name, one.Mean(), four.Mean(),
+			four.Mean()/one.Mean())
+	}
+
+	fmt.Printf("\nAblation 4: conflict-resolution policies (BerkeleyDB, Perfect, scale %.2f)\n", *scale)
+	fmt.Printf("%-18s %14s %10s %10s\n", "Policy", "cycles/unit", "aborts", "stalls")
+	for _, pol := range []struct {
+		name string
+		set  func(*logtmse.Params)
+	}{
+		{"stall-abort", func(p *logtmse.Params) {}},
+		{"requester-aborts", func(p *logtmse.Params) { p.Resolution = logtmse.ResolveRequesterAborts }},
+		{"younger-aborts", func(p *logtmse.Params) { p.Resolution = logtmse.ResolveYoungerAborts }},
+	} {
+		p := logtmse.DefaultParams()
+		pol.set(&p)
+		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: *scale, Seeds: seedList, Params: &p})
+		if err != nil {
+			fatal(err)
+		}
+		tot := agg.TotalStats()
+		fmt.Printf("%-18s %14.0f %10d %10d\n", pol.name, agg.Mean(), tot.Aborts, tot.Stalls)
+	}
+
+	fmt.Printf("\nAblation 5: backup signatures for nesting (§3.2), BS_2048\n")
+	for _, backups := range []int{0, 1, 4} {
+		p := logtmse.DefaultParams()
+		p.SigBackupCopies = backups
+		v := logtmse.Variant{Name: "BS", Mode: workload.TM,
+			Sig: sig.Config{Kind: sig.KindBitSelect, Bits: 2048}}
+		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "NestedMicro", Variant: v, Scale: *scale, Seeds: seedList, Params: &p})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %d backup copies: %10.0f cycles/unit\n", backups, agg.Mean())
+	}
+
+	fmt.Printf("\nAblation 6: original LogTM (R/W cache bits) vs. LogTM-SE, scale %.2f\n", *scale)
+	fmt.Printf("%-12s %16s %16s %12s\n", "Benchmark", "LogTM c/u", "LogTM-SE c/u", "SE/LogTM")
+	for _, w := range logtmse.Workloads() {
+		seP := logtmse.DefaultParams()
+		origP := logtmse.DefaultParams()
+		origP.CD = logtmse.CDCacheBits
+		se, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &seP})
+		if err != nil {
+			fatal(err)
+		}
+		orig, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &origP})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %16.0f %16.0f %11.2fx\n", w.Name, orig.Mean(), se.Mean(),
+			orig.Mean()/se.Mean())
+	}
+
+	fmt.Printf("\nAblation 7: uncontended vs. modeled network/bank contention, scale %.2f\n", *scale)
+	fmt.Printf("%-12s %18s %16s %10s\n", "Benchmark", "Uncontended c/u", "Contended c/u", "Slowdown")
+	for _, name := range []string{"BerkeleyDB", "Raytrace"} {
+		offP := logtmse.DefaultParams()
+		onP := logtmse.DefaultParams()
+		onP.ModelContention = true
+		off, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &offP})
+		if err != nil {
+			fatal(err)
+		}
+		on, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &onP})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %18.0f %16.0f %9.2fx\n", name, off.Mean(), on.Mean(), on.Mean()/off.Mean())
+	}
+
+	fmt.Println("\nExpected shapes: snooping within ~10-20% of the directory (broadcasts")
+	fmt.Println("cost latency but avoid indirection); BS speedup vs Perfect approaches")
+	fmt.Println("1.0 as the signature grows (Raytrace/Radiosity hurt most at 64 bits);")
+	fmt.Println("four chips pay inter-chip latency on shared data; stall-abort beats")
+	fmt.Println("abort-always under contention; backup signatures matter only for")
+	fmt.Println("nesting-heavy code.")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ablation: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command figure4 regenerates Figure 4 of the paper: execution-time
+// speedup of LogTM-SE variants (Perfect, BS, CBS, DBS at 2 Kb, BS_64)
+// normalized to the lock-based baseline, for each of the five benchmarks.
+//
+// Usage:
+//
+//	figure4 [-scale 1.0] [-seeds 3] [-threads 32] [-workloads all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"logtmse"
+	"logtmse/internal/stats"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "input scale relative to the paper's (1.0 = Table 2 inputs)")
+	seeds := flag.Int("seeds", 3, "number of pseudo-random perturbations per cell (95% CIs)")
+	threads := flag.Int("threads", 0, "worker threads (0 = all 32 contexts)")
+	names := flag.String("workloads", "all", "comma-separated benchmark names or 'all'")
+	flag.Parse()
+
+	var sel []string
+	if *names == "all" {
+		for _, w := range logtmse.Workloads() {
+			sel = append(sel, w.Name)
+		}
+	} else {
+		sel = strings.Split(*names, ",")
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+
+	variants := logtmse.Figure4Variants()
+	fmt.Println("Figure 4: Speedup normalized to locks (higher is better)")
+	fmt.Printf("scale=%.2f seeds=%d\n\n", *scale, *seeds)
+	header := fmt.Sprintf("%-12s", "Benchmark")
+	for _, v := range variants {
+		header += fmt.Sprintf("%10s", v.Name)
+	}
+	fmt.Println(header)
+
+	for _, name := range sel {
+		params := logtmse.DefaultParams()
+		row, err := logtmse.Figure4(name, *scale, seedList, &params, *threads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure4: %v\n", err)
+			os.Exit(1)
+		}
+		line := fmt.Sprintf("%-12s", name)
+		for _, v := range variants {
+			line += fmt.Sprintf("%7.2f±%-4.2f", row.Speedup[v.Name], row.CI[v.Name])
+		}
+		fmt.Println(line)
+		// ASCII bars.
+		for _, v := range variants {
+			fmt.Printf("    %-8s |%s\n", v.Name, stats.Bar(row.Speedup[v.Name], 2.0, 48))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,123 @@
+// Command logtmsim runs one benchmark on the simulated LogTM-SE machine
+// and prints detailed statistics — the general-purpose inspection tool.
+//
+// Usage:
+//
+//	logtmsim -workload Raytrace -variant Perfect -scale 0.2 -seed 1
+//	logtmsim -print-config          # Table 1 parameters
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"logtmse"
+)
+
+func main() {
+	name := flag.String("workload", "BerkeleyDB", "benchmark name (Table 2)")
+	variant := flag.String("variant", "Perfect", "Lock | Perfect | BS | CBS | DBS | BS_64")
+	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
+	seed := flag.Int64("seed", 1, "random perturbation seed")
+	threads := flag.Int("threads", 0, "worker threads (0 = all contexts)")
+	snoop := flag.Bool("snoop", false, "use the broadcast snooping protocol (§7) instead of the directory")
+	chips := flag.Int("chips", 1, "build a multiple-CMP system (§7) with this many chips")
+	trace := flag.Int("trace", 0, "print the first N transactional events")
+	asJSON := flag.Bool("json", false, "emit the result as JSON (for scripting)")
+	printConfig := flag.Bool("print-config", false, "print the Table 1 system parameters and exit")
+	flag.Parse()
+
+	params := logtmse.DefaultParams()
+	if *snoop {
+		params.Protocol = logtmse.ProtocolSnoop
+	}
+	if *chips > 1 {
+		params.Chips = *chips
+		params.GridW, params.GridH = 2, 2
+		params.InterChipLat = 50
+	}
+	if *printConfig {
+		fmt.Println("System Model Settings (Table 1)")
+		fmt.Printf("  Processor cores     %d x %d-way SMT (%d thread contexts)\n",
+			params.Cores, params.ThreadsPerCore, params.Contexts())
+		fmt.Printf("  L1 cache            %d KB %d-way, 64-byte blocks, %d-cycle latency\n",
+			params.L1Bytes/1024, params.L1Ways, params.L1HitLat)
+		fmt.Printf("  L2 cache            %d MB %d-way, %d banks, %d-cycle latency\n",
+			params.L2Bytes/1024/1024, params.L2Ways, params.L2Banks, params.L2Lat)
+		fmt.Printf("  Memory              %d-cycle latency\n", params.MemLat)
+		fmt.Printf("  L2 directory        full bit-vector sharer list, %d-cycle latency\n", params.DirLat)
+		fmt.Printf("  Interconnect        %dx%d grid, 64-byte links, %d-cycle link latency\n",
+			params.GridW, params.GridH, params.LinkLat)
+		fmt.Printf("  Protocol            %v\n", params.Protocol)
+		return
+	}
+
+	v, ok := logtmse.VariantByName(*variant)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "logtmsim: unknown variant %q\n", *variant)
+		os.Exit(1)
+	}
+	var traced int
+	var tracer logtmse.TraceFunc
+	if *trace > 0 {
+		tracer = func(cycle logtmse.Cycle, thread, event string) {
+			if traced < *trace {
+				fmt.Printf("%10d %-12s %s\n", cycle, thread, event)
+				traced++
+			}
+		}
+	}
+	res, err := logtmse.RunOne(logtmse.RunConfig{
+		Workload: *name,
+		Variant:  v,
+		Scale:    *scale,
+		Threads:  *threads,
+		Params:   &params,
+		Tracer:   tracer,
+	}, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Workload      string
+			Variant       string
+			Scale         float64
+			Seed          int64
+			Cycles        uint64
+			WorkUnits     uint64
+			CyclesPerUnit float64
+			Stats         logtmse.Stats
+		}{*name, v.Name, *scale, *seed, uint64(res.Cycles), res.WorkUnits, res.CyclesPerUnit, res.Stats}); err != nil {
+			fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	st := res.Stats
+	fmt.Printf("%s / %s  (scale %.2f, seed %d)\n", *name, v.Name, *scale, *seed)
+	fmt.Printf("  cycles               %d\n", res.Cycles)
+	fmt.Printf("  work units           %d\n", res.WorkUnits)
+	fmt.Printf("  cycles/unit          %.1f\n", res.CyclesPerUnit)
+	fmt.Printf("  commits              %d (nested %d, open %d)\n", st.Commits, st.NestedCommits, st.OpenCommits)
+	fmt.Printf("  aborts               %d\n", st.Aborts)
+	fmt.Printf("  stalls (tx NACKs)    %d (false-positive %.1f%%)\n", st.Stalls, st.FalsePositivePct())
+	fmt.Printf("  non-tx retries       %d\n", st.NonTxRetries)
+	fmt.Printf("  SMT conflicts        %d, summary conflicts %d\n", st.SMTConflicts, st.SummaryConflicts)
+	fmt.Printf("  read set avg/max     %.1f / %d blocks\n", st.ReadSetAvg(), st.ReadSetMax)
+	fmt.Printf("  write set avg/max    %.1f / %d blocks\n", st.WriteSetAvg(), st.WriteSetMax)
+	fmt.Printf("  log records          %d (filter hits %d, peak log %d B)\n", st.LogRecords, st.LogFilterHits, st.MaxLogBytes)
+	fmt.Printf("  loads/stores         %d / %d\n", st.Coh.Loads, st.Coh.Stores)
+	fmt.Printf("  L1 hits/misses       %d / %d (upgrades %d)\n", st.Coh.L1Hits, st.Coh.L1Misses, st.Coh.Upgrades)
+	fmt.Printf("  L2 misses            %d\n", st.Coh.L2Misses)
+	fmt.Printf("  forwards/broadcasts  %d / %d\n", st.Coh.Forwards, st.Coh.Broadcasts)
+	fmt.Printf("  protocol NACKs       %d\n", st.Coh.NACKs)
+	fmt.Printf("  sticky evicts        %d\n", st.Coh.StickyEvicts)
+	fmt.Printf("  tx victims L1/L2     %d / %d\n", st.Coh.L1TxVictims, st.Coh.L2TxVictims)
+	fmt.Printf("  writebacks           %d\n", st.Coh.WritebacksToMem)
+}

@@ -1,0 +1,68 @@
+// Command table3 regenerates Table 3 of the paper: the impact of
+// signature implementation and size on conflict detection for Raytrace
+// and BerkeleyDB — transactions, aborts, stalls and the false-positive
+// share of conflicts — for Perfect and for BS/CBS/DBS at 2 Kb and 64 bits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logtmse"
+	"logtmse/internal/sig"
+	"logtmse/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
+	seed := flag.Int64("seed", 1, "perturbation seed")
+	flag.Parse()
+
+	type cfg struct {
+		label string
+		sc    sig.Config
+	}
+	sizes := []int{2048, 64}
+	kinds := []struct {
+		name string
+		kind sig.Kind
+	}{
+		{"BS", sig.KindBitSelect},
+		{"CBS", sig.KindCoarseBitSelect},
+		{"DBS", sig.KindDoubleBitSelect},
+	}
+
+	for _, bench := range []string{"Raytrace", "BerkeleyDB"} {
+		fmt.Printf("Table 3 — %s (scale %.2f)\n", bench, *scale)
+		fmt.Printf("%-14s %12s %8s %10s %10s %8s\n",
+			"Signature", "Transactions", "Aborts", "Stalls", "Conflicts", "FalsePos%")
+		cells := []cfg{{"Perfect", sig.Config{Kind: sig.KindPerfect}}}
+		for _, size := range sizes {
+			for _, k := range kinds {
+				cells = append(cells, cfg{
+					label: fmt.Sprintf("%s_%d", k.name, size),
+					sc:    sig.Config{Kind: k.kind, Bits: size},
+				})
+			}
+		}
+		for _, c := range cells {
+			res, err := logtmse.RunOne(logtmse.RunConfig{
+				Workload: bench,
+				Variant:  logtmse.Variant{Name: c.label, Mode: workload.TM, Sig: c.sc},
+				Scale:    *scale,
+			}, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "table3: %v\n", err)
+				os.Exit(1)
+			}
+			st := res.Stats
+			fmt.Printf("%-14s %12d %8d %10d %10d %8.1f\n",
+				c.label, st.Commits, st.Aborts, st.Stalls, st.StallEpisodes, st.FPEpisodePct())
+		}
+		fmt.Println()
+	}
+	fmt.Println("Paper trends (Table 3): stalls >> aborts everywhere; false-positive")
+	fmt.Println("share of conflicts is 0 for Perfect, grows as signatures shrink")
+	fmt.Println("(0-60% at 2 Kb, 40-82% at 64 bits); BS_64 changes Raytrace aborts most.")
+}

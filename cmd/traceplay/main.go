@@ -1,0 +1,122 @@
+// Command traceplay supports trace-driven simulation: it generates
+// synthetic transactional memory traces in the compact binary format and
+// replays trace files on the simulated LogTM-SE machine.
+//
+//	traceplay -gen /tmp/t.trace -txns 500 -seed 7   # write a trace
+//	traceplay -play /tmp/t.trace -threads 8         # replay on 8 threads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"logtmse"
+	"logtmse/internal/addr"
+	"logtmse/internal/core"
+	"logtmse/internal/trace"
+)
+
+func main() {
+	gen := flag.String("gen", "", "write a synthetic trace to this file and exit")
+	txns := flag.Int("txns", 500, "transactions in the generated trace")
+	seed := flag.Int64("seed", 1, "generation / simulation seed")
+	play := flag.String("play", "", "trace file to replay")
+	threads := flag.Int("threads", 8, "threads replaying the trace")
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		tr := synthesize(*txns, *seed)
+		f, err := os.Create(*gen)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tr.Encode(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d ops (%d transactions) to %s\n", len(tr.Ops), *txns, *gen)
+	case *play != "":
+		f, err := os.Open(*play)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		replay(tr, *threads, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// synthesize builds a trace with the shape of the paper's workloads:
+// small transactions over a skewed shared region, occasional nesting.
+func synthesize(txns int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{}
+	for i := 0; i < txns; i++ {
+		tr.Begin()
+		n := 1 + rng.Intn(6)
+		for j := 0; j < n; j++ {
+			block := addr.VAddr(0x10_0000 + rng.Intn(256)*64)
+			if rng.Intn(3) == 0 {
+				tr.FetchAdd(block, 1)
+			} else {
+				tr.Load(block)
+			}
+		}
+		if rng.Intn(8) == 0 {
+			tr.Begin()
+			tr.FetchAdd(addr.VAddr(0x20_0000+rng.Intn(64)*64), 1)
+			tr.Commit()
+		}
+		tr.Compute(uint64(20 + rng.Intn(100)))
+		tr.Commit()
+		tr.WorkUnit()
+		tr.Compute(uint64(50 + rng.Intn(200)))
+	}
+	return tr
+}
+
+func replay(tr *trace.Trace, threads int, seed int64) {
+	params := logtmse.DefaultParams()
+	params.Seed = seed
+	sys, err := core.NewSystem(params)
+	if err != nil {
+		fatal(err)
+	}
+	pt := sys.NewPageTable(1)
+	for i := 0; i < threads; i++ {
+		c := i % params.Cores
+		th := (i / params.Cores) % params.ThreadsPerCore
+		if _, err := sys.SpawnOn(c, th, fmt.Sprintf("trace-%d", i), 1, pt, func(a *core.API) {
+			if err := trace.Play(a, tr); err != nil {
+				fatal(err)
+			}
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	cycles := sys.Run()
+	if !sys.AllDone() {
+		fatal(fmt.Errorf("stuck threads: %v", sys.Stuck()))
+	}
+	st := sys.Stats()
+	fmt.Printf("replayed %d ops x %d threads\n", len(tr.Ops), threads)
+	fmt.Printf("  cycles   %d\n", cycles)
+	fmt.Printf("  commits  %d (nested %d)\n", st.Commits, st.NestedCommits)
+	fmt.Printf("  aborts   %d\n", st.Aborts)
+	fmt.Printf("  stalls   %d\n", st.Stalls)
+	fmt.Printf("  units    %d\n", st.WorkUnits)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Nesting: demonstrates LogTM-SE's unbounded transactional nesting
+// (paper §3.2) — closed nesting with partial aborts, open nesting that
+// releases isolation early, and deep nesting bounded only by memory.
+//
+// The scenario models a transactional composable container: an outer
+// "move" transaction calls insert/remove operations that are themselves
+// transactions, plus an open-nested statistics update (a shared
+// operation counter) that becomes visible before the outer commit —
+// exactly the use case open nesting exists for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logtmse"
+)
+
+const buckets = 64
+
+func bucketAddr(i int) logtmse.VAddr { return logtmse.VAddr(0x10_0000 + (i%buckets)*64) }
+
+const statsCounter = logtmse.VAddr(0x2000)
+
+func main() {
+	sys, err := logtmse.NewSystem(logtmse.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pt := sys.NewPageTable(1)
+
+	const workers, moves = 8, 50
+	for w := 0; w < workers; w++ {
+		_, err := sys.SpawnOn(w%16, 0, fmt.Sprintf("w%d", w), 1, pt, func(a *logtmse.API) {
+			rng := a.Rand()
+			for m := 0; m < moves; m++ {
+				src, dst := rng.Intn(buckets), rng.Intn(buckets)
+				// Outer transaction: move one element between buckets.
+				a.Transaction(func() {
+					// Closed nested: remove from src.
+					a.Transaction(func() {
+						v := a.Load(bucketAddr(src))
+						if v > 0 {
+							a.Store(bucketAddr(src), v-1)
+						}
+					})
+					// Closed nested: insert into dst.
+					a.Transaction(func() {
+						a.Store(bucketAddr(dst), a.Load(bucketAddr(dst))+1)
+					})
+					// Open nested: bump the global operation counter and
+					// release isolation on it immediately, so the hot
+					// counter never serializes the outer transactions.
+					a.OpenTransaction(func() {
+						a.FetchAdd(statsCounter, 1)
+					})
+					a.Compute(200)
+				})
+				a.Compute(100)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One more thread shows depth-only-limited nesting: 100 levels.
+	deep := logtmse.VAddr(0x3000)
+	sys.SpawnOn(15, 1, "deep", 1, pt, func(a *logtmse.API) {
+		var recurse func(depth int)
+		recurse = func(depth int) {
+			a.Transaction(func() {
+				a.Store(deep+logtmse.VAddr(depth*8), uint64(depth))
+				if depth < 99 {
+					recurse(depth + 1)
+				}
+			})
+		}
+		recurse(0)
+	})
+
+	sys.Run()
+	if !sys.AllDone() {
+		log.Fatalf("stuck threads: %v", sys.Stuck())
+	}
+	st := sys.Stats()
+	ops := sys.Mem.ReadWord(pt.Translate(statsCounter))
+	fmt.Printf("outer commits      = %d\n", st.Commits)
+	fmt.Printf("nested commits     = %d (open %d)\n", st.NestedCommits, st.OpenCommits)
+	fmt.Printf("aborts             = %d\n", st.Aborts)
+	fmt.Printf("operation counter  = %d (want %d)\n", ops, workers*moves)
+	if ops != workers*moves {
+		log.Fatal("open-nested counter lost updates")
+	}
+	if got := sys.Mem.ReadWord(pt.Translate(deep + 99*8)); got != 99 {
+		log.Fatalf("deep nesting lost level 99: %d", got)
+	}
+	fmt.Println("100-level nesting committed; all invariants held")
+}

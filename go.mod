@@ -1,0 +1,3 @@
+module logtmse
+
+go 1.22

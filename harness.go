@@ -1,0 +1,265 @@
+package logtmse
+
+import (
+	"fmt"
+
+	"logtmse/internal/core"
+	"logtmse/internal/sig"
+	"logtmse/internal/stats"
+	"logtmse/internal/workload"
+)
+
+// Variant is one bar of Figure 4: a synchronization mode plus (for TM) a
+// signature configuration.
+type Variant struct {
+	Name string
+	Mode workload.Mode
+	Sig  sig.Config
+}
+
+// Figure4Variants returns the paper's six variants in bar order:
+// Lock, Perfect (P), BS, CBS, DBS (2 Kb each), and BS_64.
+func Figure4Variants() []Variant {
+	return []Variant{
+		{Name: "Lock", Mode: workload.Lock, Sig: sig.Config{Kind: sig.KindPerfect}},
+		{Name: "Perfect", Mode: workload.TM, Sig: sig.Config{Kind: sig.KindPerfect}},
+		{Name: "BS", Mode: workload.TM, Sig: sig.Config{Kind: sig.KindBitSelect, Bits: 2048}},
+		{Name: "CBS", Mode: workload.TM, Sig: sig.Config{Kind: sig.KindCoarseBitSelect, Bits: 2048}},
+		{Name: "DBS", Mode: workload.TM, Sig: sig.Config{Kind: sig.KindDoubleBitSelect, Bits: 2048}},
+		{Name: "BS_64", Mode: workload.TM, Sig: sig.Config{Kind: sig.KindBitSelect, Bits: 64}},
+	}
+}
+
+// VariantByName resolves a Figure 4 bar label.
+func VariantByName(name string) (Variant, bool) {
+	for _, v := range Figure4Variants() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// Workloads returns the five Table 2 benchmarks.
+func Workloads() []*workload.Workload { return workload.All() }
+
+// WorkloadByName resolves a Table 2 benchmark name.
+func WorkloadByName(name string) (*workload.Workload, bool) { return workload.ByName(name) }
+
+// RunConfig describes one experiment cell.
+type RunConfig struct {
+	Workload string
+	Variant  Variant
+	// Scale multiplies the paper's input sizes (default 1.0).
+	Scale float64
+	// Threads overrides the worker count (default: all 32 contexts).
+	Threads int
+	// Seeds lists the pseudo-random perturbations; each yields one run
+	// (default {1, 2, 3}).
+	Seeds []int64
+	// Params overrides the machine (default: Table 1). The signature
+	// config is always replaced by the variant's.
+	Params *Params
+	// Tracer, if set, receives the engine's transactional event stream
+	// (see logtmsim -trace).
+	Tracer TraceFunc
+	// WarmupCycles, when nonzero, runs the first WarmupCycles cycles as
+	// cache/directory warm-up, resets every counter, and measures only
+	// the remainder — the paper's representative-sample methodology.
+	WarmupCycles Cycle
+}
+
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.Scale == 0 {
+		rc.Scale = 1.0
+	}
+	if len(rc.Seeds) == 0 {
+		rc.Seeds = []int64{1, 2, 3}
+	}
+	if rc.Params == nil {
+		p := DefaultParams()
+		rc.Params = &p
+	}
+	return rc
+}
+
+// RunResult is one seed's measurement.
+type RunResult struct {
+	Seed          int64
+	Cycles        Cycle
+	WorkUnits     uint64
+	CyclesPerUnit float64
+	Stats         Stats
+}
+
+// Aggregate summarizes an experiment cell across seeds.
+type Aggregate struct {
+	Workload string
+	Variant  Variant
+	Runs     []RunResult
+	// CPU is the cycles-per-work-unit sample (the execution-time metric
+	// Figure 4 normalizes).
+	CPU stats.Sample
+}
+
+// Mean returns mean cycles-per-unit.
+func (a Aggregate) Mean() float64 { return a.CPU.Mean() }
+
+// CI95 returns the 95% confidence half-width of cycles-per-unit.
+func (a Aggregate) CI95() float64 { return a.CPU.CI95() }
+
+// TotalStats sums the counters across runs (for rate metrics use the
+// per-run values).
+func (a Aggregate) TotalStats() Stats {
+	var t Stats
+	for _, r := range a.Runs {
+		s := r.Stats
+		t.Begins += s.Begins
+		t.NestedBegins += s.NestedBegins
+		t.Commits += s.Commits
+		t.NestedCommits += s.NestedCommits
+		t.OpenCommits += s.OpenCommits
+		t.Aborts += s.Aborts
+		t.Stalls += s.Stalls
+		t.FalsePositiveStalls += s.FalsePositiveStalls
+		t.NonTxRetries += s.NonTxRetries
+		t.SummaryConflicts += s.SummaryConflicts
+		t.SMTConflicts += s.SMTConflicts
+		t.WorkUnits += s.WorkUnits
+		t.LogRecords += s.LogRecords
+		t.LogFilterHits += s.LogFilterHits
+		t.ReadSetSum += s.ReadSetSum
+		t.WriteSetSum += s.WriteSetSum
+		if s.ReadSetMax > t.ReadSetMax {
+			t.ReadSetMax = s.ReadSetMax
+		}
+		if s.WriteSetMax > t.WriteSetMax {
+			t.WriteSetMax = s.WriteSetMax
+		}
+		if s.MaxLogBytes > t.MaxLogBytes {
+			t.MaxLogBytes = s.MaxLogBytes
+		}
+		t.Cycles += s.Cycles
+		t.Coh.Loads += s.Coh.Loads
+		t.Coh.Stores += s.Coh.Stores
+		t.Coh.L1Hits += s.Coh.L1Hits
+		t.Coh.L1Misses += s.Coh.L1Misses
+		t.Coh.L2Misses += s.Coh.L2Misses
+		t.Coh.Upgrades += s.Coh.Upgrades
+		t.Coh.Forwards += s.Coh.Forwards
+		t.Coh.Broadcasts += s.Coh.Broadcasts
+		t.Coh.NACKs += s.Coh.NACKs
+		t.Coh.StickyEvicts += s.Coh.StickyEvicts
+		t.Coh.L1TxVictims += s.Coh.L1TxVictims
+		t.Coh.L2TxVictims += s.Coh.L2TxVictims
+		t.Coh.WritebacksToMem += s.Coh.WritebacksToMem
+	}
+	return t
+}
+
+// RunOne executes a single seed of an experiment cell and verifies the
+// workload's invariants.
+func RunOne(rc RunConfig, seed int64) (RunResult, error) {
+	rc = rc.withDefaults()
+	w, ok := workload.ByName(rc.Workload)
+	if !ok {
+		return RunResult{}, fmt.Errorf("logtmse: unknown workload %q", rc.Workload)
+	}
+	p := *rc.Params
+	p.Seed = seed
+	p.Signature = rc.Variant.Sig
+	sys, err := core.NewSystem(p)
+	if err != nil {
+		return RunResult{}, err
+	}
+	sys.Tracer = rc.Tracer
+	inst, err := w.Spawn(sys, workload.Config{
+		Mode:    rc.Variant.Mode,
+		Threads: rc.Threads,
+		Scale:   rc.Scale,
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	measured := Cycle(0)
+	if rc.WarmupCycles > 0 {
+		measured = sys.RunUntil(rc.WarmupCycles)
+		sys.ResetStats()
+	}
+	cycles := sys.Run() - measured
+	if !sys.AllDone() {
+		return RunResult{}, fmt.Errorf("logtmse: %s/%s seed %d: threads stuck: %v",
+			rc.Workload, rc.Variant.Name, seed, sys.Stuck())
+	}
+	if err := inst.Verify(sys); err != nil {
+		return RunResult{}, fmt.Errorf("logtmse: %s/%s seed %d: %w",
+			rc.Workload, rc.Variant.Name, seed, err)
+	}
+	st := sys.Stats()
+	if st.WorkUnits == 0 {
+		return RunResult{}, fmt.Errorf("logtmse: %s produced no work units", rc.Workload)
+	}
+	return RunResult{
+		Seed:          seed,
+		Cycles:        cycles,
+		WorkUnits:     st.WorkUnits,
+		CyclesPerUnit: float64(cycles) / float64(st.WorkUnits),
+		Stats:         st,
+	}, nil
+}
+
+// Run executes an experiment cell across its seeds.
+func Run(rc RunConfig) (Aggregate, error) {
+	rc = rc.withDefaults()
+	agg := Aggregate{Workload: rc.Workload, Variant: rc.Variant}
+	for _, seed := range rc.Seeds {
+		r, err := RunOne(rc, seed)
+		if err != nil {
+			return agg, err
+		}
+		agg.Runs = append(agg.Runs, r)
+		agg.CPU.Add(r.CyclesPerUnit)
+	}
+	return agg, nil
+}
+
+// Figure4Row holds one benchmark's bars: speedups of each variant
+// normalized to Lock (the paper's Figure 4 y-axis).
+type Figure4Row struct {
+	Workload string
+	Speedup  map[string]float64 // variant name -> speedup vs Lock
+	CI       map[string]float64 // 95% CI of the speedup
+	Lock     Aggregate
+	Cells    map[string]Aggregate
+}
+
+// Figure4 regenerates one row of Figure 4 for a benchmark. threads = 0
+// uses every hardware context.
+func Figure4(workloadName string, scale float64, seeds []int64, params *Params, threads int) (Figure4Row, error) {
+	row := Figure4Row{
+		Workload: workloadName,
+		Speedup:  make(map[string]float64),
+		CI:       make(map[string]float64),
+		Cells:    make(map[string]Aggregate),
+	}
+	var lock Aggregate
+	for _, v := range Figure4Variants() {
+		agg, err := Run(RunConfig{
+			Workload: workloadName, Variant: v, Scale: scale, Seeds: seeds,
+			Params: params, Threads: threads,
+		})
+		if err != nil {
+			return row, err
+		}
+		row.Cells[v.Name] = agg
+		if v.Name == "Lock" {
+			lock = agg
+		}
+	}
+	row.Lock = lock
+	for name, cell := range row.Cells {
+		row.Speedup[name] = stats.Speedup(lock.CPU, cell.CPU)
+		row.CI[name] = stats.SpeedupCI(lock.CPU, cell.CPU)
+	}
+	return row, nil
+}

@@ -1,0 +1,83 @@
+// Package addr defines the address arithmetic used throughout the
+// simulator: physical and virtual addresses, cache-block alignment,
+// pages, macroblocks and address-space identifiers.
+//
+// The system models the HPCA-13 LogTM-SE baseline: 64-byte cache blocks,
+// 8 KB pages and 1 KB macroblocks (sixteen blocks), matching the
+// coarse-bit-select signature granularity used in the paper.
+package addr
+
+import "fmt"
+
+const (
+	// BlockBytes is the cache-block size in bytes (Table 1: 64-byte blocks).
+	BlockBytes = 64
+	// BlockShift is log2(BlockBytes).
+	BlockShift = 6
+	// PageBytes is the page size in bytes.
+	PageBytes = 8192
+	// PageShift is log2(PageBytes).
+	PageShift = 13
+	// MacroBlockBytes is the coarse-bit-select granularity
+	// (paper §5: 1 KB macroblock, sixteen 64-byte blocks).
+	MacroBlockBytes = 1024
+	// MacroBlockShift is log2(MacroBlockBytes).
+	MacroBlockShift = 10
+	// WordBytes is the machine word size used by workloads.
+	WordBytes = 8
+	// BlocksPerPage is the number of cache blocks in one page.
+	BlocksPerPage = PageBytes / BlockBytes
+)
+
+// PAddr is a physical byte address.
+type PAddr uint64
+
+// VAddr is a virtual byte address, meaningful only within one address space.
+type VAddr uint64
+
+// ASID identifies an address space (a process). The coherence protocol
+// carries the ASID on every request so signatures never create false
+// conflicts across processes (paper §2).
+type ASID uint16
+
+// Block returns the block-aligned address containing a.
+func (a PAddr) Block() PAddr { return a &^ (BlockBytes - 1) }
+
+// BlockIndex returns the block number (address / BlockBytes).
+func (a PAddr) BlockIndex() uint64 { return uint64(a) >> BlockShift }
+
+// Page returns the page-aligned address containing a.
+func (a PAddr) Page() PAddr { return a &^ (PageBytes - 1) }
+
+// PageIndex returns the physical page number.
+func (a PAddr) PageIndex() uint64 { return uint64(a) >> PageShift }
+
+// PageOffset returns the offset of a within its page.
+func (a PAddr) PageOffset() uint64 { return uint64(a) & (PageBytes - 1) }
+
+// MacroBlock returns the macroblock-aligned address containing a.
+func (a PAddr) MacroBlock() PAddr { return a &^ (MacroBlockBytes - 1) }
+
+// BlockOffset returns the offset of a within its cache block.
+func (a PAddr) BlockOffset() uint64 { return uint64(a) & (BlockBytes - 1) }
+
+// String formats the address in hex.
+func (a PAddr) String() string { return fmt.Sprintf("P:0x%x", uint64(a)) }
+
+// Block returns the block-aligned virtual address containing v.
+func (v VAddr) Block() VAddr { return v &^ (BlockBytes - 1) }
+
+// Page returns the page-aligned virtual address containing v.
+func (v VAddr) Page() VAddr { return v &^ (PageBytes - 1) }
+
+// PageIndex returns the virtual page number.
+func (v VAddr) PageIndex() uint64 { return uint64(v) >> PageShift }
+
+// PageOffset returns the offset of v within its page.
+func (v VAddr) PageOffset() uint64 { return uint64(v) & (PageBytes - 1) }
+
+// BlockOffset returns the offset of v within its cache block.
+func (v VAddr) BlockOffset() uint64 { return uint64(v) & (BlockBytes - 1) }
+
+// String formats the address in hex.
+func (v VAddr) String() string { return fmt.Sprintf("V:0x%x", uint64(v)) }

@@ -1,0 +1,125 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAlignment(t *testing.T) {
+	cases := []struct {
+		in   PAddr
+		want PAddr
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{127, 64},
+		{0xfff, 0xfc0},
+	}
+	for _, c := range cases {
+		if got := c.in.Block(); got != c.want {
+			t.Errorf("PAddr(%d).Block() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBlockIndexRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		p := PAddr(a)
+		return PAddr(p.BlockIndex()<<BlockShift) == p.Block()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageDecomposition(t *testing.T) {
+	f := func(a uint64) bool {
+		p := PAddr(a)
+		return uint64(p.Page())+p.PageOffset() == uint64(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockWithinPage(t *testing.T) {
+	// A block never straddles a page: block base and last byte share a page.
+	f := func(a uint64) bool {
+		p := PAddr(a).Block()
+		return p.Page() == (p + BlockBytes - 1).Page()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMacroBlockContainsBlock(t *testing.T) {
+	f := func(a uint64) bool {
+		p := PAddr(a)
+		mb := p.MacroBlock()
+		return uint64(p.Block()) >= uint64(mb) && uint64(p.Block()) < uint64(mb)+MacroBlockBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantsConsistent(t *testing.T) {
+	if 1<<BlockShift != BlockBytes {
+		t.Errorf("BlockShift %d inconsistent with BlockBytes %d", BlockShift, BlockBytes)
+	}
+	if 1<<PageShift != PageBytes {
+		t.Errorf("PageShift %d inconsistent with PageBytes %d", PageShift, PageBytes)
+	}
+	if 1<<MacroBlockShift != MacroBlockBytes {
+		t.Errorf("MacroBlockShift inconsistent")
+	}
+	if MacroBlockBytes/BlockBytes != 16 {
+		t.Errorf("paper specifies sixteen 64-byte blocks per macroblock, got %d", MacroBlockBytes/BlockBytes)
+	}
+	if BlocksPerPage != PageBytes/BlockBytes {
+		t.Errorf("BlocksPerPage mismatch")
+	}
+}
+
+func TestVAddrHelpers(t *testing.T) {
+	v := VAddr(0x1_2345)
+	if v.Block() != VAddr(0x1_2340) {
+		t.Errorf("VAddr.Block() = %v", v.Block())
+	}
+	if v.Page() != VAddr(0x1_2000) {
+		t.Errorf("VAddr.Page() = %v", v.Page())
+	}
+	if v.PageIndex() != 0x1_2345>>PageShift {
+		t.Errorf("VAddr.PageIndex() = %d", v.PageIndex())
+	}
+	if v.BlockOffset() != 0x5 {
+		t.Errorf("VAddr.BlockOffset() = %d", v.BlockOffset())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if PAddr(0x40).String() != "P:0x40" {
+		t.Errorf("PAddr.String() = %q", PAddr(0x40).String())
+	}
+	if VAddr(0x40).String() != "V:0x40" {
+		t.Errorf("VAddr.String() = %q", VAddr(0x40).String())
+	}
+}
+
+func TestOffsetsAndIndexes(t *testing.T) {
+	p := PAddr(3<<PageShift | 0x155)
+	if p.PageIndex() != 3 {
+		t.Errorf("PAddr.PageIndex = %d", p.PageIndex())
+	}
+	if p.BlockOffset() != 0x15 {
+		t.Errorf("PAddr.BlockOffset = %#x", p.BlockOffset())
+	}
+	v := VAddr(7<<PageShift | 0x42)
+	if v.PageOffset() != 0x42 {
+		t.Errorf("VAddr.PageOffset = %#x", v.PageOffset())
+	}
+}

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"logtmse/internal/addr"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New(32*1024, 4, 1); err != nil {
+		t.Fatalf("valid L1 geometry rejected: %v", err)
+	}
+	if _, err := New(0, 4, 1); err == nil {
+		t.Errorf("zero-size cache accepted")
+	}
+	if _, err := New(100, 3, 1); err == nil {
+		t.Errorf("non-divisible geometry accepted")
+	}
+	if _, err := New(3*64*4, 4, 1); err == nil {
+		t.Errorf("non-power-of-two set count accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustNew did not panic")
+		}
+	}()
+	MustNew(0, 4, 1)
+}
+
+func TestL1GeometryMatchesPaper(t *testing.T) {
+	// Table 1: 32 KB 4-way, 64-byte blocks -> 128 sets.
+	c := MustNew(32*1024, 4, 1)
+	if c.Sets() != 128 || c.Ways() != 4 {
+		t.Errorf("L1 geometry = %d sets x %d ways, want 128x4", c.Sets(), c.Ways())
+	}
+	// Table 1: 8 MB 8-way L2, 16 banks.
+	l2 := MustNew(8*1024*1024, 8, 16)
+	if l2.Sets() != 16384 {
+		t.Errorf("L2 sets = %d, want 16384", l2.Sets())
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := MustNew(1024, 2, 1) // 8 sets, 2 ways
+	if st := c.Lookup(0x40); st != Invalid {
+		t.Errorf("fresh cache lookup = %v", st)
+	}
+	c.Insert(0x40, Shared)
+	if st := c.Lookup(0x40); st != Shared {
+		t.Errorf("lookup after insert = %v", st)
+	}
+	if st := c.Lookup(0x43); st != Shared {
+		t.Errorf("same-block lookup = %v", st)
+	}
+}
+
+func TestReinsertUpdatesState(t *testing.T) {
+	c := MustNew(1024, 2, 1)
+	c.Insert(0x40, Shared)
+	if _, ev := c.Insert(0x40, Modified); ev {
+		t.Errorf("reinsert evicted")
+	}
+	if st := c.Peek(0x40); st != Modified {
+		t.Errorf("state after reinsert = %v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew(2*64, 2, 1) // 1 set, 2 ways
+	c.Insert(0*64, Shared)
+	c.Insert(1*64, Shared)
+	c.Lookup(0 * 64) // touch block 0 so block 1 is LRU
+	v, ev := c.Insert(2*64, Exclusive)
+	if !ev {
+		t.Fatalf("full set did not evict")
+	}
+	if v.Addr != 1*64 || v.State != Shared {
+		t.Errorf("evicted %v in %v, want block 1 Shared", v.Addr, v.State)
+	}
+	if c.Peek(0*64) == Invalid || c.Peek(2*64) == Invalid {
+		t.Errorf("survivors missing after eviction")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("Evictions() = %d", c.Evictions())
+	}
+}
+
+func TestInvalidateFreesWay(t *testing.T) {
+	c := MustNew(2*64, 2, 1)
+	c.Insert(0, Modified)
+	c.Insert(64, Shared)
+	c.Invalidate(0)
+	if c.Peek(0) != Invalid {
+		t.Fatalf("invalidate failed")
+	}
+	if _, ev := c.Insert(128, Shared); ev {
+		t.Errorf("insert after invalidate evicted")
+	}
+	if c.Occupancy() != 2 {
+		t.Errorf("occupancy = %d, want 2", c.Occupancy())
+	}
+}
+
+func TestSetStateOnMissIsNoop(t *testing.T) {
+	c := MustNew(1024, 2, 1)
+	c.SetState(0x80, Modified) // not resident
+	if c.Peek(0x80) != Invalid {
+		t.Errorf("SetState on miss materialized a line")
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	c := MustNew(8*1024*1024, 8, 16)
+	if c.Bank(0) != 0 || c.Bank(64) != 1 || c.Bank(16*64) != 0 {
+		t.Errorf("banks not interleaved by block address: %d %d %d",
+			c.Bank(0), c.Bank(64), c.Bank(16*64))
+	}
+	// Bank must not depend on the offset within a block.
+	f := func(a uint64) bool {
+		p := addr.PAddr(a)
+		return c.Bank(p) == c.Bank(p.Block())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	c := MustNew(4*1024, 4, 1) // 64 lines
+	for i := 0; i < 1000; i++ {
+		c.Insert(addr.PAddr(i*64), Shared)
+		if c.Occupancy() > 64 {
+			t.Fatalf("occupancy %d exceeds capacity", c.Occupancy())
+		}
+	}
+	if c.Occupancy() != 64 {
+		t.Errorf("steady-state occupancy = %d, want 64", c.Occupancy())
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := MustNew(1024, 2, 1)
+	c.Insert(0, Modified)
+	c.Clear()
+	if c.Occupancy() != 0 {
+		t.Errorf("occupancy after Clear = %d", c.Occupancy())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), str)
+		}
+	}
+}

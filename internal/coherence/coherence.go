@@ -1,0 +1,550 @@
+// Package coherence implements the memory system of the baseline CMP: per-
+// core L1 caches, a banked shared L2 with an inclusive MESI directory, and
+// the LogTM-SE protocol extensions — CONFLICT checks on GETS/GETM, NACKs,
+// sticky states on transactional eviction, and directory rebuild
+// broadcasts after L2 victimization (paper §5). A broadcast snooping
+// variant (paper §7) is selectable for the alternative-implementation
+// ablation.
+//
+// Coherence transactions are resolved atomically at a simulation event:
+// the protocol computes the outcome (grant or NACK) and the uncontended
+// latency of the whole message sequence per Table 1, and the caller
+// schedules its continuation after that latency. This serializes racing
+// requests the way a blocking home node would, keeping runs deterministic
+// while preserving the event sequence the paper's evaluation measures
+// (misses, forwards, broadcasts, NACKs, victimizations).
+package coherence
+
+import (
+	"fmt"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/cache"
+	"logtmse/internal/network"
+	"logtmse/internal/sig"
+	"logtmse/internal/sim"
+)
+
+// Protocol selects the coherence substrate.
+type Protocol int
+
+// Protocols.
+const (
+	// Directory is the baseline MESI directory protocol of §5.
+	Directory Protocol = iota
+	// Snoop is the broadcast snooping variant of §7.
+	Snoop
+)
+
+func (p Protocol) String() string {
+	if p == Snoop {
+		return "snoop"
+	}
+	return "directory"
+}
+
+// Params configures the memory system (defaults per Table 1).
+type Params struct {
+	Cores    int
+	L1Bytes  int
+	L1Ways   int
+	L2Bytes  int
+	L2Ways   int
+	L2Banks  int
+	L1HitLat sim.Cycle // L1 uncontended latency
+	L2Lat    sim.Cycle // L2 uncontended latency
+	MemLat   sim.Cycle // DRAM latency
+	DirLat   sim.Cycle // directory lookup latency
+	CheckLat sim.Cycle // remote signature-check latency
+	Protocol Protocol
+	Grid     *network.Grid
+	// Clock, when set together with contention modeling, supplies the
+	// current cycle so request paths can queue at routers and at the
+	// home bank. Nil keeps the uncontended Table 1 latencies.
+	Clock func() sim.Cycle
+	// BankOccupancy is the home bank's service time per request when
+	// contention is modeled (0 disables bank queueing).
+	BankOccupancy sim.Cycle
+}
+
+// Request describes one memory access presented to the protocol.
+type Request struct {
+	Core      int
+	Thread    int
+	Op        sig.Op // Read -> GETS, Write -> GETM
+	Addr      addr.PAddr
+	ASID      addr.ASID
+	Timestamp uint64 // requester's transaction timestamp; 0 if not in a transaction
+}
+
+// Nacker identifies a transaction whose signature NACKed a request.
+type Nacker struct {
+	Core, Thread int
+	// Timestamp of the NACKing transaction (its begin cycle).
+	Timestamp uint64
+	// FalsePositive is set when the signature matched but the exact
+	// read/write set did not (signature aliasing).
+	FalsePositive bool
+	// Summary is set when the conflict was against a descheduled
+	// transaction's summary signature rather than an active one.
+	Summary bool
+}
+
+// Hooks is implemented by the transactional engine; the protocol calls
+// back into it to perform signature checks and classify victims.
+type Hooks interface {
+	// SignatureCheck checks every thread context on targetCore for a
+	// conflict with req, per the paper's CONFLICT semantics. The
+	// requesting thread itself never conflicts. Implementations must set
+	// the NACKer-side possible_cycle flag when NACKing an older
+	// transaction (LogTM conflict resolution).
+	SignatureCheck(targetCore int, req Request) []Nacker
+	// MayBeInSignature conservatively reports whether block a may be in
+	// any active signature on core; drives the sticky-state decision on
+	// L1 eviction.
+	MayBeInSignature(core int, a addr.PAddr) bool
+	// InExactSet reports whether block a is in the exact read- or
+	// write-set of an active transaction on core (victimization
+	// statistics only; hardware does not have this).
+	InExactSet(core int, a addr.PAddr) bool
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Loads           uint64
+	Stores          uint64
+	L1Hits          uint64
+	L1Misses        uint64
+	L2Misses        uint64
+	Upgrades        uint64
+	Forwards        uint64
+	Broadcasts      uint64
+	NACKs           uint64
+	StickyEvicts    uint64
+	L1TxVictims     uint64 // transactional blocks displaced from an L1
+	L2TxVictims     uint64 // transactional blocks displaced from the L2
+	WritebacksToMem uint64
+	// Multiple-CMP (§7) events.
+	InterChipMsgs uint64 // coherence transactions that crossed chips
+	MemStickyM    uint64 // sticky-M transitions at the memory directory
+}
+
+// AccessResult reports the outcome of one coherence transaction.
+type AccessResult struct {
+	Latency sim.Cycle
+	NACK    bool
+	Nackers []Nacker
+}
+
+type dirEntry struct {
+	owner   int    // core holding E/M (possibly sticky), -1 if none
+	sharers uint64 // bitmask of cores that may hold S (superset; S evictions are silent)
+	// checkAll forces signature-check broadcasts on every request after
+	// an L2-miss rebuild observed a NACK; cleared when a request succeeds.
+	checkAll bool
+}
+
+// System is the simulated memory system.
+type System struct {
+	p        Params
+	l1       []*cache.Cache
+	l2       *cache.Cache
+	dir      map[addr.PAddr]*dirEntry
+	hooks    Hooks
+	stats    Stats
+	bankFree []sim.Cycle // per-bank next-free cycle (contention model)
+}
+
+// NewSystem builds the memory system. hooks may not be nil.
+func NewSystem(p Params, hooks Hooks) (*System, error) {
+	if hooks == nil {
+		return nil, fmt.Errorf("coherence: nil hooks")
+	}
+	if p.Cores <= 0 || p.Cores > 64 {
+		return nil, fmt.Errorf("coherence: bad core count %d", p.Cores)
+	}
+	if p.Grid == nil {
+		return nil, fmt.Errorf("coherence: nil grid")
+	}
+	s := &System{p: p, dir: make(map[addr.PAddr]*dirEntry), hooks: hooks}
+	for i := 0; i < p.Cores; i++ {
+		c, err := cache.New(p.L1Bytes, p.L1Ways, 1)
+		if err != nil {
+			return nil, err
+		}
+		s.l1 = append(s.l1, c)
+	}
+	l2, err := cache.New(p.L2Bytes, p.L2Ways, p.L2Banks)
+	if err != nil {
+		return nil, err
+	}
+	s.l2 = l2
+	s.bankFree = make([]sim.Cycle, p.L2Banks)
+	return s, nil
+}
+
+// reqPathLat is the request leg from a core to a home bank: uncontended
+// by default, or queued at routers and the bank when a clock is set.
+func (s *System) reqPathLat(core, bank int) sim.Cycle {
+	if s.p.Clock == nil {
+		return s.p.Grid.CoreToBank(core, bank)
+	}
+	now := s.p.Clock()
+	lat := s.p.Grid.TraverseAt(s.p.Grid.CoreNode(core), s.p.Grid.BankNode(bank), now)
+	if s.p.BankOccupancy > 0 {
+		arrive := now + lat
+		if s.bankFree[bank] > arrive {
+			lat += s.bankFree[bank] - arrive
+			arrive = s.bankFree[bank]
+		}
+		s.bankFree[bank] = arrive + s.p.BankOccupancy
+	}
+	return lat
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters (used between warmup and measurement).
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+// L1 exposes a core's L1 for tests and victim inspection.
+func (s *System) L1(core int) *cache.Cache { return s.l1[core] }
+
+// L2 exposes the shared L2.
+func (s *System) L2() *cache.Cache { return s.l2 }
+
+// HasDirEntry reports whether the directory tracks a block (tests).
+func (s *System) HasDirEntry(a addr.PAddr) bool {
+	_, ok := s.dir[a.Block()]
+	return ok
+}
+
+// DirOwner reports the directory's owner pointer for a block (-1 if none
+// or untracked); exposed for sticky-state tests.
+func (s *System) DirOwner(a addr.PAddr) int {
+	if e, ok := s.dir[a.Block()]; ok {
+		return e.owner
+	}
+	return -1
+}
+
+// Access performs one memory access through the protocol and returns its
+// outcome. On a NACK no state changes; the caller stalls and retries (or
+// aborts), per LogTM conflict resolution.
+func (s *System) Access(req Request) AccessResult {
+	req.Addr = req.Addr.Block()
+	if req.Op == sig.Read {
+		s.stats.Loads++
+	} else {
+		s.stats.Stores++
+	}
+
+	// L1 hit fast path. Paper §2 invariants guarantee a cached block
+	// cannot be in a remote write-set (nor exclusively cached while in a
+	// remote read-set), so hits need no remote signature tests. Same-core
+	// SMT and summary-signature checks are the engine's responsibility.
+	st := s.l1[req.Core].Lookup(req.Addr)
+	switch {
+	case req.Op == sig.Read && st != cache.Invalid:
+		s.stats.L1Hits++
+		return AccessResult{Latency: s.p.L1HitLat}
+	case req.Op == sig.Write && (st == cache.Modified || st == cache.Exclusive):
+		s.stats.L1Hits++
+		if st == cache.Exclusive {
+			s.l1[req.Core].SetState(req.Addr, cache.Modified)
+			if e, ok := s.dir[req.Addr]; ok {
+				e.owner = req.Core
+			}
+		}
+		return AccessResult{Latency: s.p.L1HitLat}
+	}
+	if req.Op == sig.Write && st == cache.Shared {
+		s.stats.Upgrades++
+	} else {
+		s.stats.L1Misses++
+	}
+
+	if s.p.Protocol == Snoop {
+		return s.accessSnoop(req)
+	}
+	return s.accessDirectory(req)
+}
+
+func (s *System) accessDirectory(req Request) AccessResult {
+	a := req.Addr
+	bank := s.l2.Bank(a)
+	lat := s.p.L1HitLat + s.reqPathLat(req.Core, bank) + s.p.DirLat + s.p.L2Lat
+
+	e, resident := s.dir[a]
+	if !resident {
+		// L2 miss: fetch from memory; directory info was lost when the
+		// L2 victimized the block, so conservatively broadcast to the
+		// L1s so they can check their signatures (§5).
+		s.stats.L2Misses++
+		lat += s.p.MemLat
+		lat += s.p.Grid.BroadcastFromBank(bank) + s.p.CheckLat
+		s.stats.Broadcasts++
+		nackers := s.checkCores(s.allCores(req.Core), req)
+		e = &dirEntry{owner: -1}
+		s.dir[a] = e
+		s.insertL2(a)
+		if len(nackers) > 0 {
+			// Record the NACK: all subsequent requests must re-check
+			// the L1 signatures until one succeeds.
+			e.checkAll = true
+			s.stats.NACKs++
+			return AccessResult{Latency: lat, NACK: true, Nackers: nackers}
+		}
+		return s.grant(req, e, lat)
+	}
+
+	if e.checkAll {
+		lat += s.p.Grid.BroadcastFromBank(bank) + s.p.CheckLat
+		s.stats.Broadcasts++
+		nackers := s.checkCores(s.allCores(req.Core), req)
+		if len(nackers) > 0 {
+			s.stats.NACKs++
+			return AccessResult{Latency: lat, NACK: true, Nackers: nackers}
+		}
+		e.checkAll = false
+		return s.grant(req, e, lat)
+	}
+
+	if req.Op == sig.Read {
+		return s.gets(req, e, bank, lat)
+	}
+	return s.getm(req, e, bank, lat)
+}
+
+// gets handles a GETS through the directory.
+func (s *System) gets(req Request, e *dirEntry, bank int, lat sim.Cycle) AccessResult {
+	a := req.Addr
+	if e.owner != -1 {
+		// Forward to the (possibly sticky) owner for a signature check.
+		owner := e.owner
+		s.stats.Forwards++
+		lat += s.p.Grid.Latency(s.p.Grid.BankNode(bank), s.p.Grid.CoreNode(owner)) +
+			s.p.CheckLat + s.p.Grid.CoreToCore(owner, req.Core)
+		if nackers := s.hooks.SignatureCheck(owner, req); len(nackers) > 0 {
+			s.stats.NACKs++
+			return AccessResult{Latency: lat, NACK: true, Nackers: nackers}
+		}
+		// No conflict: downgrade the owner (or resolve a sticky pointer
+		// if the owner no longer caches the block).
+		switch s.l1[owner].Peek(a) {
+		case cache.Modified:
+			s.stats.WritebacksToMem++
+			s.l1[owner].SetState(a, cache.Shared)
+			e.sharers |= 1 << uint(owner)
+		case cache.Exclusive:
+			s.l1[owner].SetState(a, cache.Shared)
+			e.sharers |= 1 << uint(owner)
+		default:
+			// Sticky owner had already evicted the block; the lazy
+			// cleanup happens now that the signature check passed.
+		}
+		e.owner = -1
+	}
+	return s.grant(req, e, lat)
+}
+
+// getm handles a GETM (or S->M upgrade) through the directory.
+func (s *System) getm(req Request, e *dirEntry, bank int, lat sim.Cycle) AccessResult {
+	a := req.Addr
+	targets := s.targetsOf(e, req.Core)
+	if len(targets) > 0 {
+		// Invalidations fan out in parallel; charge the worst round trip.
+		worst := sim.Cycle(0)
+		for _, t := range targets {
+			if l := s.p.Grid.Latency(s.p.Grid.BankNode(bank), s.p.Grid.CoreNode(t)); l > worst {
+				worst = l
+			}
+		}
+		lat += 2*worst + s.p.CheckLat + s.p.Grid.CoreToBank(req.Core, bank)
+		s.stats.Forwards++
+		nackers := s.checkCores(targets, req)
+		if len(nackers) > 0 {
+			s.stats.NACKs++
+			return AccessResult{Latency: lat, NACK: true, Nackers: nackers}
+		}
+		for _, t := range targets {
+			if s.l1[t].Peek(a) == cache.Modified {
+				s.stats.WritebacksToMem++
+			}
+			s.l1[t].Invalidate(a)
+		}
+	}
+	e.sharers = 0
+	e.owner = -1
+	return s.grant(req, e, lat)
+}
+
+// accessSnoop resolves a miss with the §7 broadcast snooping protocol:
+// the request goes to every other core; a logically-ORed nack signal
+// reports conflicts, so no sticky states are needed.
+func (s *System) accessSnoop(req Request) AccessResult {
+	a := req.Addr
+	lat := s.p.L1HitLat + s.p.Grid.BroadcastFromCore(req.Core) + s.p.CheckLat
+	s.stats.Broadcasts++
+	nackers := s.checkCores(s.allCores(req.Core), req)
+	if len(nackers) > 0 {
+		s.stats.NACKs++
+		return AccessResult{Latency: lat, NACK: true, Nackers: nackers}
+	}
+	// Locate the data: L1 owner beats L2 beats memory.
+	e, resident := s.dir[a]
+	if !resident {
+		s.stats.L2Misses++
+		lat += s.p.L2Lat + s.p.MemLat
+		e = &dirEntry{owner: -1}
+		s.dir[a] = e
+		s.insertL2(a)
+	} else {
+		lat += s.p.L2Lat
+	}
+	if req.Op == sig.Read {
+		if e.owner != -1 && e.owner != req.Core {
+			if s.l1[e.owner].Peek(a) == cache.Modified {
+				s.stats.WritebacksToMem++
+			}
+			if s.l1[e.owner].Peek(a) != cache.Invalid {
+				s.l1[e.owner].SetState(a, cache.Shared)
+				e.sharers |= 1 << uint(e.owner)
+			}
+			e.owner = -1
+		}
+	} else {
+		for _, t := range s.targetsOf(e, req.Core) {
+			if s.l1[t].Peek(a) == cache.Modified {
+				s.stats.WritebacksToMem++
+			}
+			s.l1[t].Invalidate(a)
+		}
+		e.sharers = 0
+		e.owner = -1
+	}
+	return s.grant(req, e, lat)
+}
+
+// grant installs the block in the requester's L1 and finalizes directory
+// state, handling victim (sticky) bookkeeping.
+func (s *System) grant(req Request, e *dirEntry, lat sim.Cycle) AccessResult {
+	a := req.Addr
+	var newState cache.State
+	if req.Op == sig.Write {
+		newState = cache.Modified
+		e.owner = req.Core
+		e.sharers = 0
+	} else if e.owner == -1 && e.sharers&^(1<<uint(req.Core)) == 0 {
+		newState = cache.Exclusive
+		e.owner = req.Core
+		e.sharers = 0
+	} else {
+		newState = cache.Shared
+		e.sharers |= 1 << uint(req.Core)
+	}
+
+	v, evicted := s.l1[req.Core].Insert(a, newState)
+	if evicted {
+		s.l1Victim(req.Core, v)
+	}
+	return AccessResult{Latency: lat}
+}
+
+// l1Victim applies the paper's replacement policy to a displaced L1 block:
+// blocks possibly in a local signature leave the directory untouched
+// (sticky states); clean non-transactional blocks update or silently skip
+// the directory per MESI conventions.
+func (s *System) l1Victim(core int, v cache.Victim) {
+	if s.hooks.InExactSet(core, v.Addr) {
+		s.stats.L1TxVictims++
+	}
+	if s.hooks.MayBeInSignature(core, v.Addr) {
+		// Sticky: write back M data but do not change directory state,
+		// so conflicting requests keep being forwarded here (§3.1).
+		if v.State == cache.Modified {
+			s.stats.WritebacksToMem++
+		}
+		s.stats.StickyEvicts++
+		return
+	}
+	ve, ok := s.dir[v.Addr]
+	if !ok {
+		return
+	}
+	switch v.State {
+	case cache.Modified:
+		s.stats.WritebacksToMem++
+		if ve.owner == core {
+			ve.owner = -1
+		}
+	case cache.Exclusive:
+		// E replacement sends a control message to update the exclusive
+		// pointer (§5).
+		if ve.owner == core {
+			ve.owner = -1
+		}
+	case cache.Shared:
+		// Silent; the directory's sharer list stays conservatively stale.
+	}
+}
+
+// insertL2 places a block in the L2 array, enforcing inclusion on
+// eviction: displaced blocks lose their directory entry and any L1 copies.
+func (s *System) insertL2(a addr.PAddr) {
+	v, evicted := s.l2.Insert(a, cache.Shared)
+	if !evicted {
+		return
+	}
+	for c := 0; c < s.p.Cores; c++ {
+		if s.hooks.InExactSet(c, v.Addr) {
+			s.stats.L2TxVictims++
+			break
+		}
+	}
+	if ve, ok := s.dir[v.Addr]; ok {
+		if ve.owner != -1 && s.l1[ve.owner].Peek(v.Addr) == cache.Modified {
+			s.stats.WritebacksToMem++
+		}
+		delete(s.dir, v.Addr)
+	}
+	for c := 0; c < s.p.Cores; c++ {
+		s.l1[c].Invalidate(v.Addr)
+	}
+}
+
+// targetsOf lists the cores a GETM must check: the (possibly sticky)
+// owner plus every core in the conservative sharer mask, excluding the
+// requester itself.
+func (s *System) targetsOf(e *dirEntry, reqCore int) []int {
+	var ts []int
+	for c := 0; c < s.p.Cores; c++ {
+		if c == reqCore {
+			continue
+		}
+		if c == e.owner || e.sharers&(1<<uint(c)) != 0 {
+			ts = append(ts, c)
+		}
+	}
+	return ts
+}
+
+// allCores lists every core; the requester core is included because its
+// sibling SMT context may hold a conflicting signature (the hook excludes
+// the requesting thread itself).
+func (s *System) allCores(int) []int {
+	ts := make([]int, s.p.Cores)
+	for c := range ts {
+		ts[c] = c
+	}
+	return ts
+}
+
+func (s *System) checkCores(cores []int, req Request) []Nacker {
+	var nackers []Nacker
+	for _, c := range cores {
+		nackers = append(nackers, s.hooks.SignatureCheck(c, req)...)
+	}
+	return nackers
+}

@@ -1,0 +1,168 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/cache"
+	"logtmse/internal/sig"
+)
+
+// checkMESIInvariants asserts the single-writer/multiple-reader property
+// over every block the test touched: at most one core holds M or E, and
+// if one does, no other core holds any valid state.
+func checkMESIInvariants(t *testing.T, s *System, blocks []addr.PAddr, step int) {
+	t.Helper()
+	for _, b := range blocks {
+		exclusive := -1
+		valid := 0
+		for c := 0; c < s.p.Cores; c++ {
+			switch s.L1(c).Peek(b) {
+			case cache.Modified, cache.Exclusive:
+				if exclusive != -1 {
+					t.Fatalf("step %d: block %v exclusive at both core %d and %d", step, b, exclusive, c)
+				}
+				exclusive = c
+				valid++
+			case cache.Shared:
+				valid++
+			}
+		}
+		if exclusive != -1 && valid > 1 {
+			t.Fatalf("step %d: block %v M/E at core %d alongside %d other valid copies", step, b, exclusive, valid-1)
+		}
+	}
+}
+
+// Random non-transactional traffic must preserve MESI invariants under
+// both protocols.
+func TestRandomTrafficMESIInvariants(t *testing.T) {
+	for _, proto := range []Protocol{Directory, Snoop} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			s, _ := newTestSystem(t, proto)
+			rng := rand.New(rand.NewSource(31))
+			var blocks []addr.PAddr
+			for i := 0; i < 24; i++ {
+				blocks = append(blocks, addr.PAddr(0x1000+i*64))
+			}
+			for step := 0; step < 4000; step++ {
+				core := rng.Intn(4)
+				b := blocks[rng.Intn(len(blocks))]
+				op := sig.Read
+				if rng.Intn(3) == 0 {
+					op = sig.Write
+				}
+				res := s.Access(Request{Core: core, Op: op, Addr: b})
+				if res.NACK {
+					t.Fatalf("step %d: NACK with no transactional state", step)
+				}
+				if step%97 == 0 {
+					checkMESIInvariants(t, s, blocks, step)
+				}
+			}
+			checkMESIInvariants(t, s, blocks, -1)
+		})
+	}
+}
+
+// With transactional write sets staged, no other core may ever obtain a
+// valid copy of an isolated block (the paper's §2 invariant), no matter
+// the request interleaving.
+func TestIsolationInvariantUnderRandomTraffic(t *testing.T) {
+	s, h := newTestSystem(t, Directory)
+	rng := rand.New(rand.NewSource(32))
+	isolated := addr.PAddr(0x8000)
+	// Core 0 thread 0 transactionally wrote `isolated`.
+	if r := s.Access(wr(0, isolated)); r.NACK {
+		t.Fatal("setup write NACKed")
+	}
+	h.add(0, 0, sig.Write, isolated)
+
+	for step := 0; step < 3000; step++ {
+		core := rng.Intn(4)
+		var b addr.PAddr
+		if rng.Intn(4) == 0 {
+			b = isolated
+		} else {
+			b = addr.PAddr(0x1000 + uint64(rng.Intn(64))*64)
+		}
+		op := sig.Read
+		if rng.Intn(3) == 0 {
+			op = sig.Write
+		}
+		res := s.Access(Request{Core: core, Op: op, Addr: b, Timestamp: uint64(step+2) << 8})
+		if b == isolated && core != 0 {
+			if !res.NACK {
+				t.Fatalf("step %d: core %d acquired isolated block", step, core)
+			}
+			if st := s.L1(core).Peek(isolated); st != cache.Invalid {
+				t.Fatalf("step %d: core %d holds isolated block in %v", step, core, st)
+			}
+		}
+	}
+	// Commit releases isolation.
+	h.writeSet = map[[2]int]map[addr.PAddr]bool{}
+	if r := s.Access(rd(1, isolated)); r.NACK {
+		t.Errorf("read after commit NACKed")
+	}
+}
+
+// Victimization storm: a tiny L1 forces constant evictions; sticky
+// states must keep conflicts detectable throughout.
+func TestStickyUnderVictimizationStorm(t *testing.T) {
+	s, h := newTestSystem(t, Directory)
+	rng := rand.New(rand.NewSource(33))
+	// Core 0's transactional write set: 8 blocks all mapping to set 0
+	// of its 8-set L1 (stride = 8 sets * 64B).
+	var txBlocks []addr.PAddr
+	for i := 0; i < 8; i++ {
+		b := addr.PAddr(0x10000 + uint64(i)*8*64)
+		txBlocks = append(txBlocks, b)
+		if r := s.Access(wr(0, b)); r.NACK {
+			t.Fatal("setup NACK")
+		}
+		h.add(0, 0, sig.Write, b)
+	}
+	// Only 2 ways: at least 6 of the 8 are victimized (sticky).
+	if s.Stats().StickyEvicts < 6 {
+		t.Fatalf("expected sticky evictions, got %d", s.Stats().StickyEvicts)
+	}
+	// Every transactional block must still NACK remote requests, cached
+	// or not, across random interleaved traffic.
+	for step := 0; step < 1000; step++ {
+		core := 1 + rng.Intn(3)
+		b := txBlocks[rng.Intn(len(txBlocks))]
+		res := s.Access(Request{Core: core, Op: sig.Write, Addr: b, Timestamp: uint64(step+9) << 8})
+		if !res.NACK {
+			t.Fatalf("step %d: victimized transactional block %v lost isolation", step, b)
+		}
+		// Interleave unrelated traffic to churn the caches further.
+		s.Access(Request{Core: core, Op: sig.Read, Addr: addr.PAddr(0x40000 + uint64(rng.Intn(256))*64)})
+	}
+}
+
+// The L2-miss rebuild path under churn: blocks bounce out of a tiny L2
+// while a transaction holds them; conflicts must never be missed.
+func TestL2ChurnNeverMissesConflicts(t *testing.T) {
+	s, h := newTestSystem(t, Directory)
+	rng := rand.New(rand.NewSource(34))
+	guarded := addr.PAddr(0x20000)
+	if r := s.Access(wr(0, guarded)); r.NACK {
+		t.Fatal("setup NACK")
+	}
+	h.add(0, 0, sig.Write, guarded)
+	for step := 0; step < 3000; step++ {
+		// Heavy unrelated traffic to overflow the 256-line L2.
+		c := rng.Intn(4)
+		s.Access(Request{Core: c, Op: sig.Read, Addr: addr.PAddr(0x100000 + uint64(rng.Intn(2048))*64)})
+		if step%37 == 0 {
+			res := s.Access(Request{Core: 1 + rng.Intn(3), Op: sig.Read, Addr: guarded, Timestamp: uint64(step+7) << 8})
+			if !res.NACK {
+				t.Fatalf("step %d: conflict missed after L2 churn", step)
+			}
+		}
+	}
+}

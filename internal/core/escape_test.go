@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"logtmse/internal/addr"
+)
+
+func TestEscapeActionsNotTracked(t *testing.T) {
+	s := newSys(t, smallParams())
+	pt := s.NewPageTable(1)
+	s.SpawnOn(0, 0, "t", 1, pt, func(a *API) {
+		a.Transaction(func() {
+			a.Store(0x1000, 1)
+			a.Escape(func() {
+				a.Store(0x2000, 2) // escaped: no signature, no log
+				_ = a.Load(0x3000)
+			})
+			a.Store(0x4000, 4)
+		})
+	})
+	mustRun(t, s)
+	st := s.Stats()
+	// Only the two transactional stores enter the write set / log.
+	if st.WriteSetSum != 2 {
+		t.Errorf("write set = %d blocks, want 2 (escaped store leaked in)", st.WriteSetSum)
+	}
+	if st.LogRecords != 2 {
+		t.Errorf("log records = %d, want 2", st.LogRecords)
+	}
+	if got := s.Mem.ReadWord(pt.Translate(0x2000)); got != 2 {
+		t.Errorf("escaped store lost: %d", got)
+	}
+}
+
+func TestEscapedStoreSurvivesAbort(t *testing.T) {
+	// The defining property of an escape action: its effects are not
+	// rolled back when the surrounding transaction aborts. Force an
+	// abort via an AB-BA cycle; the escaped counter counts executions
+	// (commits + aborted attempts), strictly more than commits.
+	s := newSys(t, smallParams())
+	pt := s.NewPageTable(1)
+	A, B := addr.VAddr(0xa000), addr.VAddr(0xb000)
+	attempts := addr.VAddr(0xe000)
+	body := func(a *API, first, second addr.VAddr, add uint64) {
+		a.Transaction(func() {
+			a.Escape(func() { a.FetchAdd(attempts, 1) })
+			a.Store(first, a.Load(first)+add)
+			a.Compute(2000)
+			a.Store(second, a.Load(second)+add)
+		})
+	}
+	s.SpawnOn(0, 0, "fwd", 1, pt, func(a *API) { body(a, A, B, 1) })
+	s.SpawnOn(1, 0, "rev", 1, pt, func(a *API) { body(a, B, A, 100) })
+	mustRun(t, s)
+	st := s.Stats()
+	if st.Aborts == 0 {
+		t.Fatalf("no aborts; test needs a forced abort")
+	}
+	got := s.Mem.ReadWord(pt.Translate(attempts))
+	want := st.Commits + st.Aborts
+	if got != want {
+		t.Errorf("escaped attempt counter = %d, want commits+aborts = %d (escape rolled back?)", got, want)
+	}
+	// The transactional state is still consistent.
+	if va := s.Mem.ReadWord(pt.Translate(A)); va != 101 {
+		t.Errorf("A = %d, want 101", va)
+	}
+}
+
+func TestEscapedAccessStillIsolatedFromRemoteTx(t *testing.T) {
+	// Strong atomicity: an escaped read must not see another
+	// transaction's speculative data.
+	s := newSys(t, smallParams())
+	pt := s.NewPageTable(1)
+	X := addr.VAddr(0xc000)
+	var commitAt, readAt, readVal uint64
+	s.SpawnOn(0, 0, "writer", 1, pt, func(a *API) {
+		a.Transaction(func() {
+			a.Store(X, 42)
+			a.Compute(5000)
+		})
+		commitAt = uint64(a.Now())
+	})
+	s.SpawnOn(1, 0, "escaper", 1, pt, func(a *API) {
+		a.Compute(500)
+		a.Transaction(func() {
+			a.Escape(func() {
+				readVal = a.Load(X)
+				readAt = uint64(a.Now())
+			})
+		})
+	})
+	mustRun(t, s)
+	if readVal != 42 {
+		t.Errorf("escaped read saw %d, want 42", readVal)
+	}
+	if readAt < commitAt {
+		t.Errorf("escaped read at %d before commit at %d (isolation broken)", readAt, commitAt)
+	}
+	// The escaped conflict must not have aborted the escaper.
+	if s.Stats().Aborts != 0 {
+		t.Errorf("escaped access aborted a transaction")
+	}
+	if s.Stats().NonTxRetries == 0 {
+		t.Errorf("escaped conflicting read should retry like a non-transactional access")
+	}
+}
+
+func TestEscapeOutsideTransaction(t *testing.T) {
+	s := newSys(t, smallParams())
+	pt := s.NewPageTable(1)
+	var got uint64
+	s.SpawnOn(0, 0, "t", 1, pt, func(a *API) {
+		a.Escape(func() { a.Store(0x100, 9) })
+		got = a.Load(0x100)
+	})
+	mustRun(t, s)
+	if got != 9 {
+		t.Errorf("escape outside transaction broken: %d", got)
+	}
+}
+
+func TestNestedEscapeIdempotent(t *testing.T) {
+	s := newSys(t, smallParams())
+	pt := s.NewPageTable(1)
+	s.SpawnOn(0, 0, "t", 1, pt, func(a *API) {
+		a.Transaction(func() {
+			a.Escape(func() {
+				a.Escape(func() { a.Store(0x200, 1) })
+				a.Store(0x240, 2)
+			})
+			// Escape flag must be restored: this store is transactional.
+			a.Store(0x280, 3)
+		})
+	})
+	mustRun(t, s)
+	if st := s.Stats(); st.WriteSetSum != 1 {
+		t.Errorf("write set = %d, want 1 (escape flag not restored?)", st.WriteSetSum)
+	}
+}
+
+func TestBeginInsideEscapePanics(t *testing.T) {
+	s := newSys(t, smallParams())
+	pt := s.NewPageTable(1)
+	panicked := make(chan interface{}, 1)
+	s.SpawnOn(0, 0, "t", 1, pt, func(a *API) {
+		defer func() {
+			panicked <- recover()
+			// Let the pump see a done request so Run drains.
+		}()
+		a.Escape(func() {
+			a.Transaction(func() {})
+		})
+	})
+	s.RunUntil(100000)
+	select {
+	case p := <-panicked:
+		if p == nil {
+			t.Errorf("transaction inside escape did not panic")
+		}
+	default:
+		t.Errorf("thread never reached the guard")
+	}
+}

@@ -1,0 +1,915 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/coherence"
+	"logtmse/internal/mem"
+	"logtmse/internal/network"
+	"logtmse/internal/sig"
+	"logtmse/internal/sim"
+	"logtmse/internal/txlog"
+)
+
+// System is a simulated LogTM-SE machine: the CMP substrates plus the
+// transactional engine and the software threads running on it.
+type System struct {
+	P      Params
+	Engine *sim.Engine
+	Mem    *mem.Memory
+	// Coh is the memory system: a single-chip directory or snooping CMP,
+	// or the §7 multiple-CMP hierarchy when Params.Chips > 1.
+	Coh coherence.Memory
+
+	ctxs    [][]*Context // [core][thread]
+	threads []*Thread
+	stats   Stats
+
+	nextPhysPage uint64
+
+	// OnOuterCommit, if set, is called when a thread whose
+	// NeedsSummaryUpdate flag is set commits — or aborts — its outermost
+	// transaction; the OS model uses it to recompute summary signatures
+	// (§4.1). Aborts release isolation just as commits do, so the saved
+	// signature must leave the process summary then too (otherwise two
+	// threads descheduled with overlapping write sets could block each
+	// other through their summaries forever).
+	OnOuterCommit func(*Thread)
+	// PreemptCheck, if set, is consulted at every request boundary; when
+	// it returns true the thread is parked and OnPreempt is called. The
+	// OS model implements time slicing with these hooks.
+	PreemptCheck func(*Thread) bool
+	OnPreempt    func(*Thread)
+	// OnThreadDone, if set, is called when a thread function returns, so
+	// a scheduler can reclaim the context.
+	OnThreadDone func(*Thread)
+	// Tracer, if set, receives one line per transactional event (begin,
+	// commit, abort, stall, summary/SMT conflict) — the debugging and
+	// observability hook behind `logtmsim -trace`.
+	Tracer TraceFunc
+}
+
+// TraceFunc receives transactional engine events.
+type TraceFunc func(cycle sim.Cycle, thread string, event string)
+
+func (s *System) trace(t *Thread, format string, args ...interface{}) {
+	if s.Tracer == nil {
+		return
+	}
+	s.Tracer(s.Engine.Now(), t.Name, fmt.Sprintf(format, args...))
+}
+
+// NewSystem builds a machine per p.
+func NewSystem(p Params) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		P:            p,
+		Engine:       sim.NewEngine(p.Seed),
+		Mem:          mem.NewMemory(),
+		nextPhysPage: 1,
+	}
+	cohParams := coherence.Params{
+		Cores:   p.Cores,
+		L1Bytes: p.L1Bytes, L1Ways: p.L1Ways,
+		L2Bytes: p.L2Bytes, L2Ways: p.L2Ways, L2Banks: p.L2Banks,
+		L1HitLat: p.L1HitLat, L2Lat: p.L2Lat, MemLat: p.MemLat,
+		DirLat: p.DirLat, CheckLat: p.CheckLat,
+		Protocol: p.Protocol,
+	}
+	if p.ModelContention {
+		cohParams.Clock = s.Engine.Now
+		cohParams.BankOccupancy = p.BankOccupancy
+		if cohParams.BankOccupancy == 0 {
+			cohParams.BankOccupancy = 4
+		}
+	}
+	routerOcc := p.RouterOccupancy
+	if routerOcc == 0 {
+		routerOcc = 1
+	}
+	if p.Chips > 1 {
+		// Each chip gets its own on-chip grid sized for its cores.
+		cohParams.Grid = network.New(p.GridW, p.GridH, p.LinkLat, p.Cores/p.Chips, p.L2Banks)
+		if p.ModelContention {
+			cohParams.Grid.EnableContention(routerOcc)
+		}
+		mc, err := coherence.NewMultiChip(coherence.MultiChipParams{
+			Params:       cohParams,
+			Chips:        p.Chips,
+			InterChipLat: p.InterChipLat,
+		}, s)
+		if err != nil {
+			return nil, err
+		}
+		s.Coh = mc
+	} else {
+		cohParams.Grid = network.New(p.GridW, p.GridH, p.LinkLat, p.Cores, p.L2Banks)
+		if p.ModelContention {
+			cohParams.Grid.EnableContention(routerOcc)
+		}
+		coh, err := coherence.NewSystem(cohParams, s)
+		if err != nil {
+			return nil, err
+		}
+		s.Coh = coh
+	}
+	for c := 0; c < p.Cores; c++ {
+		var row []*Context
+		for th := 0; th < p.ThreadsPerCore; th++ {
+			ctx := &Context{
+				Core:   c,
+				Thread: th,
+				Sig:    sig.MustSignature(p.Signature),
+				Filter: txlog.MustFilter(p.LogFilterSets, p.LogFilterWays),
+			}
+			if p.CD == CDCacheBits {
+				ctx.rwRead = make(map[addr.PAddr]bool)
+				ctx.rwWrite = make(map[addr.PAddr]bool)
+			}
+			row = append(row, ctx)
+		}
+		s.ctxs = append(s.ctxs, row)
+	}
+	return s, nil
+}
+
+// Ctx returns a hardware context.
+func (s *System) Ctx(core, thread int) *Context { return s.ctxs[core][thread] }
+
+// Threads returns all spawned threads.
+func (s *System) Threads() []*Thread { return s.threads }
+
+// NewPageTable returns a page table for an address space, drawing
+// physical pages from the machine-wide allocator (so distinct address
+// spaces never overlap in physical memory).
+func (s *System) NewPageTable(asid addr.ASID) *mem.PageTable {
+	return mem.NewPageTable(asid, func() uint64 {
+		p := s.nextPhysPage
+		s.nextPhysPage++
+		return p
+	})
+}
+
+// Spawn creates a software thread running fn. The thread is not yet bound
+// to a hardware context; call Place and Start (or SpawnOn).
+func (s *System) Spawn(name string, asid addr.ASID, pt *mem.PageTable, fn func(*API)) *Thread {
+	t := &Thread{
+		ID:         len(s.threads),
+		Name:       name,
+		ASID:       asid,
+		PT:         pt,
+		exactRead:  make(map[addr.PAddr]bool),
+		exactWrite: make(map[addr.PAddr]bool),
+		req:        make(chan request),
+		resp:       make(chan response),
+		rng:        rand.New(rand.NewSource(s.P.Seed*1_000_003 + int64(len(s.threads)))),
+	}
+	s.threads = append(s.threads, t)
+	api := &API{t: t, sys: s}
+	go func() {
+		fn(api)
+		t.req <- request{kind: reqDone}
+	}()
+	return t
+}
+
+// Place binds a thread to a hardware context; the context must be idle.
+func (s *System) Place(t *Thread, core, thread int) error {
+	if core < 0 || core >= s.P.Cores || thread < 0 || thread >= s.P.ThreadsPerCore {
+		return fmt.Errorf("core: no context (%d,%d)", core, thread)
+	}
+	ctx := s.ctxs[core][thread]
+	if ctx.Cur != nil {
+		return fmt.Errorf("core: context (%d,%d) busy with %s", core, thread, ctx.Cur.Name)
+	}
+	ctx.Cur = t
+	t.ctx = ctx
+	return nil
+}
+
+// Start schedules the thread's first request; it must be placed.
+func (s *System) Start(t *Thread) {
+	if t.ctx == nil {
+		panic("core: Start of unplaced thread " + t.Name)
+	}
+	s.Engine.Schedule(0, func() {
+		r := <-t.req
+		s.dispatch(t, r)
+	})
+}
+
+// SpawnOn is Spawn+Place+Start on context (core, thread).
+func (s *System) SpawnOn(core, thread int, name string, asid addr.ASID, pt *mem.PageTable, fn func(*API)) (*Thread, error) {
+	t := s.Spawn(name, asid, pt, fn)
+	if err := s.Place(t, core, thread); err != nil {
+		return nil, err
+	}
+	s.Start(t)
+	return t, nil
+}
+
+// Run drives the simulation until the event queue drains (all threads
+// done or parked) and returns the final cycle.
+func (s *System) Run() sim.Cycle {
+	c := s.Engine.Run()
+	s.stats.Cycles = c
+	return c
+}
+
+// RunUntil drives the simulation to at most the given cycle.
+func (s *System) RunUntil(limit sim.Cycle) sim.Cycle {
+	c := s.Engine.RunUntil(limit)
+	s.stats.Cycles = c
+	return c
+}
+
+// AllDone reports whether every spawned thread has finished.
+func (s *System) AllDone() bool {
+	for _, t := range s.threads {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Stuck lists unfinished threads (barrier waits, parked threads) for
+// diagnostics after Run returns.
+func (s *System) Stuck() []string {
+	var out []string
+	for _, t := range s.threads {
+		if !t.done {
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}
+
+// Stats returns the aggregated counters (engine + coherence).
+func (s *System) Stats() Stats {
+	st := s.stats
+	st.Coh = s.Coh.Stats()
+	return st
+}
+
+// ResetStats zeroes every counter (engine and memory system) without
+// touching architectural state — the warm-up/measure methodology the
+// paper uses ("representative execution samples").
+func (s *System) ResetStats() {
+	s.stats = Stats{}
+	s.Coh.ResetStats()
+}
+
+// --- request pump -----------------------------------------------------------
+
+// dispatch routes one thread request, honoring preemption points.
+func (s *System) dispatch(t *Thread, r request) {
+	if r.kind == reqDone {
+		t.done = true
+		if s.OnThreadDone != nil {
+			s.OnThreadDone(t)
+		}
+		return
+	}
+	if s.PreemptCheck != nil && r.kind != reqBarrier && s.PreemptCheck(t) {
+		r := r
+		t.pending = &r
+		t.parked = true
+		if s.OnPreempt != nil {
+			s.OnPreempt(t)
+		}
+		return
+	}
+	s.handle(t, r)
+}
+
+// Resume re-dispatches the request a preempted thread was parked on; the
+// OS model calls it after rescheduling the thread on a context.
+func (s *System) Resume(t *Thread) {
+	if !t.parked || t.pending == nil {
+		panic("core: Resume of thread that is not parked: " + t.Name)
+	}
+	r := *t.pending
+	t.pending = nil
+	t.parked = false
+	s.handle(t, r)
+}
+
+func (s *System) handle(t *Thread, r request) {
+	switch r.kind {
+	case reqCompute:
+		s.finish(t, response{}, r.cycles)
+	case reqLoad:
+		s.access(t, r, sig.Read)
+	case reqStore, reqExchange, reqFetchAdd:
+		s.access(t, r, sig.Write)
+	case reqBegin:
+		s.begin(t, r.open)
+	case reqCommit:
+		s.commit(t)
+	case reqWorkUnit:
+		t.WorkUnits++
+		s.stats.WorkUnits++
+		s.finish(t, response{}, 1)
+	case reqYield:
+		s.finish(t, response{}, 1)
+	case reqBarrier:
+		s.barrier(t, r.barrier)
+	default:
+		panic(fmt.Sprintf("core: unknown request kind %d", r.kind))
+	}
+}
+
+// finish delivers the response after lat cycles and pumps the thread's
+// next request.
+func (s *System) finish(t *Thread, resp response, lat sim.Cycle) {
+	s.Engine.Schedule(lat, func() {
+		t.nowCache = s.Engine.Now()
+		t.resp <- resp
+		r := <-t.req
+		s.dispatch(t, r)
+	})
+}
+
+func (s *System) barrier(t *Thread, b *Barrier) {
+	b.arrived++
+	if b.arrived < b.n {
+		b.waiting = append(b.waiting, t)
+		return
+	}
+	waiters := b.waiting
+	b.waiting = nil
+	b.arrived = 0
+	for _, w := range waiters {
+		s.finish(w, response{}, 1)
+	}
+	s.finish(t, response{}, 1)
+}
+
+// --- transaction begin/commit ------------------------------------------------
+
+func (s *System) begin(t *Thread, open bool) {
+	ctx := t.ctx
+	t.depth++
+	var saved *sig.Signature
+	if t.depth == 1 {
+		s.stats.Begins++
+		if t.ts == 0 {
+			// Timestamp = begin order; retained across aborts so older
+			// transactions eventually win (LogTM conflict resolution).
+			idx := uint64(ctx.Core*s.P.ThreadsPerCore + ctx.Thread)
+			t.ts = (uint64(s.Engine.Now())+1)<<8 | idx
+		}
+	}
+	lat := s.P.BeginLat
+	if t.depth > 1 {
+		s.stats.NestedBegins++
+		if s.P.CD == CDCacheBits {
+			// Original LogTM flattens nesting: no signature-save area.
+		} else {
+			// Nested begin: save the parent's signature into the new
+			// frame's signature-save area and snapshot the exact sets;
+			// the log filter is cleared so the child re-logs everything
+			// (§3.2).
+			saved = ctx.Sig.Clone()
+			t.exactStack = append(t.exactStack, exactSnap{
+				read:  cloneSet(t.exactRead),
+				write: cloneSet(t.exactWrite),
+			})
+			ctx.Filter.Clear()
+			lat += s.sigCopyLat(t.depth - 1)
+		}
+	}
+	t.Log.Push(nil, saved, open)
+	if t.depth == 1 {
+		s.trace(t, "begin ts=%d", t.ts)
+	} else {
+		s.trace(t, "begin nested depth=%d open=%v", t.depth, open)
+	}
+	s.finish(t, response{depth: t.depth}, lat)
+}
+
+// sigCopyLat models the synchronous copy of one signature pair to or
+// from a log frame header. Levels within the backup-signature depth
+// (§3.2 optimization) are free — hardware keeps S_backup copies.
+func (s *System) sigCopyLat(level int) sim.Cycle {
+	if level <= s.P.SigBackupCopies {
+		return 0
+	}
+	if s.P.SigSaveLat > 0 {
+		return s.P.SigSaveLat
+	}
+	bits := s.P.Signature.Bits
+	if bits <= 0 {
+		bits = 2048 // Perfect: model a 2 Kb software image
+	}
+	lat := sim.Cycle(2 * bits / 256) // read+write filters, 256 bits/cycle
+	if lat < 1 {
+		lat = 1
+	}
+	return lat
+}
+
+func (s *System) commit(t *Thread) {
+	if t.depth == 0 {
+		panic("core: commit outside a transaction: " + t.Name)
+	}
+	ctx := t.ctx
+	if t.depth > 1 {
+		frame := t.Log.Top()
+		s.stats.NestedCommits++
+		if frame.Open {
+			// Open commit: make the child's updates permanent and
+			// restore the parent's signature to release isolation on
+			// blocks only the child accessed.
+			s.stats.OpenCommits++
+			f, err := t.Log.CommitOpen()
+			if err != nil {
+				panic(err)
+			}
+			if err := ctx.Sig.CopyFrom(f.SavedSig); err != nil {
+				panic(err)
+			}
+			snap := t.exactStack[len(t.exactStack)-1]
+			t.exactStack = t.exactStack[:len(t.exactStack)-1]
+			t.exactRead = snap.read
+			t.exactWrite = snap.write
+			t.depth--
+			s.trace(t, "commit open depth=%d", t.depth+1)
+			// Restoring the parent's signature from the save area is
+			// synchronous unless a hardware backup copy exists.
+			s.finish(t, response{}, s.P.CommitLat+s.sigCopyLat(t.depth))
+			return
+		}
+		// Closed commit: merge into the parent (signature and exact
+		// sets stay as the accumulated union).
+		if _, err := t.Log.CommitClosed(); err != nil {
+			panic(err)
+		}
+		if s.P.CD != CDCacheBits {
+			t.exactStack = t.exactStack[:len(t.exactStack)-1]
+		}
+		t.depth--
+		s.trace(t, "commit closed depth=%d", t.depth+1)
+		s.finish(t, response{}, s.P.CommitLat)
+		return
+	}
+
+	// Outermost commit: a fast, local operation — clear signatures,
+	// reset the log pointer, nothing else (§2).
+	s.stats.Commits++
+	t.Commits++
+	rs, ws := len(t.exactRead), len(t.exactWrite)
+	s.stats.ReadSetSum += uint64(rs)
+	s.stats.WriteSetSum += uint64(ws)
+	if rs > s.stats.ReadSetMax {
+		s.stats.ReadSetMax = rs
+	}
+	if ws > s.stats.WriteSetMax {
+		s.stats.WriteSetMax = ws
+	}
+	t.depth = 0
+	t.ts = 0
+	t.possibleCycle = false
+	t.abortStreak = 0
+	t.consecAborts = 0
+	t.Log.Reset()
+	t.exactRead = make(map[addr.PAddr]bool)
+	t.exactWrite = make(map[addr.PAddr]bool)
+	t.exactStack = nil
+	ctx.Sig.ClearAll()
+	ctx.Filter.Clear()
+	if s.P.CD == CDCacheBits {
+		// Flash clear of the R/W bits and overflow flag (the cache-array
+		// operation LogTM-SE eliminates).
+		clear(ctx.rwRead)
+		clear(ctx.rwWrite)
+		ctx.overflow = false
+		s.stats.FlashClears++
+	}
+	if t.NeedsSummaryUpdate && s.OnOuterCommit != nil {
+		// Trap to the OS so it can push updated summary signatures to
+		// the process's active threads (§4.1).
+		s.OnOuterCommit(t)
+		t.NeedsSummaryUpdate = false
+	}
+	s.trace(t, "commit reads=%d writes=%d", rs, ws)
+	s.finish(t, response{}, s.P.CommitLat)
+}
+
+// --- memory access -----------------------------------------------------------
+
+func (s *System) access(t *Thread, r request, op sig.Op) {
+	ctx := t.ctx
+	pa := t.PT.Translate(r.va)
+
+	// Summary-signature check on every memory reference (§4.1): a hit
+	// means a conflict with a descheduled transaction. Stalling cannot
+	// resolve it, so a transactional requester traps and aborts; a
+	// non-transactional one backs off until the OS reschedules and
+	// commits the blocker.
+	if ctx.Summary != nil && ctx.Summary.Conflict(op, pa) {
+		s.stats.SummaryConflicts++
+		s.trace(t, "summary conflict %v %v", op, pa)
+		if t.InTx() && !t.escaped {
+			s.abort(t)
+			return
+		}
+		s.Engine.Schedule(8*s.P.StallRetryLat+s.jitter(), func() { s.access(t, r, op) })
+		return
+	}
+
+	// Same-core SMT check: conflicts with sibling thread contexts must
+	// be detected even on L1 hits (§2, multi-threaded cores).
+	if n, conflict := s.smtConflict(t, op, pa); conflict {
+		s.stats.SMTConflicts++
+		s.trace(t, "SMT conflict %v %v with thread %d", op, pa, n.Thread)
+		s.resolveNACK(t, r, op, []coherence.Nacker{n})
+		return
+	}
+
+	reqTS := t.ts
+	if t.escaped {
+		reqTS = 0 // escaped accesses are non-transactional requests
+	}
+	res := s.Coh.Access(coherence.Request{
+		Core: ctx.Core, Thread: ctx.Thread,
+		Op: op, Addr: pa, ASID: t.ASID, Timestamp: reqTS,
+	})
+	if res.NACK {
+		s.resolveNACK(t, r, op, res.Nackers)
+		return
+	}
+
+	lat := res.Latency
+	if t.InTx() && !t.escaped {
+		if s.P.CD == CDCacheBits {
+			// Original LogTM: set the R/W bit on the (now cached) line.
+			if op == sig.Read {
+				ctx.rwRead[pa.Block()] = true
+			} else {
+				ctx.rwWrite[pa.Block()] = true
+			}
+		} else {
+			ctx.Sig.Insert(op, pa)
+		}
+		t.exactInsert(op, pa)
+		if op == sig.Write {
+			lat += s.logStore(t, r.va, pa)
+		}
+	}
+
+	var resp response
+	switch r.kind {
+	case reqLoad:
+		resp.val = s.Mem.ReadWord(pa)
+	case reqStore:
+		s.Mem.WriteWord(pa, r.val)
+	case reqExchange:
+		resp.val = s.Mem.ReadWord(pa)
+		s.Mem.WriteWord(pa, r.val)
+	case reqFetchAdd:
+		resp.val = s.Mem.ReadWord(pa)
+		s.Mem.WriteWord(pa, resp.val+r.val)
+	}
+	s.finish(t, resp, lat)
+}
+
+// logStore writes an undo record for the first store to a block in the
+// current transaction, using the log filter to suppress redundant logging.
+func (s *System) logStore(t *Thread, va addr.VAddr, pa addr.PAddr) sim.Cycle {
+	ctx := t.ctx
+	if ctx.Filter.Contains(va) {
+		s.stats.LogFilterHits++
+		return 0
+	}
+	var old mem.Block
+	s.Mem.ReadBlock(pa, &old)
+	if err := t.Log.Append(txlog.UndoRecord{VAddr: va, PAddr: pa, Old: old}); err != nil {
+		panic(err)
+	}
+	ctx.Filter.Add(va)
+	s.stats.LogRecords++
+	if b := t.Log.Bytes(); b > s.stats.MaxLogBytes {
+		s.stats.MaxLogBytes = b
+	}
+	return s.P.LogWriteLat
+}
+
+// smtConflict checks the other thread contexts on the requester's core.
+func (s *System) smtConflict(t *Thread, op sig.Op, pa addr.PAddr) (coherence.Nacker, bool) {
+	ctx := t.ctx
+	for th := 0; th < s.P.ThreadsPerCore; th++ {
+		if th == ctx.Thread {
+			continue
+		}
+		sib := s.ctxs[ctx.Core][th]
+		o := sib.Cur
+		if o == nil || !o.InTx() || o.ASID != t.ASID {
+			continue
+		}
+		if !s.ctxConflict(sib, op, pa) {
+			continue
+		}
+		if t.ts != 0 && t.ts < o.ts {
+			o.possibleCycle = true
+		}
+		return coherence.Nacker{
+			Core: ctx.Core, Thread: th, Timestamp: o.ts,
+			FalsePositive: !o.exactConflict(op, pa),
+		}, true
+	}
+	return coherence.Nacker{}, false
+}
+
+// resolveNACK applies LogTM conflict resolution: stall and retry, but
+// abort on a possible deadlock cycle (NACKed by an older transaction
+// while having NACKed an older one ourselves).
+func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherence.Nacker) {
+	retry := r
+	retry.retrying = true
+	if !t.InTx() || t.escaped {
+		// Non-transactional (or escaped) requesters never abort: they
+		// back off and retry until the conflicting transaction ends.
+		s.stats.NonTxRetries++
+		s.Engine.Schedule(s.P.StallRetryLat+s.jitter(), func() { s.access(t, retry, op) })
+		return
+	}
+	s.stats.Stalls++
+	t.Stalls++
+	if !r.retrying {
+		s.trace(t, "stall %v %v nackers=%d", op, t.PT.Translate(r.va).Block(), len(nackers))
+	}
+	allFalse := true
+	olderNacker := false
+	for _, n := range nackers {
+		if !n.FalsePositive {
+			allFalse = false
+		}
+		if n.Timestamp != 0 && n.Timestamp < t.ts {
+			olderNacker = true
+		}
+	}
+	if allFalse {
+		s.stats.FalsePositiveStalls++
+	}
+	if !r.retrying {
+		s.stats.StallEpisodes++
+		if allFalse {
+			s.stats.FPEpisodes++
+		}
+	}
+	switch s.P.Resolution {
+	case ResolveRequesterAborts:
+		s.abort(t)
+		return
+	case ResolveYoungerAborts:
+		if olderNacker {
+			s.abort(t)
+			return
+		}
+	default: // ResolveStallAbort, LogTM's possible_cycle rule
+		if olderNacker && t.possibleCycle {
+			s.abort(t)
+			return
+		}
+	}
+	s.Engine.Schedule(s.P.StallRetryLat+s.jitter(), func() { s.access(t, retry, op) })
+}
+
+func (s *System) jitter() sim.Cycle {
+	return sim.Cycle(s.Engine.Rand().Int63n(8))
+}
+
+// abort runs the software abort handler: walk the innermost frame's undo
+// records LIFO (restoring through current translations, so relocated
+// pages restore correctly), release isolation by restoring or clearing
+// the signature, and tell the thread to unwind. Repeated aborts of the
+// same frame escalate one nesting level (the paper's handler repeats
+// until the conflict disappears or the outermost transaction aborts).
+func (s *System) abort(t *Thread) {
+	ctx := t.ctx
+	levels := 1
+	if s.P.CD == CDCacheBits {
+		// Original LogTM flattens nesting: any abort unwinds the whole
+		// transaction (no per-level signature save areas to restore).
+		levels = t.depth
+	} else if s.P.NestAbortEscalation > 0 && t.abortStreak >= s.P.NestAbortEscalation && t.depth > 1 {
+		levels = 2
+		t.abortStreak = 0
+	}
+	lat := s.P.AbortBaseLat
+	for i := 0; i < levels && t.depth > 0; i++ {
+		frame, err := t.Log.Abort(func(rec txlog.UndoRecord) {
+			pa := t.PT.Translate(rec.VAddr)
+			old := rec.Old
+			s.Mem.WriteBlock(pa, &old)
+		})
+		if err != nil {
+			panic(err)
+		}
+		lat += s.P.AbortPerRec * sim.Cycle(len(frame.Undo))
+		t.depth--
+		if t.depth == 0 {
+			ctx.Sig.ClearAll()
+			ctx.Filter.Clear()
+			if s.P.CD == CDCacheBits {
+				clear(ctx.rwRead)
+				clear(ctx.rwWrite)
+				ctx.overflow = false
+				s.stats.FlashClears++
+			}
+			t.Log.Reset()
+			t.exactRead = make(map[addr.PAddr]bool)
+			t.exactWrite = make(map[addr.PAddr]bool)
+			t.exactStack = nil
+			if t.NeedsSummaryUpdate && s.OnOuterCommit != nil {
+				// The outermost abort released isolation; trap so the
+				// OS drops this transaction's saved signature from the
+				// process summary.
+				s.OnOuterCommit(t)
+				t.NeedsSummaryUpdate = false
+			}
+		} else if s.P.CD == CDCacheBits {
+			// Flattened nesting: intermediate frames have no saved
+			// state to restore; keep unwinding to the outermost.
+			ctx.Filter.Clear()
+		} else {
+			if err := ctx.Sig.CopyFrom(frame.SavedSig); err != nil {
+				panic(err)
+			}
+			snap := t.exactStack[len(t.exactStack)-1]
+			t.exactStack = t.exactStack[:len(t.exactStack)-1]
+			t.exactRead = snap.read
+			t.exactWrite = snap.write
+			ctx.Filter.Clear()
+			lat += s.sigCopyLat(t.depth)
+		}
+	}
+	t.possibleCycle = false
+	t.abortStreak++
+	t.consecAborts++
+	s.stats.Aborts++
+	t.Aborts++
+	s.trace(t, "abort to depth=%d (streak %d)", t.depth, t.consecAborts)
+
+	// Randomized exponential backoff before the retry (bounded).
+	shift := uint(t.consecAborts)
+	if shift > s.P.BackoffCapShift {
+		shift = s.P.BackoffCapShift
+	}
+	backoff := s.P.StallRetryLat << shift
+	lat += sim.Cycle(s.Engine.Rand().Int63n(int64(backoff) + 1))
+	s.finish(t, response{abort: true, toDepth: t.depth}, lat)
+}
+
+// --- coherence.Hooks implementation ------------------------------------------
+
+// ctxConflict applies the configured conflict-detection hardware: the
+// context's signature (LogTM-SE) or its R/W cache bits plus the
+// conservative overflow flag (original LogTM).
+func (s *System) ctxConflict(ctx *Context, op sig.Op, a addr.PAddr) bool {
+	if s.P.CD == CDCacheBits {
+		if ctx.overflow {
+			// Overflowed transactions conservatively NACK every
+			// forwarded request (original LogTM's sticky/overflow rule).
+			s.stats.OverflowNACKs++
+			return true
+		}
+		a = a.Block()
+		if op == sig.Read {
+			return ctx.rwWrite[a]
+		}
+		return ctx.rwRead[a] || ctx.rwWrite[a]
+	}
+	return ctx.Sig.Conflict(op, a)
+}
+
+// SignatureCheck implements eager conflict detection at a target core: a
+// GETS tests the write signatures, a GETM tests read and write signatures
+// of every scheduled, in-transaction thread context whose address space
+// matches (the ASID filter prevents cross-process false conflicts, §2).
+func (s *System) SignatureCheck(targetCore int, req coherence.Request) []coherence.Nacker {
+	var ns []coherence.Nacker
+	for th := 0; th < s.P.ThreadsPerCore; th++ {
+		if targetCore == req.Core && th == req.Thread {
+			continue
+		}
+		ctx := s.ctxs[targetCore][th]
+		o := ctx.Cur
+		if o == nil || !o.InTx() || o.ASID != req.ASID {
+			continue
+		}
+		if !s.ctxConflict(ctx, req.Op, req.Addr) {
+			continue
+		}
+		if req.Timestamp != 0 && req.Timestamp < o.ts {
+			// We are NACKing an older transaction: a deadlock cycle is
+			// now possible (LogTM's possible_cycle flag).
+			o.possibleCycle = true
+		}
+		ns = append(ns, coherence.Nacker{
+			Core: targetCore, Thread: th, Timestamp: o.ts,
+			FalsePositive: !o.exactConflict(req.Op, req.Addr),
+		})
+	}
+	return ns
+}
+
+// MayBeInSignature conservatively reports whether a block may be covered
+// by any scheduled transaction's conflict-detection state on the core;
+// the protocol uses it for the sticky-state decision on L1 eviction. In
+// CDCacheBits mode the eviction of a marked line also destroys its R/W
+// bits, setting the context's overflow flag (original LogTM).
+func (s *System) MayBeInSignature(core int, a addr.PAddr) bool {
+	hit := false
+	for th := 0; th < s.P.ThreadsPerCore; th++ {
+		ctx := s.ctxs[core][th]
+		if ctx.Cur == nil || !ctx.Cur.InTx() {
+			continue
+		}
+		if s.P.CD == CDCacheBits {
+			b := a.Block()
+			if ctx.rwRead[b] || ctx.rwWrite[b] {
+				delete(ctx.rwRead, b)
+				delete(ctx.rwWrite, b)
+				ctx.overflow = true
+				hit = true
+			}
+			continue
+		}
+		if ctx.Sig.Conflict(sig.Write, a) {
+			hit = true
+		}
+	}
+	return hit
+}
+
+// InExactSet reports whether a block is truly in an active transaction's
+// read or write set on the core (victimization statistics).
+func (s *System) InExactSet(core int, a addr.PAddr) bool {
+	for th := 0; th < s.P.ThreadsPerCore; th++ {
+		o := s.ctxs[core][th].Cur
+		if o == nil || !o.InTx() {
+			continue
+		}
+		if o.exactConflict(sig.Write, a) {
+			return true
+		}
+	}
+	return false
+}
+
+var _ coherence.Hooks = (*System)(nil)
+
+// --- OS-model support ---------------------------------------------------------
+
+// Deschedule removes a parked thread from its context, saving its
+// signature to (conceptually) its log header. The context becomes idle;
+// its hardware signature and log filter are cleared for the next thread.
+func (s *System) Deschedule(t *Thread) {
+	if t.ctx == nil {
+		panic("core: Deschedule of unscheduled thread " + t.Name)
+	}
+	if s.P.CD == CDCacheBits && t.InTx() {
+		panic("core: original LogTM cannot context-switch mid-transaction (R/W bits are not software accessible): " + t.Name)
+	}
+	ctx := t.ctx
+	if t.InTx() {
+		t.SavedSig = ctx.Sig.Clone()
+	} else {
+		t.SavedSig = nil
+	}
+	ctx.Sig.ClearAll()
+	ctx.Filter.Clear()
+	ctx.Cur = nil
+	t.ctx = nil
+}
+
+// ScheduleOn installs a thread on an idle context, restoring its saved
+// signature into the hardware signature. If it was descheduled
+// mid-transaction its eventual commit must trap to the OS for a summary
+// recompute (NeedsSummaryUpdate).
+func (s *System) ScheduleOn(t *Thread, core, thread int) error {
+	if err := s.Place(t, core, thread); err != nil {
+		return err
+	}
+	if t.SavedSig != nil {
+		if err := t.ctx.Sig.CopyFrom(t.SavedSig); err != nil {
+			return err
+		}
+		t.SavedSig = nil
+		t.NeedsSummaryUpdate = true
+	}
+	return nil
+}
+
+// InstallSummary sets the summary signature checked on every memory
+// reference by the context. Pass nil to clear.
+func (s *System) InstallSummary(core, thread int, sum *sig.Signature) {
+	s.ctxs[core][thread].Summary = sum
+}

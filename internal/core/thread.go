@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math/rand"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/mem"
+	"logtmse/internal/sig"
+	"logtmse/internal/sim"
+	"logtmse/internal/txlog"
+)
+
+// Context is one hardware thread context: the per-context state Figure 1
+// adds for LogTM-SE (signatures, summary signature, log filter) plus the
+// currently scheduled software thread.
+type Context struct {
+	Core, Thread int
+	Sig          *sig.Signature
+	Summary      *sig.Signature
+	Filter       *txlog.Filter
+	Cur          *Thread // scheduled software thread, nil if idle
+
+	// Original-LogTM state (CDCacheBits): R/W bits per cached block and
+	// the conservative overflow flag set when a marked line is evicted.
+	rwRead   map[addr.PAddr]bool
+	rwWrite  map[addr.PAddr]bool
+	overflow bool
+}
+
+// Overflowed reports whether the context's original-LogTM overflow flag
+// is set (CDCacheBits mode only).
+func (c *Context) Overflowed() bool { return c.overflow }
+
+// reqKind enumerates the operations a thread can request of the engine.
+type reqKind int
+
+const (
+	reqLoad reqKind = iota
+	reqStore
+	reqExchange // atomic swap (lock primitive)
+	reqFetchAdd // atomic add, returns old value
+	reqCompute
+	reqBegin
+	reqCommit
+	reqWorkUnit
+	reqBarrier
+	reqYield
+	reqDone
+)
+
+type request struct {
+	kind    reqKind
+	va      addr.VAddr
+	val     uint64
+	cycles  sim.Cycle
+	open    bool
+	barrier *Barrier
+	// retrying marks a re-issued request after a NACK; stall *episodes*
+	// (Table 3's conflict metric) count only the first NACK of an access.
+	retrying bool
+}
+
+type response struct {
+	val     uint64
+	abort   bool
+	toDepth int // on abort: unwind transactions deeper than this depth
+	depth   int // on begin: resulting nesting depth
+}
+
+// txAbort is the panic value used to unwind a thread's call stack to the
+// transaction wrapper whose frame the hardware abort discarded.
+type txAbort struct{ toDepth int }
+
+// exactSnap snapshots the exact read/write sets at a nested begin so an
+// abort or open commit can restore them (they mirror the saved signature).
+type exactSnap struct {
+	read, write map[addr.PAddr]bool
+}
+
+// Thread is a software thread: virtualizable state only (log, page table,
+// transaction bookkeeping). It runs on at most one Context at a time and
+// can be descheduled, migrated and rescheduled by the OS model.
+type Thread struct {
+	ID   int
+	Name string
+	ASID addr.ASID
+	PT   *mem.PageTable
+	Log  txlog.Log
+
+	// Transaction state.
+	depth         int
+	ts            uint64 // timestamp (begin order); 0 = not in a transaction
+	possibleCycle bool
+	exactRead     map[addr.PAddr]bool
+	exactWrite    map[addr.PAddr]bool
+	exactStack    []exactSnap
+	abortStreak   int // consecutive aborts without progress (escalation)
+	consecAborts  int // consecutive aborts of the whole transaction (backoff)
+
+	// escaped marks an active escape action: accesses execute
+	// non-transactionally (no signature insert, no logging, survive
+	// aborts), as Nested LogTM's escape actions do for system calls,
+	// I/O and allocation inside transactions (used by BerkeleyDB, §6.2).
+	escaped bool
+
+	// SavedSig holds the signature saved to the log when the OS
+	// descheduled this thread mid-transaction (§4.1).
+	SavedSig *sig.Signature
+	// NeedsSummaryUpdate marks a rescheduled thread whose outer commit
+	// must trap to the OS to recompute summary signatures.
+	NeedsSummaryUpdate bool
+
+	ctx      *Context
+	req      chan request
+	resp     chan response
+	done     bool
+	parked   bool
+	pending  *request // request held while descheduled
+	nowCache sim.Cycle
+	rng      *rand.Rand
+
+	// Per-thread statistics.
+	Commits   uint64
+	Aborts    uint64
+	Stalls    uint64
+	WorkUnits uint64
+}
+
+// InTx reports whether the thread has an active transaction.
+func (t *Thread) InTx() bool { return t.depth > 0 }
+
+// Depth reports the current nesting depth.
+func (t *Thread) Depth() int { return t.depth }
+
+// Timestamp reports the transaction timestamp (0 outside a transaction).
+func (t *Thread) Timestamp() uint64 { return t.ts }
+
+// Context returns the hardware context the thread runs on (nil if
+// descheduled).
+func (t *Thread) Context() *Context { return t.ctx }
+
+// ReadSetSize reports the exact read-set size (blocks) of the active
+// transaction.
+func (t *Thread) ReadSetSize() int { return len(t.exactRead) }
+
+// WriteSetSize reports the exact write-set size (blocks) of the active
+// transaction.
+func (t *Thread) WriteSetSize() int { return len(t.exactWrite) }
+
+// Done reports whether the thread function has returned.
+func (t *Thread) Done() bool { return t.done }
+
+func (t *Thread) exactInsert(o sig.Op, a addr.PAddr) {
+	if o == sig.Read {
+		t.exactRead[a.Block()] = true
+	} else {
+		t.exactWrite[a.Block()] = true
+	}
+}
+
+func (t *Thread) exactConflict(o sig.Op, a addr.PAddr) bool {
+	a = a.Block()
+	if o == sig.Read {
+		return t.exactWrite[a]
+	}
+	return t.exactRead[a] || t.exactWrite[a]
+}
+
+func cloneSet(m map[addr.PAddr]bool) map[addr.PAddr]bool {
+	c := make(map[addr.PAddr]bool, len(m))
+	for k := range m {
+		c[k] = true
+	}
+	return c
+}
+
+// Barrier synchronizes n threads; construct with NewBarrier.
+type Barrier struct {
+	n       int
+	arrived int
+	waiting []*Thread
+}
+
+// NewBarrier returns a reusable barrier for n threads.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// API is the interface workload code uses to interact with the simulated
+// machine. All methods block (in simulated time) until the operation
+// completes; they may only be called from the thread's own function.
+type API struct {
+	t   *Thread
+	sys *System
+}
+
+func (a *API) roundTrip(r request) response {
+	a.t.req <- r
+	return <-a.t.resp
+}
+
+func (a *API) memOp(r request) uint64 {
+	resp := a.roundTrip(r)
+	if resp.abort {
+		panic(txAbort{toDepth: resp.toDepth})
+	}
+	return resp.val
+}
+
+// Load reads the word at virtual address va.
+func (a *API) Load(va addr.VAddr) uint64 {
+	return a.memOp(request{kind: reqLoad, va: va})
+}
+
+// Store writes the word at virtual address va.
+func (a *API) Store(va addr.VAddr, v uint64) {
+	a.memOp(request{kind: reqStore, va: va, val: v})
+}
+
+// Exchange atomically swaps the word at va with v and returns the old
+// value (the lock primitive of the baseline).
+func (a *API) Exchange(va addr.VAddr, v uint64) uint64 {
+	return a.memOp(request{kind: reqExchange, va: va, val: v})
+}
+
+// FetchAdd atomically adds v to the word at va and returns the previous
+// value. Inside a transaction it behaves as a store from the first cycle
+// (the block enters the write set directly), avoiding the read-then-
+// upgrade window a Load/Store pair would create on contended counters.
+func (a *API) FetchAdd(va addr.VAddr, v uint64) uint64 {
+	return a.memOp(request{kind: reqFetchAdd, va: va, val: v})
+}
+
+// Compute burns n cycles of local computation.
+func (a *API) Compute(n sim.Cycle) {
+	if n == 0 {
+		return
+	}
+	a.roundTrip(request{kind: reqCompute, cycles: n})
+}
+
+// WorkUnit marks the completion of one unit of work (throughput metric).
+func (a *API) WorkUnit() {
+	a.roundTrip(request{kind: reqWorkUnit})
+}
+
+// Barrier blocks until all b.n threads have arrived.
+func (a *API) Barrier(b *Barrier) {
+	a.roundTrip(request{kind: reqBarrier, barrier: b})
+}
+
+// Yield offers the OS model a preemption point outside memory operations.
+func (a *API) Yield() {
+	a.roundTrip(request{kind: reqYield})
+}
+
+// Now returns the simulated cycle as of the thread's last operation.
+func (a *API) Now() sim.Cycle { return a.t.nowCache }
+
+// Rand returns the thread's deterministic random source.
+func (a *API) Rand() *rand.Rand { return a.t.rng }
+
+// Thread returns the underlying thread (for identity and stats).
+func (a *API) Thread() *Thread { return a.t }
+
+// Escape runs fn as a non-transactional escape action inside (or
+// outside) a transaction: its loads and stores bypass the thread's own
+// conflict detection and version management — they are not added to the
+// signature, not logged, and survive a subsequent abort. Remote
+// transactions still isolate their own data from escaped accesses (the
+// accesses remain ordinary coherence requests). Transactions must not
+// begin or commit inside an escape action.
+func (a *API) Escape(fn func()) {
+	if a.t.escaped {
+		fn() // already escaped; idempotent
+		return
+	}
+	a.t.escaped = true
+	defer func() { a.t.escaped = false }()
+	fn()
+}
+
+// Transaction runs fn as a closed transaction, retrying on abort. Nested
+// calls create closed nested transactions with partial aborts: an abort
+// of the inner transaction re-runs only fn.
+func (a *API) Transaction(fn func()) { a.transaction(fn, false) }
+
+// OpenTransaction runs fn as an open nested transaction: its commit
+// releases isolation on blocks only it accessed and its updates are not
+// undone by an ancestor's abort.
+func (a *API) OpenTransaction(fn func()) { a.transaction(fn, true) }
+
+func (a *API) transaction(fn func(), open bool) {
+	if a.t.escaped {
+		panic("core: transaction begin inside an escape action: " + a.t.Name)
+	}
+	if open && a.sys.P.CD == CDCacheBits {
+		panic("core: original LogTM does not support open nesting: " + a.t.Name)
+	}
+	for {
+		begin := a.roundTrip(request{kind: reqBegin, open: open})
+		myDepth := begin.depth
+		if a.run(fn, myDepth) {
+			a.roundTrip(request{kind: reqCommit})
+			return
+		}
+		// Aborted: the engine already unwound the log to (at most) this
+		// frame; retry from the register checkpoint (= re-run fn).
+	}
+}
+
+// run executes fn, converting an abort panic targeted at this frame into
+// a false return; aborts targeting shallower frames keep unwinding.
+func (a *API) run(fn func(), myDepth int) (ok bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ab, is := r.(txAbort)
+		if !is {
+			panic(r)
+		}
+		if ab.toDepth < myDepth-1 {
+			panic(r) // outer frames were also discarded; keep unwinding
+		}
+		ok = false
+	}()
+	fn()
+	return true
+}

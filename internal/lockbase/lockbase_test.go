@@ -1,0 +1,193 @@
+package lockbase
+
+import (
+	"testing"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/core"
+	"logtmse/internal/sim"
+)
+
+func smallParams() core.Params {
+	p := core.DefaultParams()
+	p.Cores = 4
+	p.GridW, p.GridH = 2, 2
+	p.L1Bytes = 4 * 1024
+	p.L2Bytes = 64 * 1024
+	p.L2Banks = 4
+	return p
+}
+
+func run(t *testing.T, s *core.System) {
+	t.Helper()
+	s.Run()
+	if !s.AllDone() {
+		t.Fatalf("threads stuck: %v", s.Stuck())
+	}
+}
+
+func TestMutualExclusionCounter(t *testing.T) {
+	s, err := core.NewSystem(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := s.NewPageTable(1)
+	m := NewMutex(0x100)
+	counter := addr.VAddr(0x9000)
+	const perThread = 20
+	for c := 0; c < 4; c++ {
+		s.SpawnOn(c, 0, "w", 1, pt, func(a *core.API) {
+			for i := 0; i < perThread; i++ {
+				m.With(a, func() {
+					v := a.Load(counter)
+					a.Compute(10)
+					a.Store(counter, v+1)
+				})
+			}
+		})
+	}
+	run(t, s)
+	if got := s.Mem.ReadWord(pt.Translate(counter)); got != 4*perThread {
+		t.Errorf("counter = %d, want %d (lock broken)", got, 4*perThread)
+	}
+	// Locks must not involve the TM machinery.
+	if st := s.Stats(); st.Commits != 0 || st.Aborts != 0 {
+		t.Errorf("lock run produced TM stats: %+v", st)
+	}
+}
+
+func TestLockIsHeldExclusively(t *testing.T) {
+	s, err := core.NewSystem(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := s.NewPageTable(1)
+	m := NewMutex(0x200)
+	inCS := 0
+	maxInCS := 0
+	for c := 0; c < 4; c++ {
+		s.SpawnOn(c, 0, "w", 1, pt, func(a *core.API) {
+			for i := 0; i < 5; i++ {
+				m.Acquire(a)
+				inCS++
+				if inCS > maxInCS {
+					maxInCS = inCS
+				}
+				a.Compute(200)
+				inCS--
+				m.Release(a)
+			}
+		})
+	}
+	run(t, s)
+	if maxInCS != 1 {
+		t.Errorf("max threads in critical section = %d, want 1", maxInCS)
+	}
+}
+
+func TestTableLockPlacement(t *testing.T) {
+	tab := NewTable(0x1000, 8)
+	if tab.Len() != 8 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	a0 := tab.Lock(0).Addr
+	a1 := tab.Lock(1).Addr
+	if a1-a0 != addr.BlockBytes {
+		t.Errorf("locks not one block apart: %v %v", a0, a1)
+	}
+	if tab.Lock(8).Addr != a0 {
+		t.Errorf("lock index does not wrap")
+	}
+	if tab.Lock(3).Addr.BlockOffset() != 0 {
+		t.Errorf("lock not block-aligned")
+	}
+}
+
+func TestWithAllSortedNoDeadlock(t *testing.T) {
+	// Threads acquire overlapping lock sets in conflicting orders;
+	// WithAll must sort (and dedupe) so no deadlock occurs.
+	s, err := core.NewSystem(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := s.NewPageTable(1)
+	tab := NewTable(0x1000, 4)
+	shared := addr.VAddr(0x9000)
+	for c := 0; c < 4; c++ {
+		c := c
+		s.SpawnOn(c, 0, "w", 1, pt, func(a *core.API) {
+			for i := 0; i < 5; i++ {
+				idxs := []int{0, c % 4, (c + 1) % 4, (c + 1) % 4} // common lock 0 + duplicate
+				tab.WithAll(a, idxs, func() {
+					v := a.Load(shared)
+					a.Compute(20)
+					a.Store(shared, v+1)
+				})
+			}
+		})
+	}
+	run(t, s)
+	if got := s.Mem.ReadWord(pt.Translate(shared)); got != 20 {
+		t.Errorf("shared = %d, want 20", got)
+	}
+}
+
+func TestTicketLockMutualExclusion(t *testing.T) {
+	s, err := core.NewSystem(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := s.NewPageTable(1)
+	l := NewTicketLock(0x300)
+	counter := addr.VAddr(0x9100)
+	const perThread = 15
+	for c := 0; c < 4; c++ {
+		s.SpawnOn(c, 0, "w", 1, pt, func(a *core.API) {
+			for i := 0; i < perThread; i++ {
+				l.With(a, func() {
+					v := a.Load(counter)
+					a.Compute(10)
+					a.Store(counter, v+1)
+				})
+			}
+		})
+	}
+	run(t, s)
+	if got := s.Mem.ReadWord(pt.Translate(counter)); got != 4*perThread {
+		t.Errorf("counter = %d, want %d", got, 4*perThread)
+	}
+}
+
+func TestTicketLockFIFOOrder(t *testing.T) {
+	// Threads arriving in a known order must acquire in that order.
+	s, err := core.NewSystem(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := s.NewPageTable(1)
+	l := NewTicketLock(0x300)
+	var order []int
+	for c := 0; c < 4; c++ {
+		c := c
+		s.SpawnOn(c, 0, "w", 1, pt, func(a *core.API) {
+			a.Compute(core.DefaultParams().MemLat * sim.Cycle(c+1)) // staggered arrival
+			l.Acquire(a)
+			order = append(order, c)
+			a.Compute(3000) // hold long enough that all others queue
+			l.Release(a)
+		})
+	}
+	run(t, s)
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("acquisition order %v not FIFO", order)
+		}
+	}
+}
+
+func TestTicketLockBlocksSeparate(t *testing.T) {
+	l := NewTicketLock(0x345)
+	if l.next.Block() == l.serving.Block() {
+		t.Errorf("ticket and serving words share a block")
+	}
+}

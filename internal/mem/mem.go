@@ -1,0 +1,163 @@
+// Package mem models physical memory and per-process virtual memory.
+//
+// Physical memory stores data at cache-block granularity so the LogTM-SE
+// undo log can capture and restore whole blocks (eager version
+// management). Page tables translate virtual to physical pages and support
+// relocation, which drives the paper's §4.2 paging experiments: when a page
+// moves, transactional signatures must be re-populated with the new
+// physical addresses.
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"logtmse/internal/addr"
+)
+
+// Block is one cache block of data.
+type Block [addr.BlockBytes]byte
+
+// Memory is a sparse physical memory. It is safe for use from a single
+// simulation goroutine; a mutex guards the rare concurrent test uses.
+type Memory struct {
+	mu     sync.Mutex
+	blocks map[addr.PAddr]*Block
+}
+
+// NewMemory returns an empty physical memory.
+func NewMemory() *Memory {
+	return &Memory{blocks: make(map[addr.PAddr]*Block)}
+}
+
+func (m *Memory) block(a addr.PAddr) *Block {
+	b := a.Block()
+	blk, ok := m.blocks[b]
+	if !ok {
+		blk = new(Block)
+		m.blocks[b] = blk
+	}
+	return blk
+}
+
+// ReadBlock copies the block containing a into out.
+func (m *Memory) ReadBlock(a addr.PAddr, out *Block) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	*out = *m.block(a)
+}
+
+// WriteBlock replaces the block containing a with data.
+func (m *Memory) WriteBlock(a addr.PAddr, data *Block) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	*m.block(a) = *data
+}
+
+// ReadWord reads the 8-byte word at a (a must be word-aligned within its
+// block; misaligned addresses are rounded down).
+func (m *Memory) ReadWord(a addr.PAddr) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blk := m.block(a)
+	off := a.BlockOffset() &^ (addr.WordBytes - 1)
+	var v uint64
+	for i := 0; i < addr.WordBytes; i++ {
+		v |= uint64(blk[off+uint64(i)]) << (8 * uint(i))
+	}
+	return v
+}
+
+// WriteWord writes the 8-byte word at a.
+func (m *Memory) WriteWord(a addr.PAddr, v uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blk := m.block(a)
+	off := a.BlockOffset() &^ (addr.WordBytes - 1)
+	for i := 0; i < addr.WordBytes; i++ {
+		blk[off+uint64(i)] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// CopyPage copies PageBytes of data from physical page src to dst.
+func (m *Memory) CopyPage(src, dst addr.PAddr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src, dst = src.Page(), dst.Page()
+	for off := uint64(0); off < addr.PageBytes; off += addr.BlockBytes {
+		s := m.block(src + addr.PAddr(off))
+		d := m.block(dst + addr.PAddr(off))
+		*d = *s
+	}
+}
+
+// BlockCount reports how many distinct blocks have been touched.
+func (m *Memory) BlockCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blocks)
+}
+
+// PageTable maps one address space's virtual pages to physical pages.
+type PageTable struct {
+	ASID    addr.ASID
+	entries map[uint64]uint64 // virtual page number -> physical page number
+	nextPhy uint64            // simple bump allocator of physical pages
+	alloc   func() uint64     // overrideable physical page allocator
+}
+
+// NewPageTable returns a page table for the given address space. Physical
+// pages are handed out by the allocator alloc; if alloc is nil a private
+// bump allocator starting at page 1 is used.
+func NewPageTable(asid addr.ASID, alloc func() uint64) *PageTable {
+	pt := &PageTable{ASID: asid, entries: make(map[uint64]uint64), nextPhy: 1}
+	if alloc == nil {
+		alloc = func() uint64 {
+			p := pt.nextPhy
+			pt.nextPhy++
+			return p
+		}
+	}
+	pt.alloc = alloc
+	return pt
+}
+
+// Translate maps a virtual address to a physical address, allocating a
+// fresh physical page on first touch (demand allocation).
+func (pt *PageTable) Translate(v addr.VAddr) addr.PAddr {
+	vpn := v.PageIndex()
+	ppn, ok := pt.entries[vpn]
+	if !ok {
+		ppn = pt.alloc()
+		pt.entries[vpn] = ppn
+	}
+	return addr.PAddr(ppn<<addr.PageShift | v.PageOffset())
+}
+
+// Lookup is like Translate but reports whether the page is mapped instead
+// of allocating.
+func (pt *PageTable) Lookup(v addr.VAddr) (addr.PAddr, bool) {
+	ppn, ok := pt.entries[v.PageIndex()]
+	if !ok {
+		return 0, false
+	}
+	return addr.PAddr(ppn<<addr.PageShift | v.PageOffset()), true
+}
+
+// Relocate remaps the virtual page containing v to a new physical page and
+// returns the old and new physical page base addresses. The caller is
+// responsible for copying data (Memory.CopyPage) and for re-inserting
+// transactional signature state, per paper §4.2.
+func (pt *PageTable) Relocate(v addr.VAddr) (oldBase, newBase addr.PAddr, err error) {
+	vpn := v.PageIndex()
+	ppn, ok := pt.entries[vpn]
+	if !ok {
+		return 0, 0, fmt.Errorf("mem: relocate of unmapped page %v", v.Page())
+	}
+	np := pt.alloc()
+	pt.entries[vpn] = np
+	return addr.PAddr(ppn << addr.PageShift), addr.PAddr(np << addr.PageShift), nil
+}
+
+// MappedPages reports the number of mapped virtual pages.
+func (pt *PageTable) MappedPages() int { return len(pt.entries) }

@@ -1,0 +1,147 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"logtmse/internal/addr"
+)
+
+func TestWordRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(a uint64, v uint64) bool {
+		pa := addr.PAddr(a).Block() + addr.PAddr(a%8)*8 // word-aligned inside block
+		m.WriteWord(pa, v)
+		return m.ReadWord(pa) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsWithinBlockIndependent(t *testing.T) {
+	m := NewMemory()
+	base := addr.PAddr(0x1000)
+	for i := 0; i < 8; i++ {
+		m.WriteWord(base+addr.PAddr(i*8), uint64(100+i))
+	}
+	for i := 0; i < 8; i++ {
+		if got := m.ReadWord(base + addr.PAddr(i*8)); got != uint64(100+i) {
+			t.Errorf("word %d = %d, want %d", i, got, 100+i)
+		}
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	m := NewMemory()
+	var in, out Block
+	for i := range in {
+		in[i] = byte(i * 3)
+	}
+	m.WriteBlock(0x2040, &in)
+	m.ReadBlock(0x2047, &out) // any address within the block
+	if in != out {
+		t.Errorf("block round trip mismatch")
+	}
+}
+
+func TestUntouchedMemoryIsZero(t *testing.T) {
+	m := NewMemory()
+	if v := m.ReadWord(0xdead00); v != 0 {
+		t.Errorf("fresh memory = %d, want 0", v)
+	}
+}
+
+func TestCopyPage(t *testing.T) {
+	m := NewMemory()
+	src := addr.PAddr(1 << addr.PageShift)
+	dst := addr.PAddr(5 << addr.PageShift)
+	for off := uint64(0); off < addr.PageBytes; off += 8 {
+		m.WriteWord(src+addr.PAddr(off), off^0xabcdef)
+	}
+	m.CopyPage(src, dst)
+	for off := uint64(0); off < addr.PageBytes; off += 8 {
+		if got := m.ReadWord(dst + addr.PAddr(off)); got != off^0xabcdef {
+			t.Fatalf("copied page differs at offset %d: %d", off, got)
+		}
+	}
+}
+
+func TestPageTableDemandAllocation(t *testing.T) {
+	pt := NewPageTable(1, nil)
+	v := addr.VAddr(0x4_2345)
+	p1 := pt.Translate(v)
+	p2 := pt.Translate(v + 8)
+	if p1.Page() != p2.Page() {
+		t.Errorf("same virtual page mapped to different physical pages: %v vs %v", p1, p2)
+	}
+	if p1.PageOffset() != v.PageOffset() {
+		t.Errorf("offset not preserved: %d vs %d", p1.PageOffset(), v.PageOffset())
+	}
+	other := pt.Translate(addr.VAddr(0x9_0000))
+	if other.Page() == p1.Page() {
+		t.Errorf("distinct virtual pages share a physical page")
+	}
+	if pt.MappedPages() != 2 {
+		t.Errorf("MappedPages = %d, want 2", pt.MappedPages())
+	}
+}
+
+func TestPageTableLookup(t *testing.T) {
+	pt := NewPageTable(1, nil)
+	if _, ok := pt.Lookup(0x1234); ok {
+		t.Errorf("Lookup of unmapped page succeeded")
+	}
+	p := pt.Translate(0x1234)
+	got, ok := pt.Lookup(0x1234)
+	if !ok || got != p {
+		t.Errorf("Lookup = %v,%v; want %v,true", got, ok, p)
+	}
+}
+
+func TestRelocatePreservesDataAfterCopy(t *testing.T) {
+	m := NewMemory()
+	pt := NewPageTable(1, nil)
+	v := addr.VAddr(0x7_0100)
+	pa := pt.Translate(v)
+	m.WriteWord(pa, 777)
+
+	oldBase, newBase, err := pt.Relocate(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldBase != pa.Page() {
+		t.Errorf("oldBase = %v, want %v", oldBase, pa.Page())
+	}
+	m.CopyPage(oldBase, newBase)
+
+	pa2, ok := pt.Lookup(v)
+	if !ok {
+		t.Fatal("page unmapped after relocate")
+	}
+	if pa2.Page() == pa.Page() {
+		t.Errorf("relocate did not move the page")
+	}
+	if got := m.ReadWord(pa2); got != 777 {
+		t.Errorf("data lost across relocation: %d", got)
+	}
+}
+
+func TestRelocateUnmappedFails(t *testing.T) {
+	pt := NewPageTable(1, nil)
+	if _, _, err := pt.Relocate(0x123456); err == nil {
+		t.Errorf("Relocate of unmapped page succeeded")
+	}
+}
+
+func TestSharedAllocatorNoOverlap(t *testing.T) {
+	next := uint64(1)
+	alloc := func() uint64 { p := next; next++; return p }
+	ptA := NewPageTable(1, alloc)
+	ptB := NewPageTable(2, alloc)
+	a := ptA.Translate(0x1000)
+	b := ptB.Translate(0x1000)
+	if a.Page() == b.Page() {
+		t.Errorf("two address spaces mapped the same physical page")
+	}
+}

@@ -1,0 +1,84 @@
+package network
+
+import "testing"
+
+func TestTraverseAtEqualsLatencyWithoutContention(t *testing.T) {
+	g := New(4, 3, 3, 16, 16)
+	for a := 0; a < g.Nodes(); a++ {
+		for b := 0; b < g.Nodes(); b++ {
+			if got, want := g.TraverseAt(a, b, 100), g.Latency(a, b); got != want {
+				t.Fatalf("TraverseAt(%d,%d) = %d, want uncontended %d", a, b, got, want)
+			}
+		}
+	}
+	if g.Contended() {
+		t.Errorf("grid contended by default")
+	}
+}
+
+func TestRouteIsMinimalAndDimensionOrder(t *testing.T) {
+	g := New(4, 3, 3, 16, 16)
+	for a := 0; a < g.Nodes(); a++ {
+		for b := 0; b < g.Nodes(); b++ {
+			path := g.route(a, b)
+			if len(path) != g.Hops(a, b) {
+				t.Fatalf("route %d->%d has %d hops, want %d", a, b, len(path), g.Hops(a, b))
+			}
+			if len(path) > 0 && path[len(path)-1] != b {
+				t.Fatalf("route %d->%d ends at %d", a, b, path[len(path)-1])
+			}
+			// Each step moves to an adjacent router.
+			prev := a
+			for _, r := range path {
+				if g.Hops(prev, r) != 1 {
+					t.Fatalf("route %d->%d jumps %d->%d", a, b, prev, r)
+				}
+				prev = r
+			}
+		}
+	}
+}
+
+func TestContentionQueuesHotRouter(t *testing.T) {
+	g := New(4, 3, 3, 16, 16)
+	g.EnableContention(4)
+	// First message at t=0 is unqueued.
+	first := g.TraverseAt(0, 3, 0)
+	if first != g.Latency(0, 3) {
+		t.Fatalf("first message latency = %d, want %d", first, g.Latency(0, 3))
+	}
+	// A burst through the same path queues progressively.
+	prev := first
+	for i := 0; i < 5; i++ {
+		got := g.TraverseAt(0, 3, 0)
+		if got <= prev {
+			t.Fatalf("burst message %d latency %d did not grow (prev %d)", i, got, prev)
+		}
+		prev = got
+	}
+	// Traffic on a disjoint path is unaffected.
+	if got := g.TraverseAt(8, 11, 0); got != g.Latency(8, 11) {
+		t.Errorf("disjoint path queued: %d vs %d", got, g.Latency(8, 11))
+	}
+}
+
+func TestContentionDrains(t *testing.T) {
+	g := New(2, 2, 3, 4, 4)
+	g.EnableContention(10)
+	g.TraverseAt(0, 3, 0)
+	// Long after the burst, the path is free again.
+	if got := g.TraverseAt(0, 3, 10_000); got != g.Latency(0, 3) {
+		t.Errorf("path still queued after drain: %d", got)
+	}
+}
+
+func TestEnableContentionClampsOccupancy(t *testing.T) {
+	g := New(2, 2, 3, 4, 4)
+	g.EnableContention(0)
+	if !g.Contended() {
+		t.Errorf("contention not enabled")
+	}
+	if g.occupancy != 1 {
+		t.Errorf("occupancy = %d, want clamped 1", g.occupancy)
+	}
+}

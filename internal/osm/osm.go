@@ -1,0 +1,387 @@
+// Package osm models the operating-system mechanisms LogTM-SE relies on
+// for virtualization (paper §4): a time-slice thread scheduler that
+// supports more software threads than hardware contexts, context
+// switching and migration that save/restore signatures through the log,
+// per-process summary signatures pushed to every running context, and
+// virtual-memory paging with signature re-insertion after relocation.
+package osm
+
+import (
+	"fmt"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/core"
+	"logtmse/internal/mem"
+	"logtmse/internal/sig"
+	"logtmse/internal/sim"
+	"logtmse/internal/txlog"
+)
+
+// Stats counts OS-level virtualization events.
+type Stats struct {
+	ContextSwitches uint64
+	Migrations      uint64
+	SummaryInstalls uint64
+	SummaryCommits  uint64 // outer commits that trapped for a summary recompute
+	PageRelocations uint64
+	SigBlocksMoved  uint64 // signature blocks re-inserted by paging
+}
+
+// Process is an address space plus its threads and the software-maintained
+// summary-signature state.
+type Process struct {
+	ASID addr.ASID
+	Name string
+	PT   *mem.PageTable
+
+	threads []*core.Thread
+	// savedSigs holds the saved signature of every descheduled
+	// in-transaction thread; the summary signature for a context running
+	// thread t is the union of all entries except t's own (§4.1).
+	savedSigs map[*core.Thread]*sig.Signature
+	// counting incrementally maintains that union (the paper's footnote
+	// 1, VTM-XF style): adds on deschedule, removes on commit/abort.
+	counting *sig.CountingSignature
+}
+
+type threadState int
+
+const (
+	stateNew threadState = iota
+	stateRunning
+	stateReady // descheduled (parked) or not yet started, waiting for a context
+	stateDone
+)
+
+type threadInfo struct {
+	proc        *Process
+	state       threadState
+	scheduledAt sim.Cycle
+	lastCore    int
+}
+
+// Scheduler multiplexes software threads onto the machine's hardware
+// thread contexts with round-robin time slicing.
+type Scheduler struct {
+	sys     *core.System
+	quantum sim.Cycle
+
+	// DeferInTxFactor implements the paper's preemption control (§4.1):
+	// a thread inside a transaction is not preempted at its quantum but
+	// only after quantum*DeferInTxFactor cycles (0 disables deferral and
+	// preempts transactions eagerly).
+	DeferInTxFactor sim.Cycle
+
+	procs map[addr.ASID]*Process
+	info  map[*core.Thread]*threadInfo
+	runq  []*core.Thread
+	free  [][2]int // idle contexts (core, thread)
+	stats Stats
+
+	nextASID addr.ASID
+}
+
+// New builds a scheduler over sys. quantum is the time slice; 0 disables
+// preemption (threads run to completion, still supporting explicit
+// deschedule/paging operations).
+func New(sys *core.System, quantum sim.Cycle) *Scheduler {
+	s := &Scheduler{
+		sys:             sys,
+		quantum:         quantum,
+		DeferInTxFactor: 4,
+		procs:           make(map[addr.ASID]*Process),
+		info:            make(map[*core.Thread]*threadInfo),
+		nextASID:        1,
+	}
+	for c := 0; c < sys.P.Cores; c++ {
+		for th := 0; th < sys.P.ThreadsPerCore; th++ {
+			s.free = append(s.free, [2]int{c, th})
+		}
+	}
+	sys.PreemptCheck = s.preemptCheck
+	sys.OnPreempt = s.onPreempt
+	sys.OnOuterCommit = s.onOuterCommit
+	sys.OnThreadDone = s.onThreadDone
+	return s
+}
+
+// Stats returns the OS event counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// NewProcess creates an address space.
+func (s *Scheduler) NewProcess(name string) *Process {
+	asid := s.nextASID
+	s.nextASID++
+	counting, err := sig.NewCountingSignature(s.sys.P.Signature)
+	if err != nil {
+		panic(err)
+	}
+	p := &Process{
+		ASID:      asid,
+		Name:      name,
+		PT:        s.sys.NewPageTable(asid),
+		savedSigs: make(map[*core.Thread]*sig.Signature),
+		counting:  counting,
+	}
+	s.procs[asid] = p
+	return p
+}
+
+// Spawn creates a thread in process p; it becomes runnable and is placed
+// on a context immediately if one is free.
+func (s *Scheduler) Spawn(p *Process, name string, fn func(*core.API)) *core.Thread {
+	t := s.sys.Spawn(fmt.Sprintf("%s/%s", p.Name, name), p.ASID, p.PT, fn)
+	p.threads = append(p.threads, t)
+	s.info[t] = &threadInfo{proc: p, state: stateNew, lastCore: -1}
+	s.makeRunnable(t)
+	return t
+}
+
+func (s *Scheduler) makeRunnable(t *core.Thread) {
+	if len(s.free) > 0 {
+		slot := s.free[0]
+		s.free = s.free[1:]
+		s.place(t, slot[0], slot[1])
+		return
+	}
+	s.runq = append(s.runq, t)
+}
+
+func (s *Scheduler) place(t *core.Thread, c, th int) {
+	ti := s.info[t]
+	if ti.lastCore >= 0 && ti.lastCore != c {
+		s.stats.Migrations++
+	}
+	wasNew := ti.state == stateNew
+	if err := s.sys.ScheduleOn(t, c, th); err != nil {
+		panic(err)
+	}
+	ti.state = stateRunning
+	ti.scheduledAt = s.sys.Engine.Now()
+	ti.lastCore = c
+	s.installSummaries(ti.proc)
+	if wasNew {
+		s.sys.Start(t)
+	} else {
+		s.sys.Resume(t)
+	}
+}
+
+func (s *Scheduler) preemptCheck(t *core.Thread) bool {
+	if s.quantum == 0 || len(s.runq) == 0 {
+		return false
+	}
+	ti := s.info[t]
+	ran := s.sys.Engine.Now() - ti.scheduledAt
+	if ran < s.quantum {
+		return false
+	}
+	if t.InTx() {
+		// Original LogTM cannot save R/W cache bits at all: never
+		// preempt a transaction under CDCacheBits.
+		if s.sys.P.CD == core.CDCacheBits {
+			return false
+		}
+		// Preemption control: defer switches inside a transaction
+		// (saving and summarizing signatures is expensive), but only up
+		// to a bound — long transactions must still be switchable.
+		if s.DeferInTxFactor > 0 && ran < s.quantum*s.DeferInTxFactor {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Scheduler) onPreempt(t *core.Thread) {
+	ti := s.info[t]
+	ctx := t.Context()
+	slot := [2]int{ctx.Core, ctx.Thread}
+	s.sys.Deschedule(t)
+	s.stats.ContextSwitches++
+	// Save the signature (§4.1): merge into the process summary state.
+	if t.SavedSig != nil {
+		s.saveSignature(ti.proc, t)
+		s.installSummaries(ti.proc)
+	}
+	ti.state = stateReady
+	s.runq = append(s.runq, t)
+	// Hand the context to the next runnable thread.
+	next := s.runq[0]
+	s.runq = s.runq[1:]
+	s.place(next, slot[0], slot[1])
+}
+
+// saveSignature records a descheduled transaction's signature in the
+// process summary state. A thread preempted more than once in the same
+// transaction replaces its earlier snapshot — the stale contribution
+// must leave the counting signature first, or the summary would grow
+// monotonically and eventually block the whole process.
+func (s *Scheduler) saveSignature(p *Process, t *core.Thread) {
+	if old, ok := p.savedSigs[t]; ok {
+		if err := p.counting.Remove(old); err != nil {
+			panic(err)
+		}
+	}
+	saved := t.SavedSig.Clone()
+	p.savedSigs[t] = saved
+	if err := p.counting.Add(saved); err != nil {
+		panic(err)
+	}
+}
+
+// onOuterCommit implements the commit trap: the committed transaction's
+// saved signature leaves the summary, and fresh summaries are pushed to
+// the process's running contexts.
+func (s *Scheduler) onOuterCommit(t *core.Thread) {
+	ti := s.info[t]
+	if saved, ok := ti.proc.savedSigs[t]; ok {
+		if err := ti.proc.counting.Remove(saved); err != nil {
+			panic(err)
+		}
+		delete(ti.proc.savedSigs, t)
+	}
+	s.stats.SummaryCommits++
+	s.installSummaries(ti.proc)
+}
+
+func (s *Scheduler) onThreadDone(t *core.Thread) {
+	ti := s.info[t]
+	ti.state = stateDone
+	ctx := t.Context()
+	if ctx == nil {
+		return
+	}
+	slot := [2]int{ctx.Core, ctx.Thread}
+	s.sys.Deschedule(t)
+	if len(s.runq) > 0 {
+		next := s.runq[0]
+		s.runq = s.runq[1:]
+		s.place(next, slot[0], slot[1])
+		return
+	}
+	s.free = append(s.free, slot)
+}
+
+// installSummaries installs the summary signature on every context
+// running a thread of process p, built incrementally from the counting
+// signature. The summary for thread t excludes t's own saved signature,
+// so a rescheduled thread does not conflict with its own read/write sets.
+func (s *Scheduler) installSummaries(p *Process) {
+	for _, t := range p.threads {
+		ctx := t.Context()
+		if ctx == nil {
+			continue
+		}
+		var sum *sig.Signature
+		if p.counting.Contributors() > 0 {
+			var err error
+			if saved, ok := p.savedSigs[t]; ok {
+				sum, err = p.counting.SnapshotExcluding(saved)
+			} else {
+				sum, err = p.counting.Snapshot()
+			}
+			if err != nil {
+				panic(err)
+			}
+			if sum.Empty() {
+				sum = nil
+			}
+		}
+		s.sys.InstallSummary(ctx.Core, ctx.Thread, sum)
+		s.stats.SummaryInstalls++
+	}
+}
+
+// RelocatePage implements §4.2: move the virtual page containing va of
+// process p to a fresh physical page, copy its contents, and re-insert
+// every (possibly) covered block of the page into the signatures of the
+// process's active and descheduled transactions under the new physical
+// address.
+func (s *Scheduler) RelocatePage(p *Process, va addr.VAddr) error {
+	oldBase, newBase, err := p.PT.Relocate(va)
+	if err != nil {
+		return err
+	}
+	s.sys.Mem.CopyPage(oldBase, newBase)
+	s.stats.PageRelocations++
+	// Active transactions: walk the hardware signatures, plus the
+	// signature-save areas of nested frames in the log (§4.2 explicitly
+	// includes "signatures in the log from nesting" — an inner abort
+	// must restore a parent signature that covers the new addresses).
+	for _, t := range p.threads {
+		if ctx := t.Context(); ctx != nil && t.InTx() {
+			r, w := ctx.Sig.RelocatePage(oldBase, newBase)
+			s.stats.SigBlocksMoved += uint64(r + w)
+			t.Log.ForEachFrame(func(f *txlog.Frame) {
+				if f.SavedSig != nil {
+					fr, fw := f.SavedSig.RelocatePage(oldBase, newBase)
+					s.stats.SigBlocksMoved += uint64(fr + fw)
+				}
+			})
+		}
+	}
+	// Descheduled transactions: update their saved signatures (the paper
+	// queues a signal to do this before they resume; updating the saved
+	// copy now is equivalent) and refresh the summaries built from them.
+	// The counting structure sees the change as a remove/re-add.
+	changed := false
+	for _, saved := range p.savedSigs {
+		if err := p.counting.Remove(saved); err != nil {
+			return err
+		}
+		r, w := saved.RelocatePage(oldBase, newBase)
+		if err := p.counting.Add(saved); err != nil {
+			return err
+		}
+		s.stats.SigBlocksMoved += uint64(r + w)
+		if r+w > 0 {
+			changed = true
+		}
+	}
+	if changed {
+		s.installSummaries(p)
+	}
+	return nil
+}
+
+// DeschedulePlusMigrate forcibly preempts a running thread at its next
+// request boundary satisfying when (nil = the very next boundary) and
+// reschedules it on the given context after delay cycles (used by the
+// migration experiments and examples). Pass (*core.Thread).InTx as when
+// to force a mid-transaction context switch.
+func (s *Scheduler) DeschedulePlusMigrate(t *core.Thread, c, th int, delay sim.Cycle, when func(*core.Thread) bool) {
+	fired := false
+	prev := s.sys.PreemptCheck
+	s.sys.PreemptCheck = func(u *core.Thread) bool {
+		if u == t && !fired && (when == nil || when(u)) {
+			return true
+		}
+		if prev != nil {
+			return prev(u)
+		}
+		return false
+	}
+	prevPre := s.sys.OnPreempt
+	s.sys.OnPreempt = func(u *core.Thread) {
+		if u != t || fired {
+			if prevPre != nil {
+				prevPre(u)
+			}
+			return
+		}
+		fired = true
+		ti := s.info[t]
+		s.sys.Deschedule(t)
+		s.stats.ContextSwitches++
+		if t.SavedSig != nil {
+			s.saveSignature(ti.proc, t)
+			s.installSummaries(ti.proc)
+		}
+		ti.state = stateReady
+		s.sys.PreemptCheck = prev
+		s.sys.OnPreempt = prevPre
+		s.sys.Engine.Schedule(delay, func() {
+			s.place(t, c, th)
+		})
+	}
+}

@@ -1,0 +1,275 @@
+package sig
+
+import (
+	"fmt"
+
+	"logtmse/internal/addr"
+)
+
+// CountingFilter tracks, per signature bit, how many contributors set it —
+// the data structure the paper's footnote 1 suggests (similar to VTM's XF)
+// so the OS can maintain summary signatures incrementally: removing a
+// committed transaction's saved signature is a decrement per bit instead
+// of a recompute over every descheduled thread.
+type CountingFilter struct {
+	cfg Config
+	// counts is indexed like the underlying bit vector(s); for
+	// DoubleBitSelect the two banks are concatenated.
+	counts []uint32
+	// perfect tracks exact block addresses when cfg.Kind == KindPerfect.
+	perfect map[addr.PAddr]uint32
+	n       int // contributors currently added
+}
+
+// NewCountingFilter builds a counting filter compatible with filters of
+// the given config.
+func NewCountingFilter(cfg Config) (*CountingFilter, error) {
+	if _, err := cfg.New(); err != nil {
+		return nil, err
+	}
+	c := &CountingFilter{cfg: cfg}
+	if cfg.Kind == KindPerfect {
+		c.perfect = make(map[addr.PAddr]uint32)
+	} else {
+		c.counts = make([]uint32, cfg.Bits)
+	}
+	return c, nil
+}
+
+// bitIndices enumerates the set bit positions of a filter compatible with
+// cfg (banked filters use a flat index space).
+func bitIndices(f Filter) ([]int, error) {
+	var idx []int
+	switch v := f.(type) {
+	case *bitSelect:
+		for i := 0; i < 1<<v.n; i++ {
+			if v.bitsVec.get(uint64(i)) {
+				idx = append(idx, i)
+			}
+		}
+	case *doubleBitSelect:
+		lo := 1 << v.nLo
+		for i := 0; i < lo; i++ {
+			if v.lo.get(uint64(i)) {
+				idx = append(idx, i)
+			}
+		}
+		for i := 0; i < 1<<v.nHi; i++ {
+			if v.hi.get(uint64(i)) {
+				idx = append(idx, lo+i)
+			}
+		}
+	case *h3:
+		for i := 0; i < 1<<v.n; i++ {
+			if v.bitsVec.get(uint64(i)) {
+				idx = append(idx, i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sig: filter kind %v has no bit representation", f.Kind())
+	}
+	return idx, nil
+}
+
+func (c *CountingFilter) compatible(f Filter) error {
+	if f.Kind() != c.cfg.Kind {
+		return fmt.Errorf("sig: counting filter of kind %v given %v", c.cfg.Kind, f.Kind())
+	}
+	if c.cfg.Kind != KindPerfect && f.SizeBits() != c.cfg.Bits {
+		return fmt.Errorf("sig: counting filter of %d bits given %d", c.cfg.Bits, f.SizeBits())
+	}
+	return nil
+}
+
+// Add merges one contributor's filter into the counts.
+func (c *CountingFilter) Add(f Filter) error {
+	if err := c.compatible(f); err != nil {
+		return err
+	}
+	if c.cfg.Kind == KindPerfect {
+		for a := range f.(*perfect).set {
+			c.perfect[a]++
+		}
+		c.n++
+		return nil
+	}
+	idx, err := bitIndices(f)
+	if err != nil {
+		return err
+	}
+	for _, i := range idx {
+		c.counts[i]++
+	}
+	c.n++
+	return nil
+}
+
+// Remove subtracts a previously added contributor. It fails on underflow
+// (removing a filter that was never added, or after its bits changed).
+func (c *CountingFilter) Remove(f Filter) error {
+	if err := c.compatible(f); err != nil {
+		return err
+	}
+	if c.cfg.Kind == KindPerfect {
+		for a := range f.(*perfect).set {
+			if c.perfect[a] == 0 {
+				return fmt.Errorf("sig: counting underflow at %v", a)
+			}
+			if c.perfect[a]--; c.perfect[a] == 0 {
+				delete(c.perfect, a)
+			}
+		}
+		c.n--
+		return nil
+	}
+	idx, err := bitIndices(f)
+	if err != nil {
+		return err
+	}
+	for _, i := range idx {
+		if c.counts[i] == 0 {
+			return fmt.Errorf("sig: counting underflow at bit %d", i)
+		}
+	}
+	for _, i := range idx {
+		c.counts[i]--
+	}
+	c.n--
+	return nil
+}
+
+// Contributors reports how many filters are currently merged in.
+func (c *CountingFilter) Contributors() int { return c.n }
+
+// Snapshot materializes the current union as a plain filter (the summary
+// the hardware checks).
+func (c *CountingFilter) Snapshot() (Filter, error) {
+	f, err := c.cfg.New()
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Kind == KindPerfect {
+		p := f.(*perfect)
+		for a := range c.perfect {
+			p.set[a] = struct{}{}
+		}
+		return f, nil
+	}
+	switch v := f.(type) {
+	case *bitSelect:
+		for i, n := range c.counts {
+			if n > 0 {
+				v.bitsVec.set(uint64(i))
+			}
+		}
+	case *h3:
+		for i, n := range c.counts {
+			if n > 0 {
+				v.bitsVec.set(uint64(i))
+			}
+		}
+	case *doubleBitSelect:
+		lo := 1 << v.nLo
+		for i, n := range c.counts {
+			if n == 0 {
+				continue
+			}
+			if i < lo {
+				v.lo.set(uint64(i))
+			} else {
+				v.hi.set(uint64(i - lo))
+			}
+		}
+	}
+	return f, nil
+}
+
+// Clone returns an independent copy (used to compute a summary that
+// excludes one contributor: clone, remove, snapshot).
+func (c *CountingFilter) Clone() *CountingFilter {
+	d := &CountingFilter{cfg: c.cfg, n: c.n}
+	if c.perfect != nil {
+		d.perfect = make(map[addr.PAddr]uint32, len(c.perfect))
+		for a, n := range c.perfect {
+			d.perfect[a] = n
+		}
+	}
+	if c.counts != nil {
+		d.counts = append([]uint32(nil), c.counts...)
+	}
+	return d
+}
+
+// CountingSignature pairs counting filters for the read and write sets.
+type CountingSignature struct {
+	read, write *CountingFilter
+}
+
+// NewCountingSignature builds a counting signature for summaries over
+// signatures of the given config.
+func NewCountingSignature(cfg Config) (*CountingSignature, error) {
+	r, err := NewCountingFilter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewCountingFilter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CountingSignature{read: r, write: w}, nil
+}
+
+// Add merges a saved signature (a descheduled transaction).
+func (c *CountingSignature) Add(s *Signature) error {
+	if err := c.read.Add(s.read); err != nil {
+		return err
+	}
+	return c.write.Add(s.write)
+}
+
+// Remove subtracts a saved signature (the transaction committed/aborted).
+func (c *CountingSignature) Remove(s *Signature) error {
+	if err := c.read.Remove(s.read); err != nil {
+		return err
+	}
+	return c.write.Remove(s.write)
+}
+
+// Contributors reports the number of merged signatures.
+func (c *CountingSignature) Contributors() int { return c.read.Contributors() }
+
+// Snapshot materializes the summary signature.
+func (c *CountingSignature) Snapshot() (*Signature, error) {
+	r, err := c.read.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	w, err := c.write.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Signature{read: r, write: w}, nil
+}
+
+// SnapshotExcluding materializes the summary minus one contributor — the
+// summary installed for that thread's own context, which must not
+// conflict with its own read/write sets (§4.1).
+func (c *CountingSignature) SnapshotExcluding(s *Signature) (*Signature, error) {
+	r := c.read.Clone()
+	w := c.write.Clone()
+	if err := r.Remove(s.read); err != nil {
+		return nil, err
+	}
+	if err := w.Remove(s.write); err != nil {
+		return nil, err
+	}
+	rf, err := r.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	wf, err := w.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Signature{read: rf, write: wf}, nil
+}

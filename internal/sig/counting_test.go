@@ -1,0 +1,217 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+
+	"logtmse/internal/addr"
+)
+
+func countingConfigs() []Config {
+	return []Config{
+		{Kind: KindPerfect},
+		{Kind: KindBitSelect, Bits: 256},
+		{Kind: KindCoarseBitSelect, Bits: 256},
+		{Kind: KindDoubleBitSelect, Bits: 256},
+		{Kind: KindH3, Bits: 256},
+	}
+}
+
+func randomSignature(t *testing.T, cfg Config, rng *rand.Rand, n int) *Signature {
+	t.Helper()
+	s := MustSignature(cfg)
+	for i := 0; i < n; i++ {
+		s.Insert(Read, addr.PAddr(rng.Uint64()%(1<<24)))
+		s.Insert(Write, addr.PAddr(rng.Uint64()%(1<<24)))
+	}
+	return s
+}
+
+// Property: a counting-signature snapshot equals the brute-force union of
+// the contributors, through adds and removes in arbitrary order.
+func TestCountingMatchesBruteForceUnion(t *testing.T) {
+	for _, cfg := range countingConfigs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			c, err := NewCountingSignature(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var members []*Signature
+			check := func() {
+				snap, err := c.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := MustSignature(cfg)
+				for _, m := range members {
+					if err := want.Union(m); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Compare membership over a probe set.
+				for i := 0; i < 300; i++ {
+					a := addr.PAddr(rng.Uint64() % (1 << 24))
+					for _, op := range []Op{Read, Write} {
+						if snap.Conflict(op, a) != want.Conflict(op, a) {
+							t.Fatalf("snapshot diverges from union at %v/%v", a, op)
+						}
+					}
+				}
+			}
+			for round := 0; round < 8; round++ {
+				s := randomSignature(t, cfg, rng, 1+rng.Intn(20))
+				if err := c.Add(s); err != nil {
+					t.Fatal(err)
+				}
+				members = append(members, s)
+				check()
+				if len(members) > 2 && rng.Intn(2) == 0 {
+					i := rng.Intn(len(members))
+					if err := c.Remove(members[i]); err != nil {
+						t.Fatal(err)
+					}
+					members = append(members[:i], members[i+1:]...)
+					check()
+				}
+			}
+			if c.Contributors() != len(members) {
+				t.Errorf("contributors = %d, want %d", c.Contributors(), len(members))
+			}
+		})
+	}
+}
+
+func TestCountingRemoveToEmpty(t *testing.T) {
+	for _, cfg := range countingConfigs() {
+		c, err := NewCountingSignature(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		s1 := randomSignature(t, cfg, rng, 5)
+		s2 := randomSignature(t, cfg, rng, 5)
+		for _, s := range []*Signature{s1, s2} {
+			if err := c.Add(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, s := range []*Signature{s1, s2} {
+			if err := c.Remove(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := c.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !snap.Empty() {
+			t.Errorf("%v: snapshot not empty after removing all contributors", cfg)
+		}
+	}
+}
+
+func TestCountingUnderflowDetected(t *testing.T) {
+	c, err := NewCountingSignature(Config{Kind: KindBitSelect, Bits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustSignature(Config{Kind: KindBitSelect, Bits: 64})
+	s.Insert(Write, 0x40)
+	if err := c.Remove(s); err == nil {
+		t.Errorf("removing a never-added signature succeeded")
+	}
+	// Perfect kind too.
+	cp, _ := NewCountingSignature(Config{Kind: KindPerfect})
+	sp := MustSignature(Config{Kind: KindPerfect})
+	sp.Insert(Read, 0x40)
+	if err := cp.Remove(sp); err == nil {
+		t.Errorf("perfect underflow not detected")
+	}
+}
+
+func TestCountingIncompatibleFilters(t *testing.T) {
+	c, _ := NewCountingFilter(Config{Kind: KindBitSelect, Bits: 64})
+	other, _ := NewBitSelect(128)
+	if err := c.Add(other); err == nil {
+		t.Errorf("size mismatch accepted")
+	}
+	p := NewPerfect()
+	if err := c.Add(p); err == nil {
+		t.Errorf("kind mismatch accepted")
+	}
+	if _, err := NewCountingFilter(Config{Kind: KindBitSelect, Bits: 3}); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+}
+
+func TestSnapshotExcluding(t *testing.T) {
+	cfg := Config{Kind: KindBitSelect, Bits: 256}
+	c, _ := NewCountingSignature(cfg)
+	mine := MustSignature(cfg)
+	mine.Insert(Write, 0x1000)
+	other := MustSignature(cfg)
+	other.Insert(Write, 0x2000)
+	if err := c.Add(mine); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(other); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.SnapshotExcluding(mine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Conflict(Read, 0x1000) {
+		t.Errorf("summary includes the excluded thread's own write")
+	}
+	if !sum.Conflict(Read, 0x2000) {
+		t.Errorf("summary lost the other thread's write")
+	}
+	// The full snapshot still has both.
+	full, _ := c.Snapshot()
+	if !full.Conflict(Read, 0x1000) || !full.Conflict(Read, 0x2000) {
+		t.Errorf("full snapshot incomplete")
+	}
+}
+
+func TestSnapshotExcludingSharedBit(t *testing.T) {
+	// Two contributors setting the same bit: excluding one must keep the
+	// bit (this is exactly why counts are needed, not plain bits).
+	cfg := Config{Kind: KindBitSelect, Bits: 64}
+	c, _ := NewCountingSignature(cfg)
+	a := MustSignature(cfg)
+	a.Insert(Write, 0x40)
+	b := MustSignature(cfg)
+	b.Insert(Write, 0x40+64*addr.BlockBytes) // aliases to the same bit
+	c.Add(a)
+	c.Add(b)
+	sum, err := c.SnapshotExcluding(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Conflict(Read, 0x40) {
+		t.Errorf("excluding one contributor dropped a bit another still needs")
+	}
+}
+
+func TestCountingCloneIndependent(t *testing.T) {
+	cfg := Config{Kind: KindDoubleBitSelect, Bits: 128}
+	c, _ := NewCountingFilter(cfg)
+	f, _ := cfg.New()
+	f.Insert(0x40)
+	c.Add(f)
+	d := c.Clone()
+	if err := d.Remove(f); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := c.Snapshot()
+	if !snap.MayContain(0x40) {
+		t.Errorf("removing from clone affected original")
+	}
+	dsnap, _ := d.Snapshot()
+	if dsnap.MayContain(0x40) {
+		t.Errorf("clone retained removed bits")
+	}
+}

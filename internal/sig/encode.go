@@ -1,0 +1,208 @@
+package sig
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"logtmse/internal/addr"
+)
+
+// Binary encoding of signatures. LogTM-SE's key virtualization property
+// is that signatures are software accessible: the OS and runtime can copy
+// them to and from memory (log frame headers, process control blocks).
+// This encoding is that memory image.
+//
+// Layout (little endian):
+//
+//	u8  kind
+//	u8  hashes     (KindH3 hash count; 0 otherwise)
+//	u32 bits       (per filter; 0 for Perfect)
+//	u32 nRead      (Perfect: member count; else word count)
+//	... read payload
+//	u32 nWrite
+//	... write payload
+const encVersion = 1
+
+// MarshalBinary encodes the signature.
+func (s *Signature) MarshalBinary() ([]byte, error) {
+	kind := s.read.Kind()
+	hashes := byte(0)
+	if v, ok := s.read.(*h3); ok {
+		hashes = byte(v.k)
+	}
+	out := []byte{encVersion, byte(kind), hashes}
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.read.SizeBits()))
+	var err error
+	out, err = appendFilter(out, s.read)
+	if err != nil {
+		return nil, err
+	}
+	return appendFilter(out, s.write)
+}
+
+func appendFilter(out []byte, f Filter) ([]byte, error) {
+	switch v := f.(type) {
+	case *perfect:
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(v.set)))
+		for a := range v.set {
+			out = binary.LittleEndian.AppendUint64(out, uint64(a))
+		}
+		return out, nil
+	case *bitSelect:
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(v.bitsVec)))
+		for _, w := range v.bitsVec {
+			out = binary.LittleEndian.AppendUint64(out, w)
+		}
+		return out, nil
+	case *doubleBitSelect:
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(v.lo)+len(v.hi)))
+		for _, w := range v.lo {
+			out = binary.LittleEndian.AppendUint64(out, w)
+		}
+		for _, w := range v.hi {
+			out = binary.LittleEndian.AppendUint64(out, w)
+		}
+		return out, nil
+	case *h3:
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(v.bitsVec)))
+		for _, w := range v.bitsVec {
+			out = binary.LittleEndian.AppendUint64(out, w)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sig: cannot encode filter kind %v", f.Kind())
+	}
+}
+
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.off+1 > len(d.data) {
+		return 0, fmt.Errorf("sig: truncated encoding")
+	}
+	v := d.data[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.data) {
+		return 0, fmt.Errorf("sig: truncated encoding")
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.off+8 > len(d.data) {
+		return 0, fmt.Errorf("sig: truncated encoding")
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// UnmarshalSignature decodes a signature previously encoded with
+// MarshalBinary.
+func UnmarshalSignature(data []byte) (*Signature, error) {
+	d := &decoder{data: data}
+	ver, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != encVersion {
+		return nil, fmt.Errorf("sig: unknown encoding version %d", ver)
+	}
+	kindB, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	kind := Kind(kindB)
+	hashes, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	bits, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{Kind: kind, Bits: int(bits), Hashes: int(hashes)}
+	s, err := NewSignature(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeFilter(d, s.read); err != nil {
+		return nil, err
+	}
+	if err := decodeFilter(d, s.write); err != nil {
+		return nil, err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("sig: %d trailing bytes", len(data)-d.off)
+	}
+	return s, nil
+}
+
+func decodeFilter(d *decoder, f Filter) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	switch v := f.(type) {
+	case *perfect:
+		for i := uint32(0); i < n; i++ {
+			a, err := d.u64()
+			if err != nil {
+				return err
+			}
+			v.set[addr.PAddr(a)] = struct{}{}
+		}
+	case *bitSelect:
+		if int(n) != len(v.bitsVec) {
+			return fmt.Errorf("sig: word count %d does not match geometry %d", n, len(v.bitsVec))
+		}
+		for i := range v.bitsVec {
+			w, err := d.u64()
+			if err != nil {
+				return err
+			}
+			v.bitsVec[i] = w
+		}
+	case *doubleBitSelect:
+		if int(n) != len(v.lo)+len(v.hi) {
+			return fmt.Errorf("sig: word count %d does not match geometry %d", n, len(v.lo)+len(v.hi))
+		}
+		for i := range v.lo {
+			w, err := d.u64()
+			if err != nil {
+				return err
+			}
+			v.lo[i] = w
+		}
+		for i := range v.hi {
+			w, err := d.u64()
+			if err != nil {
+				return err
+			}
+			v.hi[i] = w
+		}
+	case *h3:
+		if int(n) != len(v.bitsVec) {
+			return fmt.Errorf("sig: word count %d does not match geometry %d", n, len(v.bitsVec))
+		}
+		for i := range v.bitsVec {
+			w, err := d.u64()
+			if err != nil {
+				return err
+			}
+			v.bitsVec[i] = w
+		}
+	default:
+		return fmt.Errorf("sig: cannot decode filter kind %v", f.Kind())
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+
+	"logtmse/internal/addr"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		{Kind: KindPerfect},
+		{Kind: KindBitSelect, Bits: 64},
+		{Kind: KindBitSelect, Bits: 2048},
+		{Kind: KindCoarseBitSelect, Bits: 2048},
+		{Kind: KindDoubleBitSelect, Bits: 2048},
+	} {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(21))
+			s := MustSignature(cfg)
+			var members []addr.PAddr
+			for i := 0; i < 50; i++ {
+				a := addr.PAddr(rng.Uint64() % (1 << 28))
+				s.Insert(Read, a)
+				members = append(members, a)
+				b := addr.PAddr(rng.Uint64() % (1 << 28))
+				s.Insert(Write, b)
+				members = append(members, b)
+			}
+			data, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := UnmarshalSignature(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Exact behavioural equivalence over probes: every member
+			// positive, random addresses agree with the original.
+			for _, m := range members {
+				if got.Conflict(Write, m) != s.Conflict(Write, m) ||
+					got.Conflict(Read, m) != s.Conflict(Read, m) {
+					t.Fatalf("round trip diverges at member %v", m)
+				}
+			}
+			for i := 0; i < 500; i++ {
+				a := addr.PAddr(rng.Uint64() % (1 << 28))
+				for _, op := range []Op{Read, Write} {
+					if got.Conflict(op, a) != s.Conflict(op, a) {
+						t.Fatalf("round trip diverges at probe %v", a)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMarshalEmptySignature(t *testing.T) {
+	s := MustSignature(Config{Kind: KindBitSelect, Bits: 128})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSignature(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() {
+		t.Errorf("decoded empty signature is not empty")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	s := MustSignature(Config{Kind: KindBitSelect, Bits: 128})
+	s.Insert(Read, 0x40)
+	data, _ := s.MarshalBinary()
+
+	if _, err := UnmarshalSignature(nil); err == nil {
+		t.Errorf("nil data accepted")
+	}
+	if _, err := UnmarshalSignature(data[:5]); err == nil {
+		t.Errorf("truncated data accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 99 // version
+	if _, err := UnmarshalSignature(bad); err == nil {
+		t.Errorf("bad version accepted")
+	}
+	bad = append([]byte(nil), data...)
+	bad[1] = 77 // kind
+	if _, err := UnmarshalSignature(bad); err == nil {
+		t.Errorf("bad kind accepted")
+	}
+	if _, err := UnmarshalSignature(append(data, 0)); err == nil {
+		t.Errorf("trailing bytes accepted")
+	}
+}
+
+func TestMarshalSizeReflectsHardware(t *testing.T) {
+	// A 2 Kb bit-select pair encodes in ~2*2048 bits plus a small header,
+	// i.e. the software image is as compact as the hardware (§3: saving
+	// a signature to a log frame header is cheap).
+	s := MustSignature(Config{Kind: KindBitSelect, Bits: 2048})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const header = 3 + 4 + 4 + 4
+	if len(data) != header+2*2048/8 {
+		t.Errorf("encoded size = %d bytes", len(data))
+	}
+}
+
+func TestMarshalledSignatureIsIndependent(t *testing.T) {
+	s := MustSignature(Config{Kind: KindDoubleBitSelect, Bits: 256})
+	s.Insert(Write, 0x1000)
+	data, _ := s.MarshalBinary()
+	s.ClearAll()
+	got, err := UnmarshalSignature(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Conflict(Read, 0x1000) {
+		t.Errorf("decoded signature lost state after original cleared")
+	}
+}

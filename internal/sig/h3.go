@@ -1,0 +1,77 @@
+package sig
+
+import (
+	"fmt"
+
+	"logtmse/internal/addr"
+)
+
+// h3 is a k-hash Bloom filter over one bit array. Each hash is an
+// H3-style universal hash: the block index is multiplied by a fixed odd
+// constant and the top bits select the signature bit, a circuit of XOR
+// trees in hardware.
+type h3 struct {
+	bitsVec bitvec
+	n       uint // log2(size)
+	k       int  // hash count
+}
+
+// h3Consts are fixed odd multipliers (splitmix64-derived), one per hash.
+var h3Consts = [8]uint64{
+	0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB, 0xD6E8FEB86659FD93,
+	0xA0761D6478BD642F, 0xE7037ED1A0B428DB, 0x8EBC6AF09C88C6E3, 0x589965CC75374CC3,
+}
+
+// NewH3 returns a Bloom filter of sizeBits (power of two) with hashes
+// hash functions (1..8; 0 selects the default of 4).
+func NewH3(sizeBits, hashes int) (Filter, error) {
+	n, err := log2(sizeBits)
+	if err != nil {
+		return nil, err
+	}
+	if hashes == 0 {
+		hashes = 4
+	}
+	if hashes < 1 || hashes > len(h3Consts) {
+		return nil, fmt.Errorf("sig: H3 hash count %d out of range 1..%d", hashes, len(h3Consts))
+	}
+	return &h3{bitsVec: newBitvec(sizeBits), n: n, k: hashes}, nil
+}
+
+func (s *h3) idx(a addr.PAddr, i int) uint64 {
+	return (a.BlockIndex() * h3Consts[i]) >> (64 - s.n)
+}
+
+func (s *h3) Insert(a addr.PAddr) {
+	for i := 0; i < s.k; i++ {
+		s.bitsVec.set(s.idx(a, i))
+	}
+}
+
+func (s *h3) MayContain(a addr.PAddr) bool {
+	for i := 0; i < s.k; i++ {
+		if !s.bitsVec.get(s.idx(a, i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *h3) Clear()        { s.bitsVec.clear() }
+func (s *h3) Empty() bool   { return s.bitsVec.empty() }
+func (s *h3) Kind() Kind    { return KindH3 }
+func (s *h3) SizeBits() int { return 1 << s.n }
+func (s *h3) PopCount() int { return s.bitsVec.popcount() }
+
+func (s *h3) Union(other Filter) error {
+	o, ok := other.(*h3)
+	if !ok || o.n != s.n || o.k != s.k {
+		return fmt.Errorf("sig: union of incompatible H3 filters")
+	}
+	s.bitsVec.union(o.bitsVec)
+	return nil
+}
+
+func (s *h3) Clone() Filter {
+	return &h3{bitsVec: s.bitsVec.clone(), n: s.n, k: s.k}
+}

@@ -1,0 +1,309 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"logtmse/internal/addr"
+)
+
+func allConfigs() []Config {
+	return []Config{
+		{Kind: KindPerfect},
+		{Kind: KindBitSelect, Bits: 64},
+		{Kind: KindBitSelect, Bits: 2048},
+		{Kind: KindDoubleBitSelect, Bits: 2048},
+		{Kind: KindDoubleBitSelect, Bits: 64},
+		{Kind: KindCoarseBitSelect, Bits: 2048},
+		{Kind: KindCoarseBitSelect, Bits: 64},
+		{Kind: KindH3, Bits: 2048},
+		{Kind: KindH3, Bits: 2048, Hashes: 2},
+		{Kind: KindH3, Bits: 64, Hashes: 1},
+	}
+}
+
+// No false negatives: everything inserted must test positive.
+func TestNoFalseNegatives(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			f, err := cfg.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			var inserted []addr.PAddr
+			for i := 0; i < 500; i++ {
+				a := addr.PAddr(rng.Uint64() % (1 << 32))
+				f.Insert(a)
+				inserted = append(inserted, a)
+				for _, p := range inserted {
+					if !f.MayContain(p) {
+						t.Fatalf("false negative for %v after %d inserts", p, i+1)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPerfectIsExact(t *testing.T) {
+	f := NewPerfect()
+	f.Insert(0x1000)
+	if f.MayContain(0x2000) {
+		t.Errorf("perfect filter false positive")
+	}
+	if !f.MayContain(0x1000 + 63) { // same block
+		t.Errorf("perfect filter misses same-block address")
+	}
+	if f.MayContain(0x1000 + 64) { // next block
+		t.Errorf("perfect filter matches next block")
+	}
+}
+
+func TestClearEmpties(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		f, err := cfg.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Insert(0xabc000)
+		if f.Empty() {
+			t.Errorf("%v: Empty() true after insert", cfg)
+		}
+		f.Clear()
+		if !f.Empty() {
+			t.Errorf("%v: Empty() false after Clear", cfg)
+		}
+		if f.MayContain(0xabc000) {
+			t.Errorf("%v: MayContain true after Clear", cfg)
+		}
+	}
+}
+
+func TestBitSelectAliasing(t *testing.T) {
+	f, err := NewBitSelect(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Addresses 64 blocks apart alias in a 64-bit BS signature.
+	f.Insert(0)
+	alias := addr.PAddr(64 * addr.BlockBytes)
+	if !f.MayContain(alias) {
+		t.Errorf("expected aliasing false positive for BS_64")
+	}
+	// A different low-bits block does not alias.
+	if f.MayContain(addr.PAddr(1 * addr.BlockBytes)) {
+		t.Errorf("unexpected positive for non-aliasing block")
+	}
+}
+
+func TestDoubleBitSelectNeedsBothBits(t *testing.T) {
+	f, err := NewDoubleBitSelect(2048) // two 1024-bit banks, 10+10 bits
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := addr.PAddr(0x40) // block 1: lo=1, hi=0
+	f.Insert(a)
+	// Block with same lo field but different hi: 1 + 1024 blocks.
+	sameLo := addr.PAddr((1 + 1024) * addr.BlockBytes)
+	// Both of inserted block's fields: only one insert, so sameLo sets
+	// lo=1 (set) but hi=1 (not set) => must be negative.
+	if f.MayContain(sameLo) {
+		t.Errorf("DBS matched with only one field set")
+	}
+	// Cross-product false positive: insert a second address so that the
+	// cross combination (lo of first, hi of second) tests positive.
+	b := addr.PAddr((2 + 3*1024) * addr.BlockBytes) // lo=2, hi=3
+	f.Insert(b)
+	cross := addr.PAddr((1 + 3*1024) * addr.BlockBytes) // lo=1 (from a), hi=3 (from b)
+	if !f.MayContain(cross) {
+		t.Errorf("DBS cross-product aliasing expected to be positive")
+	}
+}
+
+func TestCoarseBitSelectMacroblockGranularity(t *testing.T) {
+	f, err := NewCoarseBitSelect(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Insert(0x400) // macroblock 1
+	// Any block in the same 1KB macroblock tests positive.
+	if !f.MayContain(0x7c0) {
+		t.Errorf("CBS should match any block in same macroblock")
+	}
+	if f.MayContain(0x800) { // next macroblock
+		t.Errorf("CBS matched a different macroblock")
+	}
+}
+
+func TestNonPowerOfTwoSizesRejected(t *testing.T) {
+	if _, err := NewBitSelect(100); err == nil {
+		t.Errorf("NewBitSelect(100) should fail")
+	}
+	if _, err := NewBitSelect(0); err == nil {
+		t.Errorf("NewBitSelect(0) should fail")
+	}
+	if _, err := NewDoubleBitSelect(100); err == nil {
+		t.Errorf("NewDoubleBitSelect(100) should fail")
+	}
+	if _, err := NewCoarseBitSelect(-4); err == nil {
+		t.Errorf("NewCoarseBitSelect(-4) should fail")
+	}
+}
+
+func TestUnionIsSuperset(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			a, _ := cfg.New()
+			b, _ := cfg.New()
+			rng := rand.New(rand.NewSource(11))
+			var as, bs []addr.PAddr
+			for i := 0; i < 200; i++ {
+				x := addr.PAddr(rng.Uint64() % (1 << 30))
+				y := addr.PAddr(rng.Uint64() % (1 << 30))
+				a.Insert(x)
+				b.Insert(y)
+				as = append(as, x)
+				bs = append(bs, y)
+			}
+			if err := a.Union(b); err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range append(as, bs...) {
+				if !a.MayContain(x) {
+					t.Fatalf("union lost member %v", x)
+				}
+			}
+		})
+	}
+}
+
+func TestUnionIncompatibleKinds(t *testing.T) {
+	p := NewPerfect()
+	b, _ := NewBitSelect(64)
+	if err := p.Union(b); err == nil {
+		t.Errorf("union across kinds should fail")
+	}
+	if err := b.Union(p); err == nil {
+		t.Errorf("union across kinds should fail")
+	}
+	b2, _ := NewBitSelect(128)
+	if err := b.Union(b2); err == nil {
+		t.Errorf("union across sizes should fail")
+	}
+	d, _ := NewDoubleBitSelect(64)
+	d2, _ := NewDoubleBitSelect(128)
+	if err := d.Union(d2); err == nil {
+		t.Errorf("DBS union across sizes should fail")
+	}
+	cbs, _ := NewCoarseBitSelect(64)
+	if err := b.Union(cbs); err == nil {
+		t.Errorf("BS/CBS union should fail (different granularity)")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		f, _ := cfg.New()
+		f.Insert(0x1000)
+		c := f.Clone()
+		c.Insert(0x2000)
+		f.Clear()
+		if !c.MayContain(0x1000) || !c.MayContain(0x2000) {
+			t.Errorf("%v: clone lost state after original cleared", cfg)
+		}
+		if f.MayContain(0x2000) && cfg.Kind == KindPerfect {
+			t.Errorf("%v: insert into clone leaked into original", cfg)
+		}
+	}
+}
+
+func TestPopCountAndSize(t *testing.T) {
+	b, _ := NewBitSelect(2048)
+	if b.SizeBits() != 2048 {
+		t.Errorf("SizeBits = %d", b.SizeBits())
+	}
+	if b.PopCount() != 0 {
+		t.Errorf("fresh PopCount = %d", b.PopCount())
+	}
+	b.Insert(0)
+	b.Insert(0) // duplicate: still one bit
+	if b.PopCount() != 1 {
+		t.Errorf("PopCount after dup insert = %d, want 1", b.PopCount())
+	}
+	d, _ := NewDoubleBitSelect(2048)
+	if d.SizeBits() != 2048 {
+		t.Errorf("DBS SizeBits = %d", d.SizeBits())
+	}
+	d.Insert(0)
+	if d.PopCount() != 2 {
+		t.Errorf("DBS PopCount after one insert = %d, want 2", d.PopCount())
+	}
+	p := NewPerfect()
+	if p.SizeBits() != 0 {
+		t.Errorf("Perfect SizeBits = %d, want 0 (unimplementable)", p.SizeBits())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindPerfect:         "Perfect",
+		KindBitSelect:       "BS",
+		KindDoubleBitSelect: "DBS",
+		KindCoarseBitSelect: "CBS",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if (Config{Kind: KindBitSelect, Bits: 64}).String() != "BS_64" {
+		t.Errorf("Config.String() = %q", Config{Kind: KindBitSelect, Bits: 64}.String())
+	}
+	if (Config{Kind: KindPerfect}).String() != "Perfect" {
+		t.Errorf("perfect Config.String() = %q", Config{Kind: KindPerfect}.String())
+	}
+}
+
+// Property: BS membership is invariant within a block.
+func TestBlockGranularityProperty(t *testing.T) {
+	f, _ := NewBitSelect(1024)
+	prop := func(a uint64, off uint8) bool {
+		p := addr.PAddr(a)
+		f.Clear()
+		f.Insert(p)
+		return f.MayContain(p.Block() + addr.PAddr(off%addr.BlockBytes))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterAccessorsAndSets(t *testing.T) {
+	s := MustSignature(Config{Kind: KindPerfect})
+	s.Insert(Read, 0x40)
+	s.Insert(Write, 0x80)
+	if s.ReadSet().PopCount() != 1 || s.WriteSet().PopCount() != 1 {
+		t.Errorf("set accessors wrong: %d/%d", s.ReadSet().PopCount(), s.WriteSet().PopCount())
+	}
+	s.Clear(Read)
+	if !s.ReadSet().Empty() {
+		t.Errorf("Clear(Read) did not empty the read set")
+	}
+	if s.WriteSet().Empty() {
+		t.Errorf("Clear(Read) emptied the write set")
+	}
+}
+
+func TestPerfectPopCount(t *testing.T) {
+	p := NewPerfect()
+	p.Insert(0x40)
+	p.Insert(0x41) // same block
+	p.Insert(0x80)
+	if p.PopCount() != 2 {
+		t.Errorf("Perfect PopCount = %d, want 2", p.PopCount())
+	}
+}

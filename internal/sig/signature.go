@@ -1,0 +1,153 @@
+package sig
+
+import (
+	"fmt"
+
+	"logtmse/internal/addr"
+)
+
+// Op distinguishes the read- and write-set halves of a signature.
+type Op int
+
+// Operations.
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Signature is the per-thread-context read/write-set pair. An actual
+// hardware signature needs two copies of the filter hardware, one per set
+// (paper §5, Figure 3 caption).
+type Signature struct {
+	read  Filter
+	write Filter
+}
+
+// NewSignature builds a read/write signature pair per the config.
+func NewSignature(c Config) (*Signature, error) {
+	r, err := c.New()
+	if err != nil {
+		return nil, err
+	}
+	w, err := c.New()
+	if err != nil {
+		return nil, err
+	}
+	return &Signature{read: r, write: w}, nil
+}
+
+// MustSignature is NewSignature for configurations known to be valid;
+// it panics on error (used by tests and defaults).
+func MustSignature(c Config) *Signature {
+	s, err := NewSignature(c)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Insert implements INSERT(O, A): every load inserts into the read set,
+// every store into the write set.
+func (s *Signature) Insert(o Op, a addr.PAddr) {
+	if o == Read {
+		s.read.Insert(a)
+	} else {
+		s.write.Insert(a)
+	}
+}
+
+// Conflict implements CONFLICT(O, A) with the paper's semantics:
+// CONFLICT(read, A) asks whether an incoming *read* of A conflicts, i.e.
+// whether A may be in the local *write* set; CONFLICT(write, A) asks
+// whether an incoming *write* conflicts, i.e. whether A may be in the
+// local read- or write-sets.
+func (s *Signature) Conflict(o Op, a addr.PAddr) bool {
+	if o == Read {
+		return s.write.MayContain(a)
+	}
+	return s.read.MayContain(a) || s.write.MayContain(a)
+}
+
+// ReadSet returns the read-set filter.
+func (s *Signature) ReadSet() Filter { return s.read }
+
+// WriteSet returns the write-set filter.
+func (s *Signature) WriteSet() Filter { return s.write }
+
+// Clear implements CLEAR(O) on one set.
+func (s *Signature) Clear(o Op) {
+	if o == Read {
+		s.read.Clear()
+	} else {
+		s.write.Clear()
+	}
+}
+
+// ClearAll clears both sets (transaction commit/abort).
+func (s *Signature) ClearAll() {
+	s.read.Clear()
+	s.write.Clear()
+}
+
+// Empty reports whether both sets are empty.
+func (s *Signature) Empty() bool { return s.read.Empty() && s.write.Empty() }
+
+// Clone returns an independent copy; used to save a signature into a log
+// frame header on nested begin or context switch.
+func (s *Signature) Clone() *Signature {
+	return &Signature{read: s.read.Clone(), write: s.write.Clone()}
+}
+
+// CopyFrom restores the receiver's hardware state from src (same
+// geometry), e.g. when an open-nested commit or abort restores the
+// parent's saved signature, or the OS reschedules a thread.
+func (s *Signature) CopyFrom(src *Signature) error {
+	s.ClearAll()
+	if err := s.read.Union(src.read); err != nil {
+		return err
+	}
+	return s.write.Union(src.write)
+}
+
+// Union merges other into the receiver (summary-signature maintenance).
+func (s *Signature) Union(other *Signature) error {
+	if err := s.read.Union(other.read); err != nil {
+		return err
+	}
+	return s.write.Union(other.write)
+}
+
+// String summarizes occupancy.
+func (s *Signature) String() string {
+	return fmt.Sprintf("sig{%v read=%d write=%d}", s.read.Kind(), s.read.PopCount(), s.write.PopCount())
+}
+
+// RelocatePage implements the paper's §4.2 signature update after a page
+// relocation: for every block of the old physical page, if the signature
+// may contain it, insert the corresponding block of the new physical page.
+// The signature afterwards contains both old and new addresses for
+// read/write-set elements on the page (conservative, as the paper
+// specifies). It returns how many blocks were re-inserted per set.
+func (s *Signature) RelocatePage(oldBase, newBase addr.PAddr) (readsMoved, writesMoved int) {
+	oldBase, newBase = oldBase.Page(), newBase.Page()
+	for off := uint64(0); off < addr.PageBytes; off += addr.BlockBytes {
+		oldBlk := oldBase + addr.PAddr(off)
+		newBlk := newBase + addr.PAddr(off)
+		if s.read.MayContain(oldBlk) {
+			s.read.Insert(newBlk)
+			readsMoved++
+		}
+		if s.write.MayContain(oldBlk) {
+			s.write.Insert(newBlk)
+			writesMoved++
+		}
+	}
+	return readsMoved, writesMoved
+}

@@ -1,0 +1,212 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+
+	"logtmse/internal/addr"
+)
+
+func TestConflictSemantics(t *testing.T) {
+	// Paper §2: CONFLICT(read, A) tests the write set (a remote read
+	// conflicts only with our writes); CONFLICT(write, A) tests both sets.
+	s := MustSignature(Config{Kind: KindPerfect})
+	readOnly := addr.PAddr(0x1000)
+	written := addr.PAddr(0x2000)
+	s.Insert(Read, readOnly)
+	s.Insert(Write, written)
+
+	if s.Conflict(Read, readOnly) {
+		t.Errorf("remote read of a block we only read must not conflict")
+	}
+	if !s.Conflict(Read, written) {
+		t.Errorf("remote read of a block we wrote must conflict")
+	}
+	if !s.Conflict(Write, readOnly) {
+		t.Errorf("remote write of a block we read must conflict")
+	}
+	if !s.Conflict(Write, written) {
+		t.Errorf("remote write of a block we wrote must conflict")
+	}
+	if s.Conflict(Write, 0x3000) {
+		t.Errorf("untouched block must not conflict (perfect signature)")
+	}
+}
+
+func TestClearAllReleasesIsolation(t *testing.T) {
+	s := MustSignature(Config{Kind: KindBitSelect, Bits: 2048})
+	s.Insert(Read, 0x40)
+	s.Insert(Write, 0x80)
+	if s.Empty() {
+		t.Fatal("signature empty after inserts")
+	}
+	s.ClearAll()
+	if !s.Empty() {
+		t.Errorf("signature not empty after ClearAll")
+	}
+	if s.Conflict(Write, 0x40) || s.Conflict(Read, 0x80) {
+		t.Errorf("conflict after ClearAll")
+	}
+}
+
+func TestClearOneSet(t *testing.T) {
+	s := MustSignature(Config{Kind: KindPerfect})
+	s.Insert(Read, 0x40)
+	s.Insert(Write, 0x80)
+	s.Clear(Write)
+	if s.Conflict(Read, 0x80) {
+		t.Errorf("write set not cleared")
+	}
+	if !s.Conflict(Write, 0x40) {
+		t.Errorf("read set should survive Clear(Write)")
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	s := MustSignature(Config{Kind: KindDoubleBitSelect, Bits: 2048})
+	s.Insert(Read, 0x40)
+	s.Insert(Write, 0x1040)
+
+	saved := s.Clone()
+	s.ClearAll()
+	if saved.Empty() {
+		t.Fatal("clone cleared with original")
+	}
+
+	if err := s.CopyFrom(saved); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Conflict(Write, 0x40) || !s.Conflict(Read, 0x1040) {
+		t.Errorf("CopyFrom did not restore saved sets")
+	}
+}
+
+func TestSummarySignatureUnion(t *testing.T) {
+	// §4.1: the summary signature is the union of descheduled threads'
+	// saved signatures.
+	cfg := Config{Kind: KindBitSelect, Bits: 2048}
+	summary := MustSignature(cfg)
+	t1 := MustSignature(cfg)
+	t2 := MustSignature(cfg)
+	t1.Insert(Write, 0x40)
+	t2.Insert(Read, 0x20040)
+
+	if err := summary.Union(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := summary.Union(t2); err != nil {
+		t.Fatal(err)
+	}
+	if !summary.Conflict(Read, 0x40) {
+		t.Errorf("summary lost t1's write")
+	}
+	if !summary.Conflict(Write, 0x20040) {
+		t.Errorf("summary lost t2's read")
+	}
+}
+
+func TestUnionMismatchedGeometry(t *testing.T) {
+	a := MustSignature(Config{Kind: KindBitSelect, Bits: 64})
+	b := MustSignature(Config{Kind: KindBitSelect, Bits: 2048})
+	if err := a.Union(b); err == nil {
+		t.Errorf("union of different geometries should fail")
+	}
+}
+
+func TestRelocatePage(t *testing.T) {
+	// §4.2: after relocation the signature must contain the new physical
+	// addresses of all page blocks it (possibly) contained — and, per the
+	// paper's conservative scheme, it retains the old ones too.
+	for _, cfg := range []Config{
+		{Kind: KindPerfect},
+		{Kind: KindBitSelect, Bits: 2048},
+		{Kind: KindCoarseBitSelect, Bits: 2048},
+		{Kind: KindDoubleBitSelect, Bits: 2048},
+	} {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			s := MustSignature(cfg)
+			oldBase := addr.PAddr(3 << addr.PageShift)
+			newBase := addr.PAddr(9 << addr.PageShift)
+			inPage := oldBase + 5*addr.BlockBytes
+			offPage := addr.PAddr(100 << addr.PageShift)
+			s.Insert(Read, inPage)
+			s.Insert(Write, inPage)
+			s.Insert(Read, offPage)
+
+			r, w := s.RelocatePage(oldBase, newBase)
+			if r == 0 || w == 0 {
+				t.Fatalf("RelocatePage moved nothing (r=%d w=%d)", r, w)
+			}
+			moved := newBase + 5*addr.BlockBytes
+			if !s.Conflict(Write, moved) {
+				t.Errorf("new physical address missing from read set")
+			}
+			if !s.Conflict(Read, moved) {
+				t.Errorf("new physical address missing from write set")
+			}
+			if !s.Conflict(Write, inPage) {
+				t.Errorf("old address dropped (paper keeps both)")
+			}
+			if !s.Conflict(Write, offPage) {
+				t.Errorf("off-page read lost")
+			}
+		})
+	}
+}
+
+func TestRelocatePageNoFalseNegativesProperty(t *testing.T) {
+	// Insert random blocks of a page, relocate, verify every
+	// corresponding new block is present.
+	cfg := Config{Kind: KindBitSelect, Bits: 2048}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		s := MustSignature(cfg)
+		oldBase := addr.PAddr(uint64(rng.Intn(1000)) << addr.PageShift)
+		newBase := addr.PAddr(uint64(1000+rng.Intn(1000)) << addr.PageShift)
+		var offsets []uint64
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			off := uint64(rng.Intn(addr.BlocksPerPage)) * addr.BlockBytes
+			s.Insert(Write, oldBase+addr.PAddr(off))
+			offsets = append(offsets, off)
+		}
+		s.RelocatePage(oldBase, newBase)
+		for _, off := range offsets {
+			if !s.Conflict(Read, newBase+addr.PAddr(off)) {
+				t.Fatalf("trial %d: relocated block at offset %d lost", trial, off)
+			}
+		}
+	}
+}
+
+func TestNewSignatureErrors(t *testing.T) {
+	if _, err := NewSignature(Config{Kind: KindBitSelect, Bits: 3}); err == nil {
+		t.Errorf("invalid size accepted")
+	}
+	if _, err := NewSignature(Config{Kind: Kind(99)}); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+}
+
+func TestMustSignaturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustSignature did not panic on invalid config")
+		}
+	}()
+	MustSignature(Config{Kind: KindBitSelect, Bits: 3})
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Errorf("Op strings wrong: %q %q", Read.String(), Write.String())
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	s := MustSignature(Config{Kind: KindBitSelect, Bits: 64})
+	s.Insert(Read, 0)
+	if got := s.String(); got != "sig{BS read=1 write=0}" {
+		t.Errorf("String() = %q", got)
+	}
+}

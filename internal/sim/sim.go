@@ -1,0 +1,121 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives the CMP model: a cycle clock, an ordered event queue with
+// deterministic tie-breaking, and a seeded random source.
+//
+// All model components schedule closures at absolute or relative cycle
+// times; the engine executes them in (cycle, insertion-sequence) order so a
+// run is a pure function of its configuration and seed.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Cycle is a point in simulated time, measured in processor clock cycles.
+type Cycle uint64
+
+// Event is a scheduled closure.
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	halted bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay cycles (delay 0 runs later in the current
+// cycle, after all previously scheduled work for this cycle).
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute cycle at. If at is in the past the event
+// fires at the current cycle.
+func (e *Engine) ScheduleAt(at Cycle, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Halt stops Run/RunUntil after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single next event and returns true, or returns false
+// if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called.
+// It returns the final cycle.
+func (e *Engine) Run() Cycle {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= limit. Events scheduled
+// beyond limit remain queued. It returns the final cycle (<= limit).
+func (e *Engine) RunUntil(limit Cycle) Cycle {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= limit {
+		e.Step()
+	}
+	if e.now > limit {
+		e.now = limit
+	}
+	return e.now
+}

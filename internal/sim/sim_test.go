@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 3) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events out of order: %v", order)
+	}
+	if e.Now() != 20 {
+		t.Errorf("final cycle = %d, want 20", e.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events not FIFO at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var got []Cycle
+	e.Schedule(1, func() {
+		got = append(got, e.Now())
+		e.Schedule(4, func() { got = append(got, e.Now()) })
+		e.Schedule(0, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	want := []Cycle{1, 1, 5}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("nested schedule fired at %v, want %v", got, want)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := Cycle(1); i <= 10; i++ {
+		e.Schedule(i*10, func() { count++ })
+	}
+	e.RunUntil(50)
+	if count != 5 {
+		t.Errorf("RunUntil(50) executed %d events, want 5", count)
+	}
+	if e.Pending() != 5 {
+		t.Errorf("Pending() = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("after Run, count = %d, want 10", count)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(1, func() { count++; e.Halt() })
+	e.Schedule(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Errorf("Halt did not stop the engine: count = %d", count)
+	}
+	// Run again resumes.
+	e.Run()
+	if count != 2 {
+		t.Errorf("resume after Halt failed: count = %d", count)
+	}
+}
+
+func TestScheduleAtPastClamps(t *testing.T) {
+	e := NewEngine(1)
+	fired := Cycle(0)
+	e.Schedule(100, func() {
+		e.ScheduleAt(10, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 100 {
+		t.Errorf("past ScheduleAt fired at %d, want clamped to 100", fired)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewEngine(42).Rand().Uint64()
+	b := NewEngine(42).Rand().Uint64()
+	c := NewEngine(43).Rand().Uint64()
+	if a != b {
+		t.Errorf("same seed produced different streams")
+	}
+	if a == c {
+		t.Errorf("different seeds produced identical first value (unlikely)")
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := NewEngine(1)
+	if e.Step() {
+		t.Errorf("Step on empty queue returned true")
+	}
+}

@@ -1,0 +1,160 @@
+// Package stats provides the measurement helpers the evaluation uses:
+// sample aggregation with 95% confidence intervals (the paper perturbs
+// each simulation pseudo-randomly and reports 95% CIs), throughput and
+// speedup computation, and small formatting utilities for the table/figure
+// regeneration tools.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is a set of measurements of one quantity across seeds.
+type Sample []float64
+
+// Add appends a measurement.
+func (s *Sample) Add(v float64) { *s = append(*s, v) }
+
+// N reports the number of measurements.
+func (s Sample) N() int { return len(s) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s Sample) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Stddev returns the sample standard deviation (n-1 denominator).
+func (s Sample) Stddev() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s)-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean,
+// using Student's t critical values for small samples.
+func (s Sample) CI95() float64 {
+	n := len(s)
+	if n < 2 {
+		return 0
+	}
+	return tCrit(n-1) * s.Stddev() / math.Sqrt(float64(n))
+}
+
+// tCrit approximates the two-sided 95% Student-t critical value.
+func tCrit(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Min returns the smallest measurement.
+func (s Sample) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement.
+func (s Sample) Max() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Median returns the middle measurement.
+func (s Sample) Median() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	c := append(Sample(nil), s...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Speedup is mean(other)/mean(s) when s holds execution times, i.e. how
+// much faster s is than base when both hold cycles-per-work-unit.
+func Speedup(base, variant Sample) float64 {
+	bv := variant.Mean()
+	if bv == 0 {
+		return 0
+	}
+	return base.Mean() / bv
+}
+
+// SpeedupCI propagates the 95% CIs of two time samples into an
+// approximate CI for their ratio (first-order delta method).
+func SpeedupCI(base, variant Sample) float64 {
+	mb, mv := base.Mean(), variant.Mean()
+	if mb == 0 || mv == 0 {
+		return 0
+	}
+	rb := base.CI95() / mb
+	rv := variant.CI95() / mv
+	return (mb / mv) * math.Sqrt(rb*rb+rv*rv)
+}
+
+// Bar renders a simple ASCII bar for terminal figures.
+func Bar(v, max float64, width int) string {
+	if max <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// FormatCI renders "m ± c" with sensible precision.
+func FormatCI(m, c float64) string {
+	return fmt.Sprintf("%.3f ± %.3f", m, c)
+}

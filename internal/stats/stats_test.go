@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStddev(t *testing.T) {
+	s := Sample{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("mean = %f", got)
+	}
+	if got := s.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("stddev = %f", got)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	var e Sample
+	if e.Mean() != 0 || e.Stddev() != 0 || e.CI95() != 0 || e.Max() != 0 || e.Min() != 0 || e.Median() != 0 {
+		t.Errorf("empty sample not all-zero")
+	}
+	one := Sample{3}
+	if one.Mean() != 3 || one.CI95() != 0 {
+		t.Errorf("singleton sample wrong")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := Sample{1, 2, 3}
+	big := Sample{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3}
+	if small.CI95() <= big.CI95() {
+		t.Errorf("CI should shrink with more samples: %f vs %f", small.CI95(), big.CI95())
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=4, sd=1, mean irrelevant: CI = t(3)*1/2 = 3.182/2.
+	s := Sample{0, 0, 2, 2} // sd = sqrt((1+1+1+1)/3) = 1.1547
+	want := 3.182 * s.Stddev() / 2
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %f, want %f", got, want)
+	}
+}
+
+func TestTCritLargeDF(t *testing.T) {
+	if tCrit(100) != 1.96 {
+		t.Errorf("large-df t = %f", tCrit(100))
+	}
+	if !math.IsInf(tCrit(0), 1) {
+		t.Errorf("df=0 should be +inf")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	s := Sample{5, 1, 9, 3}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if s.Median() != 4 {
+		t.Errorf("median = %f", s.Median())
+	}
+	if (Sample{5, 1, 9}).Median() != 5 {
+		t.Errorf("odd median wrong")
+	}
+	// Median must not mutate.
+	if s[0] != 5 {
+		t.Errorf("median sorted the sample in place")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	if s.N() != 2 || s.Mean() != 1.5 {
+		t.Errorf("Add broken: %v", s)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := Sample{100, 100}  // lock: 100 cycles/unit
+	variant := Sample{50, 50} // TM: 50 cycles/unit
+	if got := Speedup(base, variant); got != 2 {
+		t.Errorf("speedup = %f, want 2", got)
+	}
+	if Speedup(base, Sample{}) != 0 {
+		t.Errorf("zero variant should give 0")
+	}
+}
+
+func TestSpeedupCI(t *testing.T) {
+	base := Sample{100, 110, 90}
+	same := Sample{100, 110, 90}
+	ci := SpeedupCI(base, same)
+	if ci <= 0 {
+		t.Errorf("CI should be positive for noisy samples: %f", ci)
+	}
+	exact := Sample{100, 100, 100}
+	if got := SpeedupCI(exact, exact); got != 0 {
+		t.Errorf("CI of exact samples = %f, want 0", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("Bar(5,10,10) = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Errorf("overflow not clamped")
+	}
+	if Bar(-1, 10, 10) != "" {
+		t.Errorf("negative not clamped")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Errorf("zero max not handled")
+	}
+}
+
+func TestFormatCI(t *testing.T) {
+	if got := FormatCI(1.23456, 0.019); got != "1.235 ± 0.019" {
+		t.Errorf("FormatCI = %q", got)
+	}
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the binary trace decoder against arbitrary input:
+// it must never panic, and anything it accepts must re-encode and decode
+// to the same operation stream.
+func FuzzDecode(f *testing.F) {
+	sample := buildSample()
+	var buf bytes.Buffer
+	if err := sample.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("LTMT\x01"))
+	f.Add([]byte("LTMT\x01\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := tr.Encode(&out); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("decode of re-encoded trace failed: %v", err)
+		}
+		if len(tr2.Ops) != len(tr.Ops) {
+			t.Fatalf("round trip changed op count")
+		}
+		for i := range tr.Ops {
+			if tr.Ops[i] != tr2.Ops[i] {
+				t.Fatalf("round trip changed op %d", i)
+			}
+		}
+	})
+}

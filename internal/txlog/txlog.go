@@ -1,0 +1,227 @@
+// Package txlog implements the LogTM-SE per-thread transaction log and the
+// log filter.
+//
+// The log is a stack of frames, one per nesting level (following Nested
+// LogTM, which LogTM-SE adopts in §3.2). Each frame has a fixed-size
+// header — register checkpoint, signature-save area, transaction kind —
+// and a variable-size body of undo records (virtual block address + old
+// contents). Closed commits merge a frame into its parent; open commits
+// discard the frame's undo records and restore the parent's saved
+// signature; aborts walk the innermost frame LIFO.
+//
+// The log filter (§2, "Eager Version Management") is a small set-
+// associative array of recently logged virtual block addresses that
+// suppresses redundant logging. It is a pure performance optimization: it
+// is always safe to clear (and it must be cleared on nested begin and
+// context switch so children and successors re-log).
+package txlog
+
+import (
+	"fmt"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/mem"
+	"logtmse/internal/sig"
+)
+
+// UndoRecord saves the pre-transaction contents of one block.
+type UndoRecord struct {
+	VAddr addr.VAddr // block-aligned virtual address
+	PAddr addr.PAddr // physical address at logging time
+	Old   mem.Block  // previous contents
+}
+
+// HeaderBytes and RecordBytes size the log for log-pointer accounting
+// (virtual-memory footprint of the log).
+const (
+	HeaderBytes = 128 // register checkpoint + saved signature + links
+	RecordBytes = 8 + addr.BlockBytes
+)
+
+// Frame is one nesting level of the log.
+type Frame struct {
+	// Checkpoint is the register checkpoint taken at begin; the engine
+	// stores whatever it needs to restart the transaction.
+	Checkpoint interface{}
+	// SavedSig is the signature-save area: the parent's signature at the
+	// time this (nested) transaction began; nil for the outermost frame.
+	SavedSig *sig.Signature
+	// Open marks an open-nested transaction.
+	Open bool
+	// Undo holds this frame's undo records, oldest first.
+	Undo []UndoRecord
+}
+
+// Log is a per-thread transaction log. The zero value is an empty log.
+type Log struct {
+	frames []*Frame
+}
+
+// Depth reports the current nesting depth (0 = no active transaction).
+func (l *Log) Depth() int { return len(l.frames) }
+
+// Bytes reports the current log-pointer offset: the virtual-memory
+// footprint of all active frames.
+func (l *Log) Bytes() int {
+	n := 0
+	for _, f := range l.frames {
+		n += HeaderBytes + RecordBytes*len(f.Undo)
+	}
+	return n
+}
+
+// Push begins a new frame (transaction begin, any nesting level).
+func (l *Log) Push(checkpoint interface{}, savedSig *sig.Signature, open bool) *Frame {
+	f := &Frame{Checkpoint: checkpoint, SavedSig: savedSig, Open: open}
+	l.frames = append(l.frames, f)
+	return f
+}
+
+// Top returns the innermost frame, or nil if no transaction is active.
+func (l *Log) Top() *Frame {
+	if len(l.frames) == 0 {
+		return nil
+	}
+	return l.frames[len(l.frames)-1]
+}
+
+// ForEachFrame visits every active frame, outermost first. The OS paging
+// path uses it to update the signature-save areas of nested transactions
+// after a page relocation (§4.2).
+func (l *Log) ForEachFrame(fn func(*Frame)) {
+	for _, f := range l.frames {
+		fn(f)
+	}
+}
+
+// Append adds an undo record to the innermost frame.
+func (l *Log) Append(rec UndoRecord) error {
+	f := l.Top()
+	if f == nil {
+		return fmt.Errorf("txlog: append with no active frame")
+	}
+	rec.VAddr = rec.VAddr.Block()
+	rec.PAddr = rec.PAddr.Block()
+	f.Undo = append(f.Undo, rec)
+	return nil
+}
+
+// CommitClosed merges the innermost frame into its parent (closed nested
+// commit): the parent inherits the undo records so an eventual parent
+// abort still restores them. The outermost commit discards the frame.
+func (l *Log) CommitClosed() (*Frame, error) {
+	f := l.Top()
+	if f == nil {
+		return nil, fmt.Errorf("txlog: commit with no active frame")
+	}
+	l.frames = l.frames[:len(l.frames)-1]
+	if parent := l.Top(); parent != nil {
+		parent.Undo = append(parent.Undo, f.Undo...)
+	}
+	return f, nil
+}
+
+// CommitOpen discards the innermost frame's undo records (the open commit
+// makes its updates permanent) and returns the frame so the engine can
+// restore the parent's signature from the save area.
+func (l *Log) CommitOpen() (*Frame, error) {
+	f := l.Top()
+	if f == nil {
+		return nil, fmt.Errorf("txlog: open commit with no active frame")
+	}
+	l.frames = l.frames[:len(l.frames)-1]
+	return f, nil
+}
+
+// Abort walks the innermost frame's undo records in LIFO order, calling
+// restore on each, pops the frame and returns it. The engine trap handler
+// supplies restore (it writes old values back through the memory system).
+func (l *Log) Abort(restore func(UndoRecord)) (*Frame, error) {
+	f := l.Top()
+	if f == nil {
+		return nil, fmt.Errorf("txlog: abort with no active frame")
+	}
+	for i := len(f.Undo) - 1; i >= 0; i-- {
+		restore(f.Undo[i])
+	}
+	l.frames = l.frames[:len(l.frames)-1]
+	return f, nil
+}
+
+// Reset discards every frame (outermost commit or full abort completion).
+func (l *Log) Reset() { l.frames = nil }
+
+// Filter is the log filter: a small set-associative array of recently
+// logged virtual block addresses.
+type Filter struct {
+	sets, ways int
+	tags       []uint64 // block index + 1 (0 = invalid)
+	use        []uint64
+	clk        uint64
+}
+
+// NewFilter builds a filter with the given geometry; entries = sets*ways.
+func NewFilter(sets, ways int) (*Filter, error) {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("txlog: bad filter geometry %dx%d", sets, ways)
+	}
+	return &Filter{sets: sets, ways: ways, tags: make([]uint64, sets*ways), use: make([]uint64, sets*ways)}, nil
+}
+
+// MustFilter is NewFilter for known-valid geometries.
+func MustFilter(sets, ways int) *Filter {
+	f, err := NewFilter(sets, ways)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Entries reports the filter capacity.
+func (f *Filter) Entries() int { return f.sets * f.ways }
+
+func (f *Filter) slot(v addr.VAddr) (base int, tag uint64) {
+	blk := uint64(v) >> addr.BlockShift
+	return int(blk%uint64(f.sets)) * f.ways, blk + 1
+}
+
+// Contains reports whether the block containing v was recently logged.
+func (f *Filter) Contains(v addr.VAddr) bool {
+	base, tag := f.slot(v)
+	for i := 0; i < f.ways; i++ {
+		if f.tags[base+i] == tag {
+			f.clk++
+			f.use[base+i] = f.clk
+			return true
+		}
+	}
+	return false
+}
+
+// Add records the block containing v, evicting the LRU way of its set.
+func (f *Filter) Add(v addr.VAddr) {
+	base, tag := f.slot(v)
+	f.clk++
+	victim := base
+	for i := 0; i < f.ways; i++ {
+		if f.tags[base+i] == tag || f.tags[base+i] == 0 {
+			f.tags[base+i] = tag
+			f.use[base+i] = f.clk
+			return
+		}
+		if f.use[base+i] < f.use[victim] {
+			victim = base + i
+		}
+	}
+	f.tags[victim] = tag
+	f.use[victim] = f.clk
+}
+
+// Clear empties the filter (always safe: the filter only suppresses
+// redundant logging).
+func (f *Filter) Clear() {
+	for i := range f.tags {
+		f.tags[i] = 0
+		f.use[i] = 0
+	}
+}

@@ -1,0 +1,258 @@
+package txlog
+
+import (
+	"testing"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/mem"
+	"logtmse/internal/sig"
+)
+
+func rec(v addr.VAddr, fill byte) UndoRecord {
+	var b mem.Block
+	for i := range b {
+		b[i] = fill
+	}
+	return UndoRecord{VAddr: v, PAddr: addr.PAddr(v), Old: b}
+}
+
+func TestEmptyLog(t *testing.T) {
+	var l Log
+	if l.Depth() != 0 || l.Bytes() != 0 || l.Top() != nil {
+		t.Errorf("zero-value log not empty")
+	}
+	if err := l.Append(rec(0, 0)); err == nil {
+		t.Errorf("append with no frame succeeded")
+	}
+	if _, err := l.CommitClosed(); err == nil {
+		t.Errorf("commit with no frame succeeded")
+	}
+	if _, err := l.CommitOpen(); err == nil {
+		t.Errorf("open commit with no frame succeeded")
+	}
+	if _, err := l.Abort(func(UndoRecord) {}); err == nil {
+		t.Errorf("abort with no frame succeeded")
+	}
+}
+
+func TestPushAppendBytes(t *testing.T) {
+	var l Log
+	l.Push("ckpt", nil, false)
+	if l.Depth() != 1 {
+		t.Fatalf("depth = %d", l.Depth())
+	}
+	if l.Bytes() != HeaderBytes {
+		t.Errorf("empty frame bytes = %d, want %d", l.Bytes(), HeaderBytes)
+	}
+	if err := l.Append(rec(0x1043, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Bytes() != HeaderBytes+RecordBytes {
+		t.Errorf("bytes = %d", l.Bytes())
+	}
+	// Record addresses are block-aligned on append.
+	if got := l.Top().Undo[0].VAddr; got != 0x1040 {
+		t.Errorf("record vaddr = %v, want block-aligned 0x1040", got)
+	}
+}
+
+func TestAbortWalksLIFO(t *testing.T) {
+	var l Log
+	l.Push(nil, nil, false)
+	l.Append(rec(0x000, 1))
+	l.Append(rec(0x040, 2))
+	l.Append(rec(0x080, 3))
+	var order []addr.VAddr
+	f, err := l.Abort(func(r UndoRecord) { order = append(order, r.VAddr) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0x080 || order[1] != 0x040 || order[2] != 0x000 {
+		t.Errorf("abort order = %v, want LIFO", order)
+	}
+	if l.Depth() != 0 {
+		t.Errorf("depth after abort = %d", l.Depth())
+	}
+	if len(f.Undo) != 3 {
+		t.Errorf("returned frame lost records")
+	}
+}
+
+func TestClosedCommitMergesIntoParent(t *testing.T) {
+	var l Log
+	l.Push(nil, nil, false)
+	l.Append(rec(0x000, 1))
+	l.Push(nil, sig.MustSignature(sig.Config{Kind: sig.KindPerfect}), false)
+	l.Append(rec(0x040, 2))
+	if _, err := l.CommitClosed(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Depth() != 1 {
+		t.Fatalf("depth = %d", l.Depth())
+	}
+	if got := len(l.Top().Undo); got != 2 {
+		t.Fatalf("parent undo records = %d, want 2 (merged)", got)
+	}
+	// Parent abort must now restore the child's writes too, child-first.
+	var order []addr.VAddr
+	l.Abort(func(r UndoRecord) { order = append(order, r.VAddr) })
+	if order[0] != 0x040 || order[1] != 0x000 {
+		t.Errorf("merged abort order = %v", order)
+	}
+}
+
+func TestOpenCommitDiscardsRecords(t *testing.T) {
+	var l Log
+	l.Push(nil, nil, false)
+	saved := sig.MustSignature(sig.Config{Kind: sig.KindPerfect})
+	saved.Insert(sig.Read, 0x40)
+	l.Push(nil, saved, true)
+	l.Append(rec(0x040, 2))
+	f, err := l.CommitOpen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Open {
+		t.Errorf("frame not marked open")
+	}
+	if f.SavedSig == nil || !f.SavedSig.Conflict(sig.Write, 0x40) {
+		t.Errorf("signature-save area lost")
+	}
+	if got := len(l.Top().Undo); got != 0 {
+		t.Errorf("open commit leaked %d undo records into parent", got)
+	}
+}
+
+func TestNestedAbortOnlyInnermost(t *testing.T) {
+	var l Log
+	l.Push(nil, nil, false)
+	l.Append(rec(0x000, 1))
+	l.Push(nil, nil, false)
+	l.Append(rec(0x040, 2))
+	var restored []addr.VAddr
+	l.Abort(func(r UndoRecord) { restored = append(restored, r.VAddr) })
+	if len(restored) != 1 || restored[0] != 0x040 {
+		t.Errorf("partial abort restored %v, want just child's block", restored)
+	}
+	if l.Depth() != 1 || len(l.Top().Undo) != 1 {
+		t.Errorf("parent frame damaged by child abort")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var l Log
+	l.Push(nil, nil, false)
+	l.Append(rec(0, 1))
+	l.Reset()
+	if l.Depth() != 0 || l.Bytes() != 0 {
+		t.Errorf("reset left state")
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	// Unbounded nesting: no fixed limit in the structure.
+	var l Log
+	for i := 0; i < 1000; i++ {
+		l.Push(i, nil, false)
+		l.Append(rec(addr.VAddr(i*64), byte(i)))
+	}
+	if l.Depth() != 1000 {
+		t.Fatalf("depth = %d", l.Depth())
+	}
+	for i := 0; i < 999; i++ {
+		if _, err := l.CommitClosed(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(l.Top().Undo); got != 1000 {
+		t.Errorf("outermost frame has %d records, want all 1000", got)
+	}
+}
+
+func TestFilterGeometryValidation(t *testing.T) {
+	if _, err := NewFilter(0, 1); err == nil {
+		t.Errorf("zero sets accepted")
+	}
+	if _, err := NewFilter(3, 1); err == nil {
+		t.Errorf("non-power-of-two sets accepted")
+	}
+	if _, err := NewFilter(4, 0); err == nil {
+		t.Errorf("zero ways accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustFilter did not panic")
+		}
+	}()
+	MustFilter(0, 0)
+}
+
+func TestFilterHitMiss(t *testing.T) {
+	f := MustFilter(8, 4)
+	if f.Contains(0x1000) {
+		t.Errorf("fresh filter contains")
+	}
+	f.Add(0x1000)
+	if !f.Contains(0x1000) {
+		t.Errorf("added block missing")
+	}
+	if !f.Contains(0x103f) {
+		t.Errorf("same-block address missing")
+	}
+	if f.Contains(0x1040) {
+		t.Errorf("different block present")
+	}
+	if f.Entries() != 32 {
+		t.Errorf("Entries = %d", f.Entries())
+	}
+}
+
+func TestFilterLRUWithinSet(t *testing.T) {
+	f := MustFilter(1, 2)
+	f.Add(0x000)
+	f.Add(0x040)
+	f.Contains(0x000) // touch 0 so 0x040 is LRU
+	f.Add(0x080)      // evicts 0x040
+	if !f.Contains(0x000) || !f.Contains(0x080) {
+		t.Errorf("filter lost MRU entries")
+	}
+	if f.Contains(0x040) {
+		t.Errorf("LRU entry not evicted")
+	}
+}
+
+func TestFilterDuplicateAddStable(t *testing.T) {
+	f := MustFilter(1, 2)
+	f.Add(0x000)
+	f.Add(0x000)
+	f.Add(0x040)
+	if !f.Contains(0x000) || !f.Contains(0x040) {
+		t.Errorf("duplicate add displaced entries")
+	}
+}
+
+func TestFilterClear(t *testing.T) {
+	f := MustFilter(8, 2)
+	f.Add(0x1000)
+	f.Clear()
+	if f.Contains(0x1000) {
+		t.Errorf("filter not cleared")
+	}
+}
+
+func TestFilterSetIndexing(t *testing.T) {
+	f := MustFilter(8, 1)
+	// Blocks 8 sets apart collide; block 0 and 1 do not.
+	f.Add(0)
+	f.Add(64)
+	if !f.Contains(0) || !f.Contains(64) {
+		t.Errorf("different sets interfered")
+	}
+	f.Add(8 * 64) // same set as 0, 1 way: evicts 0
+	if f.Contains(0) {
+		t.Errorf("set conflict not honored")
+	}
+	if !f.Contains(8 * 64) {
+		t.Errorf("new entry missing")
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/core"
+	"logtmse/internal/lockbase"
+)
+
+// BerkeleyDB models the paper's BerkeleyDB workload: a driver initializes
+// a 1000-word database and worker threads perform random database reads.
+// Each read stresses the lock subsystem — repeated requests for locks on
+// database objects — which the TM version converts into transactions over
+// the shared lock-table blocks, while the Lock version serializes on the
+// lock-region mutex (as BerkeleyDB's region locking does).
+//
+// Table 2 calibration: 128 units (database reads), ~1120 transactions
+// (9 per read), read sets avg 8.1 / max 30, write sets avg 6.8 / max 28.
+func BerkeleyDB() *Workload {
+	return &Workload{
+		Name:       "BerkeleyDB",
+		Input:      "1000 words",
+		UnitOfWork: "1 database read",
+		Units:      128,
+		spawn:      spawnBDB,
+	}
+}
+
+const (
+	bdbLockBlocks  = 64 // lock-table objects, one per block
+	bdbTxnsPerUnit = 9  // lock-subsystem ops per database read
+	bdbDBWords     = 1000
+)
+
+func spawnBDB(sys *core.System, cfg Config) (*Instance, error) {
+	pt := sys.NewPageTable(1)
+	units := int(float64(BerkeleyDB().Units) * cfg.Scale)
+	if units < cfg.Threads {
+		units = cfg.Threads
+	}
+	regionMutex := lockbase.NewMutex(regionLocks)
+
+	var expected atomic.Int64
+
+	worker := func(id int, a *core.API) {
+		rng := a.Rand()
+		myUnits := split(units, cfg.Threads, id)
+		for u := 0; u < myUnits; u++ {
+			for tx := 0; tx < bdbTxnsPerUnit; tx++ {
+				// One lock-subsystem operation: read lock-status blocks
+				// (holder lists, hash buckets), atomically update a
+				// skewed set of lock objects in sorted order (the
+				// database's deadlock-avoidance discipline), and read a
+				// database word.
+				kr := drawCount(rng, 7.3, 27)
+				ridxs := make([]int, kr)
+				for i := range ridxs {
+					ridxs[i] = zipfIdx(rng, bdbLockBlocks, 1.5)
+				}
+				kw := drawCount(rng, 7.6, 27)
+				widxs := make([]int, kw)
+				for i := range widxs {
+					widxs[i] = zipfIdx(rng, bdbLockBlocks, 2.8)
+				}
+				sort.Ints(widxs)
+				writeMeta := rng.Float64() < 0.5
+				// Occasionally a lock object's state is inspected before
+				// acquisition; these reads create the rare read-write
+				// deadlock cycles (and thus aborts) the paper observes.
+				peek := -1
+				if rng.Float64() < 0.1 {
+					peek = zipfIdx(rng, bdbLockBlocks, 2.0)
+				}
+				dbWord := rng.Intn(bdbDBWords)
+
+				body := func() {
+					// System calls, I/O and allocation inside the
+					// critical section run as non-transactional escape
+					// actions (§6.2, via Nested LogTM): not signed, not
+					// logged, never rolled back.
+					a.Escape(func() {
+						a.FetchAdd(privBase(id), 1)
+					})
+					if writeMeta {
+						a.FetchAdd(regionMeta, 1)
+					} else {
+						_ = a.Load(regionMeta)
+					}
+					if peek >= 0 {
+						_ = a.Load(spreadAt(regionA, peek))
+					}
+					// Acquire the lock objects first (holding them for
+					// the rest of the operation), then walk holder lists
+					// and the database page.
+					for _, i := range widxs {
+						a.FetchAdd(spreadAt(regionA, i), 1)
+					}
+					for _, i := range ridxs {
+						_ = a.Load(spreadAt(regionB, i))
+					}
+					_ = a.Load(regionC + addr.VAddr(dbWord)*addr.WordBytes)
+					a.Compute(20)
+				}
+				if cfg.Mode == TM {
+					a.Transaction(body)
+				} else {
+					regionMutex.With(a, body)
+				}
+				// Tally after the (possibly retried) atomic section has
+				// committed, so aborted executions are not counted.
+				expected.Add(int64(len(widxs)))
+				a.Compute(150)
+			}
+			a.WorkUnit()
+		}
+	}
+
+	if err := spawnAll(sys, pt, cfg.Threads, "bdb", worker); err != nil {
+		return nil, err
+	}
+	return &Instance{
+		PT: pt,
+		Verify: func(sys *core.System) error {
+			var got int64
+			for i := 0; i < bdbLockBlocks; i++ {
+				got += int64(sys.Mem.ReadWord(pt.Translate(spreadAt(regionA, i))))
+			}
+			if got != expected.Load() {
+				return fmt.Errorf("BerkeleyDB: lock-table increments = %d, want %d (lost updates)", got, expected.Load())
+			}
+			return nil
+		},
+	}, nil
+}

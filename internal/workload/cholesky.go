@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+
+	"logtmse/internal/core"
+	"logtmse/internal/lockbase"
+	"logtmse/internal/sim"
+)
+
+// Cholesky models the SPLASH Cholesky factorization (tk14.O): threads pull
+// supernode tasks from a shared queue and spend most of their time in the
+// numeric kernel. Critical sections are short, constant-sized queue
+// operations — Table 2 shows exactly 4-block read sets and 2-block write
+// sets (avg == max) over 261 transactions — so TM and locks perform the
+// same within noise.
+func Cholesky() *Workload {
+	return &Workload{
+		Name:       "Cholesky",
+		Input:      "tk14.O",
+		UnitOfWork: "Factorization",
+		Units:      1,
+		spawn:      spawnCholesky,
+	}
+}
+
+const (
+	choleskyTasks      = 261   // transactions at scale 1 (one pop each)
+	choleskyKernelCost = 30000 // cycles of factorization per task
+)
+
+func spawnCholesky(sys *core.System, cfg Config) (*Instance, error) {
+	pt := sys.NewPageTable(1)
+	tasks := int(float64(choleskyTasks) * cfg.Scale)
+	if tasks < cfg.Threads {
+		tasks = cfg.Threads
+	}
+	queueMutex := lockbase.NewMutex(regionLocks)
+	done := core.NewBarrier(cfg.Threads)
+
+	// Queue layout: block 0 = head counter, blocks 1-3 = bookkeeping the
+	// pop reads; pops write blocks 0 and 1.
+	worker := func(id int, a *core.API) {
+		for {
+			var claimed uint64
+			pop := func() {
+				head := a.Load(blockAt(regionA, 0))
+				_ = a.Load(blockAt(regionA, 1))
+				_ = a.Load(blockAt(regionA, 2))
+				_ = a.Load(blockAt(regionA, 3))
+				claimed = head
+				if head < uint64(tasks) {
+					a.Store(blockAt(regionA, 0), head+1)
+					a.Store(blockAt(regionA, 1), head+1)
+				} else {
+					// Worker-done bookkeeping keeps the write set at the
+					// constant two blocks Table 2 reports.
+					a.Store(blockAt(regionA, 2), head)
+					a.Store(blockAt(regionA, 3), head)
+				}
+			}
+			if cfg.Mode == TM {
+				a.Transaction(pop)
+			} else {
+				queueMutex.With(a, pop)
+			}
+			if claimed >= uint64(tasks) {
+				break
+			}
+			// Numeric kernel: private data + compute.
+			base := privBase(id)
+			for i := 0; i < 8; i++ {
+				a.Store(base+blockAt(0, i), claimed+uint64(i))
+			}
+			a.Compute(sim.Cycle(choleskyKernelCost))
+		}
+		a.Barrier(done)
+		if id == 0 {
+			a.WorkUnit() // the factorization is one unit of work
+		}
+	}
+
+	if err := spawnAll(sys, pt, cfg.Threads, "chol", worker); err != nil {
+		return nil, err
+	}
+	return &Instance{
+		PT: pt,
+		Verify: func(sys *core.System) error {
+			head := sys.Mem.ReadWord(pt.Translate(blockAt(regionA, 0)))
+			if head != uint64(tasks) {
+				return fmt.Errorf("Cholesky: %d tasks popped, want %d", head, tasks)
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+
+	"logtmse/internal/core"
+)
+
+func TestNestedMicroBothModes(t *testing.T) {
+	for _, mode := range []Mode{TM, Lock} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			runWorkload(t, NestedMicro(), Config{Mode: mode, Scale: 0.05}, testParams())
+		})
+	}
+}
+
+func TestNestedMicroUsesNesting(t *testing.T) {
+	sys, _ := runWorkload(t, NestedMicro(), Config{Mode: TM, Scale: 0.05}, testParams())
+	st := sys.Stats()
+	if st.NestedBegins == 0 || st.NestedCommits == 0 {
+		t.Errorf("no nested transactions: %+v", st)
+	}
+	if st.OpenCommits == 0 {
+		t.Errorf("no open commits")
+	}
+	// Three nested begins per outer transaction.
+	if st.NestedBegins < 3*st.Commits {
+		t.Errorf("nested begins %d < 3x commits %d", st.NestedBegins, st.Commits)
+	}
+}
+
+func TestNestedMicroInExtrasNotAll(t *testing.T) {
+	for _, w := range All() {
+		if w.Name == "NestedMicro" {
+			t.Errorf("NestedMicro leaked into the Table 2 benchmark set")
+		}
+	}
+	if w, ok := ByName("NestedMicro"); !ok || w.Name != "NestedMicro" {
+		t.Errorf("NestedMicro not resolvable by name")
+	}
+	if len(Extras()) != 1 {
+		t.Errorf("Extras() = %d entries", len(Extras()))
+	}
+}
+
+func TestNestedMicroBackupSignaturesSpeedup(t *testing.T) {
+	run := func(backups int) uint64 {
+		p := testParams()
+		p.SigBackupCopies = backups
+		sys, err := core.NewSystem(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := NestedMicro().Spawn(sys, Config{Mode: TM, Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run()
+		if err := inst.Verify(sys); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(sys.Stats().Cycles)
+	}
+	if with, without := run(4), run(0); with >= without {
+		t.Errorf("backup signatures did not help nesting: %d vs %d cycles", with, without)
+	}
+}

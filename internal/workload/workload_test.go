@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"logtmse/internal/core"
+)
+
+// testParams returns a small 8-context machine for fast workload tests.
+func testParams() core.Params {
+	p := core.DefaultParams()
+	p.Cores = 4
+	p.ThreadsPerCore = 2
+	p.GridW, p.GridH = 2, 2
+	p.L2Banks = 4
+	return p
+}
+
+func runWorkload(t *testing.T, w *Workload, cfg Config, p core.Params) (*core.System, *Instance) {
+	t.Helper()
+	sys, err := core.NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Spawn(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if !sys.AllDone() {
+		t.Fatalf("%s: threads stuck: %v", w.Name, sys.Stuck())
+	}
+	if err := inst.Verify(sys); err != nil {
+		t.Errorf("%s: %v", w.Name, err)
+	}
+	return sys, inst
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("want 5 workloads, got %d", len(all))
+	}
+	names := []string{"BerkeleyDB", "Cholesky", "Radiosity", "Raytrace", "Mp3d"}
+	for i, n := range names {
+		if all[i].Name != n {
+			t.Errorf("workload %d = %s, want %s", i, all[i].Name, n)
+		}
+		w, ok := ByName(n)
+		if !ok || w.Name != n {
+			t.Errorf("ByName(%s) failed", n)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Errorf("ByName accepted unknown name")
+	}
+}
+
+func TestTable2Metadata(t *testing.T) {
+	// The Table 2 constants the harness reports.
+	want := map[string]struct {
+		input string
+		units int
+	}{
+		"BerkeleyDB": {"1000 words", 128},
+		"Cholesky":   {"tk14.O", 1},
+		"Radiosity":  {"batch", 512},
+		"Raytrace":   {"small image (teapot)", 1},
+		"Mp3d":       {"128 molecules", 512},
+	}
+	for _, w := range All() {
+		exp := want[w.Name]
+		if w.Input != exp.input || w.Units != exp.units {
+			t.Errorf("%s: input=%q units=%d, want %q/%d", w.Name, w.Input, w.Units, exp.input, exp.units)
+		}
+	}
+}
+
+// Every workload must complete and verify in both modes.
+func TestAllWorkloadsBothModes(t *testing.T) {
+	for _, w := range All() {
+		for _, mode := range []Mode{TM, Lock} {
+			w, mode := w, mode
+			t.Run(w.Name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				runWorkload(t, w, Config{Mode: mode, Scale: 0.05}, testParams())
+			})
+		}
+	}
+}
+
+func TestTMModeProducesTransactions(t *testing.T) {
+	sys, _ := runWorkload(t, BerkeleyDB(), Config{Mode: TM, Scale: 0.1}, testParams())
+	st := sys.Stats()
+	if st.Commits == 0 {
+		t.Errorf("TM run committed nothing")
+	}
+	if st.WorkUnits == 0 {
+		t.Errorf("no work units recorded")
+	}
+}
+
+func TestLockModeProducesNoTransactions(t *testing.T) {
+	sys, _ := runWorkload(t, BerkeleyDB(), Config{Mode: Lock, Scale: 0.1}, testParams())
+	if st := sys.Stats(); st.Commits != 0 || st.Begins != 0 {
+		t.Errorf("lock run used transactions: %+v", st)
+	}
+}
+
+func TestBerkeleyDBSetSizesMatchTable2(t *testing.T) {
+	// Full-scale run on the paper machine: read avg ~8.1 (max <= 30),
+	// write avg ~6.8 (max <= 28). Allow generous tolerance — the paper's
+	// numbers are themselves averages of a sampled run.
+	p := core.DefaultParams()
+	sys, _ := runWorkload(t, BerkeleyDB(), Config{Mode: TM, Scale: 1}, p)
+	st := sys.Stats()
+	if st.Commits < 1000 {
+		t.Fatalf("commits = %d, want ~1152", st.Commits)
+	}
+	if avg := st.ReadSetAvg(); avg < 6 || avg > 10.5 {
+		t.Errorf("read-set avg = %.2f, want ~8.1", avg)
+	}
+	if avg := st.WriteSetAvg(); avg < 5 || avg > 9 {
+		t.Errorf("write-set avg = %.2f, want ~6.8", avg)
+	}
+	if st.ReadSetMax > 30 {
+		t.Errorf("read-set max = %d, paper reports 30", st.ReadSetMax)
+	}
+	if st.WriteSetMax > 28 {
+		t.Errorf("write-set max = %d, paper reports 28", st.WriteSetMax)
+	}
+}
+
+func TestCholeskySetSizesExact(t *testing.T) {
+	sys, _ := runWorkload(t, Cholesky(), Config{Mode: TM, Scale: 1}, core.DefaultParams())
+	st := sys.Stats()
+	// Table 2: read 4.0/4, write 2.0/2 — constants.
+	if st.ReadSetMax != 4 || st.WriteSetMax != 2 {
+		t.Errorf("set maxima = %d/%d, want 4/2", st.ReadSetMax, st.WriteSetMax)
+	}
+	if avg := st.ReadSetAvg(); avg < 3.9 || avg > 4.01 {
+		t.Errorf("read avg = %.2f, want 4.0", avg)
+	}
+	if st.Commits < 261 {
+		t.Errorf("commits = %d, want >= 261 (incl. termination checks)", st.Commits)
+	}
+}
+
+func TestRaytraceBigReadSets(t *testing.T) {
+	sys, _ := runWorkload(t, Raytrace(), Config{Mode: TM, Scale: 0.1}, core.DefaultParams())
+	st := sys.Stats()
+	if st.ReadSetMax < 60 {
+		t.Errorf("read-set max = %d; the scene-refit transactions should exceed 60 blocks", st.ReadSetMax)
+	}
+	if st.ReadSetMax > 560 {
+		t.Errorf("read-set max = %d exceeds the paper's 550-block worst case", st.ReadSetMax)
+	}
+	if st.WriteSetMax > 3 {
+		t.Errorf("write-set max = %d, paper reports 3", st.WriteSetMax)
+	}
+}
+
+func TestMp3dSmallSets(t *testing.T) {
+	sys, _ := runWorkload(t, Mp3d(), Config{Mode: TM, Scale: 0.1}, core.DefaultParams())
+	st := sys.Stats()
+	if avg := st.ReadSetAvg(); avg < 1.5 || avg > 3.5 {
+		t.Errorf("read avg = %.2f, want ~2.2", avg)
+	}
+	if st.ReadSetMax > 18 {
+		t.Errorf("read max = %d, paper reports 18", st.ReadSetMax)
+	}
+	if st.WriteSetMax > 10 {
+		t.Errorf("write max = %d, paper reports 10", st.WriteSetMax)
+	}
+}
+
+func TestRadiosityWriteTail(t *testing.T) {
+	sys, _ := runWorkload(t, Radiosity(), Config{Mode: TM, Scale: 0.2}, core.DefaultParams())
+	st := sys.Stats()
+	if st.WriteSetMax < 10 {
+		t.Errorf("write max = %d; batch enqueues should produce large write sets", st.WriteSetMax)
+	}
+	if st.WriteSetMax > 46 {
+		t.Errorf("write max = %d exceeds the paper's 45", st.WriteSetMax)
+	}
+	if avg := st.WriteSetAvg(); avg > 3.5 {
+		t.Errorf("write avg = %.2f, want ~1.5 (small typical transactions)", avg)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	p := testParams()
+	run := func() (uint64, uint64) {
+		sys, err := core.NewSystem(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := Mp3d().Spawn(sys, Config{Mode: TM, Scale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run()
+		if err := inst.Verify(sys); err != nil {
+			t.Fatal(err)
+		}
+		st := sys.Stats()
+		return uint64(st.Cycles), st.Commits
+	}
+	c1, n1 := run()
+	c2, n2 := run()
+	if c1 != c2 || n1 != n2 {
+		t.Errorf("same seed diverged: (%d,%d) vs (%d,%d)", c1, n1, c2, n2)
+	}
+}
+
+func TestSeedPerturbation(t *testing.T) {
+	p := testParams()
+	run := func(seed int64) uint64 {
+		p := p
+		p.Seed = seed
+		sys, err := core.NewSystem(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BerkeleyDB().Spawn(sys, Config{Mode: TM, Scale: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(sys.Run())
+	}
+	if run(1) == run(99) {
+		t.Errorf("different seeds produced identical cycle counts (suspicious)")
+	}
+}
+
+func TestDrawCountBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sum := 0.0
+	for i := 0; i < 20000; i++ {
+		k := drawCount(r, 6.1, 27)
+		if k < 1 || k > 27 {
+			t.Fatalf("drawCount out of bounds: %d", k)
+		}
+		sum += float64(k)
+	}
+	if avg := sum / 20000; avg < 5 || avg > 7 {
+		t.Errorf("drawCount avg = %.2f, want ~6.1", avg)
+	}
+	if drawCount(r, 0.5, 5) != 1 {
+		t.Errorf("mean<=1 should pin to 1")
+	}
+}
+
+func TestZipfIdxSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	low := 0
+	for i := 0; i < 10000; i++ {
+		v := zipfIdx(r, 64, 2.0)
+		if v < 0 || v >= 64 {
+			t.Fatalf("zipfIdx out of range: %d", v)
+		}
+		if v < 8 {
+			low++
+		}
+	}
+	// With skew 2, ~sqrt(8/64)=35% of draws land in the first 8 entries.
+	if low < 2500 {
+		t.Errorf("zipf skew too weak: only %d/10000 in hot set", low)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	total := 0
+	for id := 0; id < 7; id++ {
+		total += split(100, 7, id)
+	}
+	if total != 100 {
+		t.Errorf("split loses units: %d", total)
+	}
+	if split(100, 7, 0) != 15 || split(100, 7, 6) != 14 {
+		t.Errorf("split remainder misdistributed")
+	}
+}
+
+func TestTooManyThreadsRejected(t *testing.T) {
+	sys, err := core.NewSystem(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BerkeleyDB().Spawn(sys, Config{Threads: 100, Scale: 0.01}); err == nil {
+		t.Errorf("oversubscription accepted without osm")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if TM.String() != "TM" || Lock.String() != "Lock" {
+		t.Errorf("mode strings wrong")
+	}
+}
