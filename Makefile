@@ -1,0 +1,14 @@
+.PHONY: check test build bench
+
+# The pre-PR gate: gofmt, go vet, go test -race (see scripts/check.sh).
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench . -benchtime 1x -run xxx .

@@ -332,6 +332,51 @@ func BenchmarkLogTMvsSE(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead is the observability overhead guard: the same
+// cell with no sink (the seed baseline), with a discarding sink, and
+// with a discarding sink plus metrics. The bare run must stay within
+// noise of the seed, and the cycles/unit metric must be identical across
+// all three — instrumentation observes the run, it never changes it.
+func BenchmarkObsOverhead(b *testing.B) {
+	perfect, _ := VariantByName("Perfect")
+	cells := []struct {
+		name string
+		rc   func() RunConfig
+	}{
+		{"bare", func() RunConfig {
+			return RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: benchScale}
+		}},
+		{"sink", func() RunConfig {
+			return RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: benchScale,
+				Sink: DiscardSink{}}
+		}},
+		{"sink+metrics", func() RunConfig {
+			return RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: benchScale,
+				Sink: DiscardSink{}, Metrics: NewCoreMetrics(NewRegistry())}
+		}},
+	}
+	var baseline float64
+	for _, c := range cells {
+		b.Run(c.name, func(b *testing.B) {
+			var last RunResult
+			for i := 0; i < b.N; i++ {
+				r, err := RunOne(c.rc(), 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.CyclesPerUnit, "cycles/unit")
+			if c.name == "bare" {
+				baseline = last.CyclesPerUnit
+			} else if baseline != 0 && last.CyclesPerUnit != baseline {
+				b.Fatalf("instrumentation changed simulated behavior: %f vs %f cycles/unit",
+					last.CyclesPerUnit, baseline)
+			}
+		})
+	}
+}
+
 // BenchmarkSignatureOps microbenchmarks the signature hardware itself:
 // insert+test throughput per implementation (a pure data-structure
 // benchmark, independent of the simulator).

@@ -5,6 +5,8 @@
 //
 //	logtmsim -workload Raytrace -variant Perfect -scale 0.2 -seed 1
 //	logtmsim -print-config          # Table 1 parameters
+//	logtmsim -trace-out run.json    # per-core timeline for chrome://tracing
+//	logtmsim -metrics-out run.csv   # interval metrics time series
 package main
 
 import (
@@ -16,6 +18,20 @@ import (
 	"logtmse"
 )
 
+// writeFile creates path, runs fn on it, and closes it, reporting the
+// first error.
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	name := flag.String("workload", "BerkeleyDB", "benchmark name (Table 2)")
 	variant := flag.String("variant", "Perfect", "Lock | Perfect | BS | CBS | DBS | BS_64")
@@ -25,6 +41,9 @@ func main() {
 	snoop := flag.Bool("snoop", false, "use the broadcast snooping protocol (§7) instead of the directory")
 	chips := flag.Int("chips", 1, "build a multiple-CMP system (§7) with this many chips")
 	trace := flag.Int("trace", 0, "print the first N transactional events")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (catapult) JSON timeline to this file (open in chrome://tracing or Perfetto; summarize with txviz)")
+	metricsOut := flag.String("metrics-out", "", "write the interval metrics time series (counters, gauges, histogram percentiles) as CSV to this file")
+	metricsInterval := flag.Uint64("metrics-interval", 10000, "metrics snapshot interval in cycles")
 	asJSON := flag.Bool("json", false, "emit the result as JSON (for scripting)")
 	printConfig := flag.Bool("print-config", false, "print the Table 1 system parameters and exit")
 	flag.Parse()
@@ -69,17 +88,48 @@ func main() {
 			}
 		}
 	}
-	res, err := logtmse.RunOne(logtmse.RunConfig{
-		Workload: *name,
-		Variant:  v,
-		Scale:    *scale,
-		Threads:  *threads,
-		Params:   &params,
-		Tracer:   tracer,
-	}, *seed)
+	var rec *logtmse.Recorder
+	if *traceOut != "" {
+		rec = &logtmse.Recorder{}
+	}
+	var metrics *logtmse.CoreMetrics
+	if *metricsOut != "" {
+		metrics = logtmse.NewCoreMetrics(logtmse.NewRegistry())
+	}
+	rc := logtmse.RunConfig{
+		Workload:        *name,
+		Variant:         v,
+		Scale:           *scale,
+		Threads:         *threads,
+		Params:          &params,
+		Tracer:          tracer,
+		Metrics:         metrics,
+		MetricsInterval: logtmse.Cycle(*metricsInterval),
+	}
+	if rec != nil {
+		rc.Sink = rec
+	}
+	res, err := logtmse.RunOne(rc, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		if err := writeFile(*traceOut, func(w *os.File) error {
+			return logtmse.WriteCatapult(w, rec.Events)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "logtmsim: trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "logtmsim: wrote %d events to %s\n", len(rec.Events), *traceOut)
+	}
+	if metrics != nil {
+		if err := writeFile(*metricsOut, func(w *os.File) error {
+			return metrics.Reg.WriteCSV(w)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "logtmsim: metrics-out: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

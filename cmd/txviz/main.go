@@ -1,0 +1,174 @@
+// Command txviz summarizes a catapult trace produced by
+// `logtmsim -trace-out`: transaction and stall duration percentiles,
+// abort causes, and the top-N conflict addresses.
+//
+// Usage:
+//
+//	logtmsim -workload BerkeleyDB -scale 0.1 -trace-out run.json
+//	txviz run.json
+//	txviz -top 20 run.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"logtmse/internal/obs"
+)
+
+func main() {
+	top := flag.Int("top", 10, "conflict addresses to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: txviz [-top N] <trace.json>\n")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "txviz: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var doc obs.CatapultTrace
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		fmt.Fprintf(os.Stderr, "txviz: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	summarize(os.Stdout, &doc, *top)
+}
+
+// conflictStat accumulates per-address conflict activity.
+type conflictStat struct {
+	addr        string
+	nacks       int
+	summary     int
+	sticky      int
+	stallCycles float64
+	stallCount  int
+}
+
+func (c conflictStat) total() int { return c.nacks + c.summary + c.sticky }
+
+func summarize(w *os.File, doc *obs.CatapultTrace, top int) {
+	var txDur, abortDur, stallDur, walkRecords []float64
+	commits, aborts, unfinished := 0, 0, 0
+	causes := map[string]int{}
+	conflicts := map[string]*conflictStat{}
+	stat := func(addr string) *conflictStat {
+		c := conflicts[addr]
+		if c == nil {
+			c = &conflictStat{addr: addr}
+			conflicts[addr] = c
+		}
+		return c
+	}
+	argStr := func(args map[string]any, key string) string {
+		s, _ := args[key].(string)
+		return s
+	}
+
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Name == obs.NameTx:
+			commits++
+			txDur = append(txDur, e.Dur)
+		case e.Ph == "X" && e.Name == obs.NameTxAborted:
+			aborts++
+			abortDur = append(abortDur, e.Dur)
+			if c := argStr(e.Args, "cause"); c != "" {
+				causes[c]++
+			}
+		case e.Ph == "X" && e.Name == obs.NameTxOpen:
+			unfinished++
+		case e.Ph == "X" && e.Name == obs.NameStall:
+			stallDur = append(stallDur, e.Dur)
+			if a := argStr(e.Args, "addr"); a != "" {
+				c := stat(a)
+				c.stallCycles += e.Dur
+				c.stallCount++
+			}
+		case e.Ph == "X" && e.Name == obs.NameLogWalk:
+			if r, ok := e.Args["records"].(float64); ok {
+				walkRecords = append(walkRecords, r)
+			}
+		case e.Ph == "i" && e.Name == obs.NameNack:
+			if a := argStr(e.Args, "addr"); a != "" {
+				stat(a).nacks++
+			}
+		case e.Ph == "i" && e.Name == obs.NameSummaryHit:
+			if a := argStr(e.Args, "addr"); a != "" {
+				stat(a).summary++
+			}
+		case e.Ph == "i" && e.Name == obs.NameStickyFwd:
+			if a := argStr(e.Args, "addr"); a != "" {
+				stat(a).sticky++
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "transactions: %d committed, %d aborted attempts", commits, aborts)
+	if unfinished > 0 {
+		fmt.Fprintf(w, ", %d unfinished", unfinished)
+	}
+	fmt.Fprintln(w)
+	if len(causes) > 0 {
+		names := make([]string, 0, len(causes))
+		for n := range causes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "abort causes:")
+		for _, n := range names {
+			fmt.Fprintf(w, " %s=%d", n, causes[n])
+		}
+		fmt.Fprintln(w)
+	}
+	printDist(w, "tx duration (cycles)", txDur)
+	printDist(w, "aborted attempt duration", abortDur)
+	printDist(w, "stall duration (cycles)", stallDur)
+	printDist(w, "undo records per abort", walkRecords)
+
+	if len(conflicts) > 0 {
+		list := make([]*conflictStat, 0, len(conflicts))
+		for _, c := range conflicts {
+			list = append(list, c)
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].total() != list[j].total() {
+				return list[i].total() > list[j].total()
+			}
+			return list[i].addr < list[j].addr
+		})
+		if top > len(list) {
+			top = len(list)
+		}
+		fmt.Fprintf(w, "top %d conflict addresses:\n", top)
+		fmt.Fprintf(w, "  %-14s %8s %8s %8s %8s %12s\n",
+			"addr", "events", "nacks", "summary", "sticky", "stall-cycles")
+		for _, c := range list[:top] {
+			fmt.Fprintf(w, "  %-14s %8d %8d %8d %8d %12.0f\n",
+				c.addr, c.total(), c.nacks, c.summary, c.sticky, c.stallCycles)
+		}
+	}
+}
+
+// printDist prints count / mean / p50 / p90 / p99 / max for a sample set.
+func printDist(w *os.File, label string, samples []float64) {
+	if len(samples) == 0 {
+		return
+	}
+	sum := 0.0
+	max := samples[0]
+	for _, s := range samples {
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	qs := obs.Percentiles(samples, 0.50, 0.90, 0.99)
+	fmt.Fprintf(w, "%-26s n=%-7d mean=%-9.1f p50=%-8.0f p90=%-8.0f p99=%-8.0f max=%.0f\n",
+		label, len(samples), sum/float64(len(samples)), qs[0], qs[1], qs[2], max)
+}

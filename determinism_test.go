@@ -1,0 +1,112 @@
+package logtmse
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDeterministicEventStream is the observability regression gate: two
+// runs of the same seed must produce bit-identical Stats and identical
+// lifecycle event streams.
+func TestDeterministicEventStream(t *testing.T) {
+	v, _ := VariantByName("BS")
+	run := func() (RunResult, *Recorder) {
+		rec := &Recorder{}
+		r, err := RunOne(RunConfig{
+			Workload: "BerkeleyDB", Variant: v, Scale: testScale, Sink: rec,
+		}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, rec
+	}
+	r1, rec1 := run()
+	r2, rec2 := run()
+	if r1.Stats != r2.Stats {
+		t.Errorf("same seed, different Stats:\n%+v\n%+v", r1.Stats, r2.Stats)
+	}
+	if len(rec1.Events) == 0 {
+		t.Fatalf("no events recorded")
+	}
+	if len(rec1.Events) != len(rec2.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(rec1.Events), len(rec2.Events))
+	}
+	for i := range rec1.Events {
+		if rec1.Events[i] != rec2.Events[i] {
+			t.Fatalf("event %d differs:\n%+v\n%+v", i, rec1.Events[i], rec2.Events[i])
+		}
+	}
+	// The exported timeline is therefore byte-identical too.
+	var a, b bytes.Buffer
+	if err := WriteCatapult(&a, rec1.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCatapult(&b, rec2.Events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("catapult exports differ between identical runs")
+	}
+}
+
+// TestInstrumentationDoesNotPerturb is the bit-identity acceptance
+// criterion: attaching a sink and a metrics registry must leave the
+// simulated execution untouched — Stats identical to the bare run for
+// the same seed.
+func TestInstrumentationDoesNotPerturb(t *testing.T) {
+	v, _ := VariantByName("CBS")
+	for _, wl := range []string{"BerkeleyDB", "Mp3d"} {
+		bare, err := RunOne(RunConfig{Workload: wl, Variant: v, Scale: testScale}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &Recorder{}
+		met := NewCoreMetrics(NewRegistry())
+		inst, err := RunOne(RunConfig{
+			Workload: wl, Variant: v, Scale: testScale,
+			Sink: rec, Metrics: met, MetricsInterval: 5000,
+		}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bare.Stats != inst.Stats {
+			t.Errorf("%s: instrumentation perturbed Stats:\nbare %+v\ninst %+v", wl, bare.Stats, inst.Stats)
+		}
+		if bare.Cycles != inst.Cycles {
+			t.Errorf("%s: cycle count changed: %d vs %d", wl, bare.Cycles, inst.Cycles)
+		}
+		if len(rec.Events) == 0 {
+			t.Errorf("%s: sink saw no events", wl)
+		}
+		if len(met.Reg.Snapshots()) == 0 {
+			t.Errorf("%s: no metric snapshots", wl)
+		}
+		if met.TxCycles.Count() != inst.Stats.Commits {
+			t.Errorf("%s: TxCycles count %d != commits %d", wl, met.TxCycles.Count(), inst.Stats.Commits)
+		}
+	}
+}
+
+// TestTraceOutHasSlicePerCommit mirrors the CLI acceptance criterion:
+// the exported timeline contains at least one complete-duration slice
+// per committed outermost transaction.
+func TestTraceOutHasSlicePerCommit(t *testing.T) {
+	v, _ := VariantByName("Perfect")
+	rec := &Recorder{}
+	r, err := RunOne(RunConfig{
+		Workload: "Cholesky", Variant: v, Scale: testScale, Sink: rec,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := BuildCatapult(rec.Events)
+	slices := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "tx" {
+			slices++
+		}
+	}
+	if uint64(slices) != r.Stats.Commits {
+		t.Errorf("timeline has %d tx slices for %d commits", slices, r.Stats.Commits)
+	}
+}

@@ -63,6 +63,18 @@ type RunConfig struct {
 	// Tracer, if set, receives the engine's transactional event stream
 	// (see logtmsim -trace).
 	Tracer TraceFunc
+	// Sink, if set, receives the structured lifecycle event stream
+	// (transaction begins/commits/aborts, NACKs, stall episodes, log
+	// walks, summary conflicts, sticky forwards) from the engine and
+	// the coherence protocol. Nil disables instrumentation; Stats are
+	// bit-identical either way for the same seed.
+	Sink Sink
+	// Metrics, if set, is attached to the system: the engine's counters
+	// are bound into Metrics.Reg and its histograms are fed during the
+	// run. MetricsInterval controls periodic time-series snapshots in
+	// cycles (0 = every 10k cycles).
+	Metrics         *CoreMetrics
+	MetricsInterval Cycle
 	// WarmupCycles, when nonzero, runs the first WarmupCycles cycles as
 	// cache/directory warm-up, resets every counter, and measures only
 	// the remainder — the paper's representative-sample methodology.
@@ -168,11 +180,21 @@ func RunOne(rc RunConfig, seed int64) (RunResult, error) {
 	p := *rc.Params
 	p.Seed = seed
 	p.Signature = rc.Variant.Sig
+	if rc.Sink != nil {
+		p.Sink = rc.Sink
+	}
 	sys, err := core.NewSystem(p)
 	if err != nil {
 		return RunResult{}, err
 	}
 	sys.Tracer = rc.Tracer
+	if rc.Metrics != nil {
+		interval := rc.MetricsInterval
+		if interval == 0 {
+			interval = 10_000
+		}
+		sys.AttachMetrics(rc.Metrics, interval)
+	}
 	inst, err := w.Spawn(sys, workload.Config{
 		Mode:    rc.Variant.Mode,
 		Threads: rc.Threads,
@@ -186,7 +208,14 @@ func RunOne(rc RunConfig, seed int64) (RunResult, error) {
 		measured = sys.RunUntil(rc.WarmupCycles)
 		sys.ResetStats()
 	}
-	cycles := sys.Run() - measured
+	end := sys.Run()
+	cycles := end - measured
+	if rc.Metrics != nil {
+		// Close the time series with the end-of-run state, stamped at
+		// the run's true final cycle (a trailing snapshot event may
+		// have advanced the raw clock past it).
+		rc.Metrics.Reg.Snapshot(end)
+	}
 	if !sys.AllDone() {
 		return RunResult{}, fmt.Errorf("logtmse: %s/%s seed %d: threads stuck: %v",
 			rc.Workload, rc.Variant.Name, seed, sys.Stuck())

@@ -21,6 +21,7 @@ import (
 	"logtmse/internal/addr"
 	"logtmse/internal/cache"
 	"logtmse/internal/network"
+	"logtmse/internal/obs"
 	"logtmse/internal/sig"
 	"logtmse/internal/sim"
 )
@@ -65,6 +66,13 @@ type Params struct {
 	// BankOccupancy is the home bank's service time per request when
 	// contention is modeled (0 disables bank queueing).
 	BankOccupancy sim.Cycle
+	// Sink, if set, receives protocol lifecycle events (sticky
+	// forwards); nil disables emission.
+	Sink obs.Sink
+	// Now supplies the cycle stamp for emitted events (nil stamps 0; it
+	// is separate from Clock, which additionally enables the contention
+	// model).
+	Now func() sim.Cycle
 }
 
 // Request describes one memory access presented to the protocol.
@@ -88,6 +96,10 @@ type Nacker struct {
 	// Summary is set when the conflict was against a descheduled
 	// transaction's summary signature rather than an active one.
 	Summary bool
+	// Overflow is set when the NACK came from an overflowed CDCacheBits
+	// context (original LogTM's conservative overflow rule) rather than
+	// a signature or R/W-bit match.
+	Overflow bool
 }
 
 // Hooks is implemented by the transactional engine; the protocol calls
@@ -200,6 +212,21 @@ func (s *System) reqPathLat(core, bank int) sim.Cycle {
 		s.bankFree[bank] = arrive + s.p.BankOccupancy
 	}
 	return lat
+}
+
+// emitSticky reports a forward to a sticky owner: the directory still
+// points at owner for block a, but owner's L1 no longer caches it — the
+// lazy-cleanup signature check of §3.1.
+func (s *System) emitSticky(owner, requester int, a addr.PAddr) {
+	var now sim.Cycle
+	if s.p.Now != nil {
+		now = s.p.Now()
+	}
+	s.p.Sink.Emit(obs.Event{
+		Kind: obs.KindStickyForward, Cycle: now,
+		Core: owner, Thread: -1, TID: -1,
+		Addr: a, Arg: uint64(requester),
+	})
 }
 
 // Stats returns a snapshot of the protocol counters.
@@ -324,6 +351,9 @@ func (s *System) gets(req Request, e *dirEntry, bank int, lat sim.Cycle) AccessR
 		// Forward to the (possibly sticky) owner for a signature check.
 		owner := e.owner
 		s.stats.Forwards++
+		if s.p.Sink != nil && s.l1[owner].Peek(a) == cache.Invalid {
+			s.emitSticky(owner, req.Core, a)
+		}
 		lat += s.p.Grid.Latency(s.p.Grid.BankNode(bank), s.p.Grid.CoreNode(owner)) +
 			s.p.CheckLat + s.p.Grid.CoreToCore(owner, req.Core)
 		if nackers := s.hooks.SignatureCheck(owner, req); len(nackers) > 0 {
@@ -354,6 +384,10 @@ func (s *System) getm(req Request, e *dirEntry, bank int, lat sim.Cycle) AccessR
 	a := req.Addr
 	targets := s.targetsOf(e, req.Core)
 	if len(targets) > 0 {
+		if s.p.Sink != nil && e.owner != -1 && e.owner != req.Core &&
+			s.l1[e.owner].Peek(a) == cache.Invalid {
+			s.emitSticky(e.owner, req.Core, a)
+		}
 		// Invalidations fan out in parallel; charge the worst round trip.
 		worst := sim.Cycle(0)
 		for _, t := range targets {

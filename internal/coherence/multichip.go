@@ -5,6 +5,7 @@ import (
 
 	"logtmse/internal/addr"
 	"logtmse/internal/cache"
+	"logtmse/internal/obs"
 	"logtmse/internal/sig"
 	"logtmse/internal/sim"
 )
@@ -82,6 +83,9 @@ func NewMultiChip(p MultiChipParams, hooks Hooks) (*MultiChip, error) {
 	for c := 0; c < p.Chips; c++ {
 		cp := p.Params
 		cp.Cores = m.coresPerChip
+		// Chip-local events carry chip-local core ids; shift them to the
+		// machine-global numbering before they reach the sink.
+		cp.Sink = obs.CoreOffset(p.Sink, c*m.coresPerChip)
 		// Chip-local hooks translate chip-local core ids to global ones.
 		chipHooks := &chipHooks{m: m, chip: c}
 		chip, err := NewSystem(cp, chipHooks)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"logtmse/internal/coherence"
+	"logtmse/internal/obs"
 	"logtmse/internal/sig"
 	"logtmse/internal/sim"
 )
@@ -104,6 +105,14 @@ type Params struct {
 	// to or from a log frame header when no backup copy is available
 	// (0 = derive from the signature size: one cycle per 256 bits).
 	SigSaveLat sim.Cycle
+
+	// Sink, if set, receives the structured lifecycle event stream (obs
+	// package) from the engine and the coherence protocol: transaction
+	// begins/commits/aborts, NACKs, stall episodes, log walks, summary
+	// conflicts, and sticky forwards. Nil (the default) disables
+	// instrumentation entirely — runs are bit-identical to an
+	// un-instrumented simulator.
+	Sink obs.Sink
 
 	// ModelContention enables the network/bank queueing model: requests
 	// queue at grid routers and at the home L2 bank. Off by default —

@@ -8,6 +8,7 @@ import (
 	"logtmse/internal/coherence"
 	"logtmse/internal/mem"
 	"logtmse/internal/network"
+	"logtmse/internal/obs"
 	"logtmse/internal/sig"
 	"logtmse/internal/sim"
 	"logtmse/internal/txlog"
@@ -49,6 +50,12 @@ type System struct {
 	// commit, abort, stall, summary/SMT conflict) — the debugging and
 	// observability hook behind `logtmsim -trace`.
 	Tracer TraceFunc
+	// Sink receives the structured lifecycle event stream (set via
+	// Params.Sink; nil disables instrumentation).
+	Sink obs.Sink
+	// Met, when attached with AttachMetrics, receives the engine's
+	// duration and set-size histograms.
+	Met *obs.CoreMetrics
 }
 
 // TraceFunc receives transactional engine events.
@@ -61,6 +68,105 @@ func (s *System) trace(t *Thread, format string, args ...interface{}) {
 	s.Tracer(s.Engine.Now(), t.Name, fmt.Sprintf(format, args...))
 }
 
+// emit sends one lifecycle event for a thread to the sink. The event is
+// a value and the call allocates nothing; callers on hot paths still
+// guard with s.Sink != nil to skip argument setup entirely.
+func (s *System) emit(kind obs.Kind, t *Thread, cause obs.AbortCause, depth int, a addr.PAddr, arg, arg2 uint64) {
+	if s.Sink == nil {
+		return
+	}
+	ev := obs.Event{
+		Kind: kind, Cause: cause, Cycle: s.Engine.Now(),
+		Core: -1, Thread: -1, TID: t.ID, Depth: depth,
+		Addr: a, Arg: arg, Arg2: arg2,
+	}
+	if t.ctx != nil {
+		ev.Core, ev.Thread = t.ctx.Core, t.ctx.Thread
+	}
+	s.Sink.Emit(ev)
+}
+
+// endStall closes the thread's open stall episode (the stalled access
+// was granted, or the transaction aborted) and feeds the stall-duration
+// histogram.
+func (s *System) endStall(t *Thread, a addr.PAddr) {
+	if !t.stalling {
+		return
+	}
+	t.stalling = false
+	dur := uint64(s.Engine.Now() - t.stallSince)
+	s.emit(obs.KindStallEnd, t, obs.CauseNone, t.depth, a, dur, 0)
+	if s.Met != nil {
+		s.Met.StallCycles.Observe(dur)
+	}
+}
+
+// AttachMetrics binds a metrics registry to the system: the engine's
+// counters become function-backed registry counters (reading the same
+// Stats fields, so they can never drift), live gauges are registered,
+// and the engine starts feeding m's histograms. every > 0 additionally
+// snapshots the registry into its time series every that many cycles
+// while the simulation has work queued. Attaching metrics never perturbs
+// simulated behavior: snapshot events read state and draw no randomness,
+// so Stats stay bit-identical with or without metrics.
+func (s *System) AttachMetrics(m *obs.CoreMetrics, every sim.Cycle) {
+	s.Met = m
+	reg := m.Reg
+	reg.CounterFunc("tx.begins", func() uint64 { return s.stats.Begins })
+	reg.CounterFunc("tx.commits", func() uint64 { return s.stats.Commits })
+	reg.CounterFunc("tx.aborts", func() uint64 { return s.stats.Aborts })
+	reg.CounterFunc("tx.stalls", func() uint64 { return s.stats.Stalls })
+	reg.CounterFunc("tx.stall_episodes", func() uint64 { return s.stats.StallEpisodes })
+	reg.CounterFunc("tx.fp_episodes", func() uint64 { return s.stats.FPEpisodes })
+	reg.CounterFunc("tx.summary_conflicts", func() uint64 { return s.stats.SummaryConflicts })
+	reg.CounterFunc("tx.smt_conflicts", func() uint64 { return s.stats.SMTConflicts })
+	reg.CounterFunc("log.records", func() uint64 { return s.stats.LogRecords })
+	reg.CounterFunc("log.filter_hits", func() uint64 { return s.stats.LogFilterHits })
+	reg.CounterFunc("work.units", func() uint64 { return s.stats.WorkUnits })
+	reg.CounterFunc("coh.l1_misses", func() uint64 { return s.Coh.Stats().L1Misses })
+	reg.CounterFunc("coh.l2_misses", func() uint64 { return s.Coh.Stats().L2Misses })
+	reg.CounterFunc("coh.nacks", func() uint64 { return s.Coh.Stats().NACKs })
+	reg.CounterFunc("coh.sticky_evicts", func() uint64 { return s.Coh.Stats().StickyEvicts })
+	reg.CounterFunc("coh.writebacks", func() uint64 { return s.Coh.Stats().WritebacksToMem })
+	reg.GaugeFunc("threads.in_tx", func() float64 {
+		n := 0
+		for _, t := range s.threads {
+			if t.InTx() {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("log.live_bytes", func() float64 {
+		total := 0
+		for _, t := range s.threads {
+			total += t.Log.Bytes()
+		}
+		return float64(total)
+	})
+	if every > 0 {
+		s.scheduleSnapshot(reg, every)
+	}
+}
+
+// scheduleSnapshot records one interval sample and re-arms itself while
+// the simulation still has model work queued. Snapshot events are weak:
+// they cannot keep the run alive, and one firing after the last model
+// event does not extend the measured cycle count (see sim.ScheduleWeak) —
+// that is what keeps Stats bit-identical with metrics attached.
+func (s *System) scheduleSnapshot(reg *obs.Registry, every sim.Cycle) {
+	s.Engine.ScheduleWeak(every, func() {
+		if s.Engine.PendingStrong() == 0 {
+			// The model already finished: the harness records the
+			// end-of-run state, so this trailing sample would only
+			// duplicate it with an overshot timestamp.
+			return
+		}
+		reg.Snapshot(s.Engine.Now())
+		s.scheduleSnapshot(reg, every)
+	})
+}
+
 // NewSystem builds a machine per p.
 func NewSystem(p Params) (*System, error) {
 	if err := p.Validate(); err != nil {
@@ -71,6 +177,7 @@ func NewSystem(p Params) (*System, error) {
 		Engine:       sim.NewEngine(p.Seed),
 		Mem:          mem.NewMemory(),
 		nextPhysPage: 1,
+		Sink:         p.Sink,
 	}
 	cohParams := coherence.Params{
 		Cores:   p.Cores,
@@ -79,6 +186,8 @@ func NewSystem(p Params) (*System, error) {
 		L1HitLat: p.L1HitLat, L2Lat: p.L2Lat, MemLat: p.MemLat,
 		DirLat: p.DirLat, CheckLat: p.CheckLat,
 		Protocol: p.Protocol,
+		Sink:     p.Sink,
+		Now:      s.Engine.Now,
 	}
 	if p.ModelContention {
 		cohParams.Clock = s.Engine.Now
@@ -386,10 +495,12 @@ func (s *System) begin(t *Thread, open bool) {
 	}
 	t.Log.Push(nil, saved, open)
 	if t.depth == 1 {
+		t.txStart = s.Engine.Now()
 		s.trace(t, "begin ts=%d", t.ts)
 	} else {
 		s.trace(t, "begin nested depth=%d open=%v", t.depth, open)
 	}
+	s.emit(obs.KindTxBegin, t, obs.CauseNone, t.depth, 0, 0, 0)
 	s.finish(t, response{depth: t.depth}, lat)
 }
 
@@ -440,6 +551,7 @@ func (s *System) commit(t *Thread) {
 			t.exactWrite = snap.write
 			t.depth--
 			s.trace(t, "commit open depth=%d", t.depth+1)
+			s.emit(obs.KindTxCommit, t, obs.CauseNone, t.depth+1, 0, 0, 0)
 			// Restoring the parent's signature from the save area is
 			// synchronous unless a hardware backup copy exists.
 			s.finish(t, response{}, s.P.CommitLat+s.sigCopyLat(t.depth))
@@ -455,6 +567,7 @@ func (s *System) commit(t *Thread) {
 		}
 		t.depth--
 		s.trace(t, "commit closed depth=%d", t.depth+1)
+		s.emit(obs.KindTxCommit, t, obs.CauseNone, t.depth+1, 0, 0, 0)
 		s.finish(t, response{}, s.P.CommitLat)
 		return
 	}
@@ -498,6 +611,12 @@ func (s *System) commit(t *Thread) {
 		t.NeedsSummaryUpdate = false
 	}
 	s.trace(t, "commit reads=%d writes=%d", rs, ws)
+	s.emit(obs.KindTxCommit, t, obs.CauseNone, 1, 0, uint64(rs), uint64(ws))
+	if s.Met != nil {
+		s.Met.TxCycles.Observe(uint64(s.Engine.Now() - t.txStart))
+		s.Met.ReadSet.Observe(uint64(rs))
+		s.Met.WriteSet.Observe(uint64(ws))
+	}
 	s.finish(t, response{}, s.P.CommitLat)
 }
 
@@ -515,8 +634,9 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 	if ctx.Summary != nil && ctx.Summary.Conflict(op, pa) {
 		s.stats.SummaryConflicts++
 		s.trace(t, "summary conflict %v %v", op, pa)
+		s.emit(obs.KindSummaryConflict, t, obs.CauseNone, t.depth, pa.Block(), 0, 0)
 		if t.InTx() && !t.escaped {
-			s.abort(t)
+			s.abort(t, obs.CauseSummary)
 			return
 		}
 		s.Engine.Schedule(8*s.P.StallRetryLat+s.jitter(), func() { s.access(t, r, op) })
@@ -544,6 +664,7 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 		s.resolveNACK(t, r, op, res.Nackers)
 		return
 	}
+	s.endStall(t, pa.Block())
 
 	lat := res.Latency
 	if t.InTx() && !t.escaped {
@@ -621,6 +742,7 @@ func (s *System) smtConflict(t *Thread, op sig.Op, pa addr.PAddr) (coherence.Nac
 		return coherence.Nacker{
 			Core: ctx.Core, Thread: th, Timestamp: o.ts,
 			FalsePositive: !o.exactConflict(op, pa),
+			Overflow:      s.P.CD == CDCacheBits && sib.overflow,
 		}, true
 	}
 	return coherence.Nacker{}, false
@@ -645,10 +767,14 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 		s.trace(t, "stall %v %v nackers=%d", op, t.PT.Translate(r.va).Block(), len(nackers))
 	}
 	allFalse := true
+	allOverflow := len(nackers) > 0
 	olderNacker := false
 	for _, n := range nackers {
 		if !n.FalsePositive {
 			allFalse = false
+		}
+		if !n.Overflow {
+			allOverflow = false
 		}
 		if n.Timestamp != 0 && n.Timestamp < t.ts {
 			olderNacker = true
@@ -663,18 +789,33 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 			s.stats.FPEpisodes++
 		}
 	}
+	if s.Sink != nil {
+		pa := t.PT.Translate(r.va).Block()
+		s.emit(obs.KindNack, t, obs.CauseNone, t.depth, pa, uint64(len(nackers)), 0)
+		if !r.retrying {
+			s.emit(obs.KindStallStart, t, obs.CauseNone, t.depth, pa, uint64(len(nackers)), 0)
+		}
+	}
+	if !r.retrying {
+		t.stalling = true
+		t.stallSince = s.Engine.Now()
+	}
+	cause := obs.CauseConflict
+	if allOverflow {
+		cause = obs.CauseOverflow
+	}
 	switch s.P.Resolution {
 	case ResolveRequesterAborts:
-		s.abort(t)
+		s.abort(t, cause)
 		return
 	case ResolveYoungerAborts:
 		if olderNacker {
-			s.abort(t)
+			s.abort(t, cause)
 			return
 		}
 	default: // ResolveStallAbort, LogTM's possible_cycle rule
 		if olderNacker && t.possibleCycle {
-			s.abort(t)
+			s.abort(t, cause)
 			return
 		}
 	}
@@ -691,8 +832,9 @@ func (s *System) jitter() sim.Cycle {
 // the signature, and tell the thread to unwind. Repeated aborts of the
 // same frame escalate one nesting level (the paper's handler repeats
 // until the conflict disappears or the outermost transaction aborts).
-func (s *System) abort(t *Thread) {
+func (s *System) abort(t *Thread, cause obs.AbortCause) {
 	ctx := t.ctx
+	s.endStall(t, 0)
 	levels := 1
 	if s.P.CD == CDCacheBits {
 		// Original LogTM flattens nesting: any abort unwinds the whole
@@ -702,6 +844,8 @@ func (s *System) abort(t *Thread) {
 		levels = 2
 		t.abortStreak = 0
 	}
+	s.emit(obs.KindLogWalkStart, t, cause, t.depth, 0, 0, 0)
+	records := 0
 	lat := s.P.AbortBaseLat
 	for i := 0; i < levels && t.depth > 0; i++ {
 		frame, err := t.Log.Abort(func(rec txlog.UndoRecord) {
@@ -713,6 +857,7 @@ func (s *System) abort(t *Thread) {
 			panic(err)
 		}
 		lat += s.P.AbortPerRec * sim.Cycle(len(frame.Undo))
+		records += len(frame.Undo)
 		t.depth--
 		if t.depth == 0 {
 			ctx.Sig.ClearAll()
@@ -756,6 +901,14 @@ func (s *System) abort(t *Thread) {
 	s.stats.Aborts++
 	t.Aborts++
 	s.trace(t, "abort to depth=%d (streak %d)", t.depth, t.consecAborts)
+	s.emit(obs.KindLogWalkEnd, t, cause, t.depth, 0, uint64(records), 0)
+	s.emit(obs.KindTxAbort, t, cause, t.depth, 0, uint64(records), 0)
+	if s.Met != nil {
+		s.Met.LogWalk.Observe(uint64(records))
+		if t.depth == 0 {
+			s.Met.AbortedTxCycles.Observe(uint64(s.Engine.Now() - t.txStart))
+		}
+	}
 
 	// Randomized exponential backoff before the retry (bounded).
 	shift := uint(t.consecAborts)
@@ -763,7 +916,11 @@ func (s *System) abort(t *Thread) {
 		shift = s.P.BackoffCapShift
 	}
 	backoff := s.P.StallRetryLat << shift
-	lat += sim.Cycle(s.Engine.Rand().Int63n(int64(backoff) + 1))
+	delay := sim.Cycle(s.Engine.Rand().Int63n(int64(backoff) + 1))
+	if s.Met != nil {
+		s.Met.Backoff.Observe(uint64(delay))
+	}
+	lat += delay
 	s.finish(t, response{abort: true, toDepth: t.depth}, lat)
 }
 
@@ -815,6 +972,7 @@ func (s *System) SignatureCheck(targetCore int, req coherence.Request) []coheren
 		ns = append(ns, coherence.Nacker{
 			Core: targetCore, Thread: th, Timestamp: o.ts,
 			FalsePositive: !o.exactConflict(req.Op, req.Addr),
+			Overflow:      s.P.CD == CDCacheBits && ctx.overflow,
 		})
 	}
 	return ns

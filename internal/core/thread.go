@@ -97,6 +97,13 @@ type Thread struct {
 	abortStreak   int // consecutive aborts without progress (escalation)
 	consecAborts  int // consecutive aborts of the whole transaction (backoff)
 
+	// Observability state: the outermost begin cycle of the current
+	// attempt, and the open stall episode (first NACK of a memory
+	// operation that has not yet been granted or aborted).
+	txStart    sim.Cycle
+	stalling   bool
+	stallSince sim.Cycle
+
 	// escaped marks an active escape action: accesses execute
 	// non-transactionally (no signature insert, no logging, survive
 	// aborts), as Nested LogTM's escape actions do for system calls,

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"logtmse/internal/sim"
+)
+
+// Slice and instant names used in the catapult export; cmd/txviz keys
+// its summary off these.
+const (
+	NameTx         = "tx"
+	NameTxNested   = "tx.nested"
+	NameTxAborted  = "tx(aborted)"
+	NameTxOpen     = "tx(unfinished)"
+	NameStall      = "stall"
+	NameLogWalk    = "log-walk"
+	NameNack       = "nack"
+	NameSummaryHit = "summary-conflict"
+	NameStickyFwd  = "sticky-forward"
+	protocolTid    = 1 << 20 // per-core synthetic track for protocol events
+)
+
+// TraceEvent is one Chrome trace-event ("catapult") record. Timestamps
+// are in the format's microsecond unit; we map one simulated cycle to
+// one microsecond, which only affects the displayed unit, not shapes.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// CatapultTrace is the JSON-object form of the trace file, loadable by
+// chrome://tracing and Perfetto.
+type CatapultTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// openFrame is a transaction begun but not yet committed or aborted.
+type openFrame struct {
+	begin sim.Cycle
+	depth int
+	core  int
+}
+
+// openSpan is an in-progress stall or log walk.
+type openSpan struct {
+	begin sim.Cycle
+	core  int
+	addr  uint64
+	arg   uint64
+}
+
+// catBuilder folds the flat event stream into duration slices.
+type catBuilder struct {
+	out    []TraceEvent
+	stacks map[int][]openFrame // per software thread
+	stalls map[int]openSpan
+	walks  map[int]openSpan
+	tracks map[[2]int]bool // (pid, tid) seen -> metadata emitted once
+	last   sim.Cycle
+}
+
+// BuildCatapult converts a recorded event stream into a catapult trace:
+// one process per core, one track per software thread, complete-duration
+// ("X") slices for transactions, stalls, and log walks, and instant
+// events for NACKs, summary conflicts, and sticky forwards. Frames still
+// open when the stream ends (e.g. a run stopped at a cycle limit) are
+// closed at the last observed cycle and labeled NameTxOpen.
+func BuildCatapult(events []Event) *CatapultTrace {
+	b := &catBuilder{
+		stacks: make(map[int][]openFrame),
+		stalls: make(map[int]openSpan),
+		walks:  make(map[int]openSpan),
+		tracks: make(map[[2]int]bool),
+	}
+	for _, e := range events {
+		b.add(e)
+	}
+	b.finish()
+	return &CatapultTrace{TraceEvents: b.out, DisplayTimeUnit: "ns"}
+}
+
+// WriteCatapult encodes the event stream as catapult JSON.
+func WriteCatapult(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(BuildCatapult(events))
+}
+
+// track emits name metadata the first time a (pid, tid) pair appears, so
+// viewers label the rows.
+func (b *catBuilder) track(pid, tid int) {
+	key := [2]int{pid, tid}
+	if b.tracks[key] {
+		return
+	}
+	b.tracks[key] = true
+	if !b.tracks[[2]int{pid, -1}] {
+		b.tracks[[2]int{pid, -1}] = true
+		b.out = append(b.out, TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", pid)},
+		})
+	}
+	tname := fmt.Sprintf("thread %d", tid)
+	if tid == protocolTid {
+		tname = "coherence"
+	}
+	b.out = append(b.out, TraceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": tname},
+	})
+}
+
+func (b *catBuilder) slice(name string, pid, tid int, from, to sim.Cycle, args map[string]any) {
+	b.track(pid, tid)
+	b.out = append(b.out, TraceEvent{
+		Name: name, Cat: "tx", Ph: "X",
+		Ts: float64(from), Dur: float64(to - from),
+		Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+func (b *catBuilder) instant(name string, pid, tid int, at sim.Cycle, args map[string]any) {
+	b.track(pid, tid)
+	b.out = append(b.out, TraceEvent{
+		Name: name, Cat: "conflict", Ph: "i", S: "t",
+		Ts: float64(at), Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+func hexAddr(a uint64) string { return fmt.Sprintf("0x%x", a) }
+
+func (b *catBuilder) add(e Event) {
+	if e.Cycle > b.last {
+		b.last = e.Cycle
+	}
+	pid, tid := e.Core, e.TID
+	if pid < 0 {
+		pid = 0
+	}
+	switch e.Kind {
+	case KindTxBegin:
+		b.stacks[e.TID] = append(b.stacks[e.TID], openFrame{begin: e.Cycle, depth: e.Depth, core: pid})
+	case KindTxCommit:
+		b.pop(e.TID, e.Depth-1, e.Cycle, func(f openFrame) (string, map[string]any) {
+			if f.depth == 1 {
+				return NameTx, map[string]any{"reads": e.Arg, "writes": e.Arg2}
+			}
+			return NameTxNested, map[string]any{"depth": f.depth}
+		})
+	case KindTxAbort:
+		b.pop(e.TID, e.Depth, e.Cycle, func(f openFrame) (string, map[string]any) {
+			return NameTxAborted, map[string]any{"depth": f.depth, "cause": e.Cause.String(), "records": e.Arg}
+		})
+	case KindStallStart:
+		b.stalls[e.TID] = openSpan{begin: e.Cycle, core: pid, addr: uint64(e.Addr), arg: e.Arg}
+	case KindStallEnd:
+		if sp, ok := b.stalls[e.TID]; ok {
+			delete(b.stalls, e.TID)
+			b.slice(NameStall, sp.core, tid, sp.begin, e.Cycle,
+				map[string]any{"addr": hexAddr(sp.addr), "nackers": sp.arg})
+		}
+	case KindLogWalkStart:
+		b.walks[e.TID] = openSpan{begin: e.Cycle, core: pid}
+	case KindLogWalkEnd:
+		if sp, ok := b.walks[e.TID]; ok {
+			delete(b.walks, e.TID)
+			b.slice(NameLogWalk, sp.core, tid, sp.begin, e.Cycle,
+				map[string]any{"records": e.Arg})
+		}
+	case KindNack:
+		b.instant(NameNack, pid, tid, e.Cycle,
+			map[string]any{"addr": hexAddr(uint64(e.Addr)), "nackers": e.Arg})
+	case KindSummaryConflict:
+		b.instant(NameSummaryHit, pid, tid, e.Cycle,
+			map[string]any{"addr": hexAddr(uint64(e.Addr))})
+	case KindStickyForward:
+		b.instant(NameStickyFwd, pid, protocolTid, e.Cycle,
+			map[string]any{"addr": hexAddr(uint64(e.Addr)), "requester": e.Arg})
+	}
+}
+
+// pop closes every open frame deeper than toDepth, innermost first.
+func (b *catBuilder) pop(tid, toDepth int, at sim.Cycle, label func(openFrame) (string, map[string]any)) {
+	st := b.stacks[tid]
+	for len(st) > 0 && st[len(st)-1].depth > toDepth {
+		f := st[len(st)-1]
+		st = st[:len(st)-1]
+		name, args := label(f)
+		b.slice(name, f.core, tid, f.begin, at, args)
+	}
+	b.stacks[tid] = st
+}
+
+// finish closes anything still open at the last observed cycle, in
+// thread-id order so the output is deterministic.
+func (b *catBuilder) finish() {
+	for _, tid := range sortedKeys(b.stalls) {
+		sp := b.stalls[tid]
+		b.slice(NameStall, sp.core, tid, sp.begin, b.last,
+			map[string]any{"addr": hexAddr(sp.addr), "nackers": sp.arg, "unfinished": true})
+	}
+	for _, tid := range sortedKeys(b.stacks) {
+		st := b.stacks[tid]
+		for i := len(st) - 1; i >= 0; i-- {
+			f := st[i]
+			b.slice(NameTxOpen, f.core, tid, f.begin, b.last, map[string]any{"depth": f.depth})
+		}
+	}
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram not zero: %+v", h)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %f", q)
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 1106 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %d", h.Max())
+	}
+	if got, want := h.Mean(), 1106.0/6; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %f, want %f", got, want)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	// Log-bucket quantiles are approximate but must stay ordered and
+	// within the observed range.
+	q50, q90, q99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+	if q50 > q90 || q90 > q99 {
+		t.Errorf("quantiles not monotone: %f %f %f", q50, q90, q99)
+	}
+	if q99 > float64(h.Max()) {
+		t.Errorf("p99 %f above max %d", q99, h.Max())
+	}
+	// p50 of uniform 1..1000 is 500; a power-of-two bucket estimate
+	// must land within the containing bucket [256, 1024).
+	if q50 < 256 || q50 >= 1024 {
+		t.Errorf("p50 = %f, outside its bucket", q50)
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Errorf("q clamp failed")
+	}
+}
+
+func TestHistogramZeroBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("all-zero Quantile = %f", q)
+	}
+	bs := h.Buckets()
+	if len(bs) != 1 || bs[0].Lo != 0 || bs[0].N != 2 {
+		t.Errorf("buckets = %+v", bs)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(1) // bucket [1,2)
+	h.Observe(5) // bucket [4,8)
+	h.Observe(6)
+	bs := h.Buckets()
+	if len(bs) != 2 || bs[0].Lo != 1 || bs[0].N != 1 || bs[1].Lo != 4 || bs[1].N != 2 {
+		t.Errorf("buckets = %+v", bs)
+	}
+}
+
+func TestRegistryRebindKeepsSchema(t *testing.T) {
+	r := NewRegistry()
+	a := uint64(1)
+	r.CounterFunc("c", func() uint64 { return a })
+	r.GaugeFunc("g", func() float64 { return 10 })
+	r.Histogram("h").Observe(4)
+	r.Snapshot(100)
+
+	// Re-attaching (as Run does per seed) must rebind, not duplicate.
+	b := uint64(2)
+	r.CounterFunc("c", func() uint64 { return b })
+	r.GaugeFunc("g", func() float64 { return 20 })
+	if h2 := r.Histogram("h"); h2 != r.Histograms()[0] {
+		t.Errorf("Histogram(name) did not return the existing histogram")
+	}
+	r.Snapshot(200)
+
+	want := []string{"cycle", "c", "g", "h.count", "h.mean", "h.p50", "h.p99", "h.max"}
+	got := r.Header()
+	if len(got) != len(want) {
+		t.Fatalf("header = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("header[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	if snaps[0].Values[0] != 1 || snaps[1].Values[0] != 2 {
+		t.Errorf("counter rebind not reflected: %v / %v", snaps[0].Values, snaps[1].Values)
+	}
+	if snaps[0].Values[1] != 10 || snaps[1].Values[1] != 20 {
+		t.Errorf("gauge rebind not reflected")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.CounterFunc("n", func() uint64 { return n })
+	r.GaugeFunc("frac", func() float64 { return 0.5 })
+	h := r.Histogram("d")
+	n = 3
+	h.Observe(8)
+	r.Snapshot(1000)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "cycle,n,frac,d.count,d.mean,d.p50,d.p99,d.max\n1000,3,0.5,1,8,8,8,8\n"
+	if got != want {
+		t.Errorf("csv:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestWriteCSVSchemaMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.Snapshot(1)
+	r.CounterFunc("late", func() uint64 { return 0 }) // registered after snapshot
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err == nil {
+		t.Errorf("schema mismatch not reported")
+	}
+}
+
+func TestCoreMetricsRegistersHistograms(t *testing.T) {
+	reg := NewRegistry()
+	m := NewCoreMetrics(reg)
+	if m.Reg != reg {
+		t.Fatalf("Reg not set")
+	}
+	names := map[string]bool{}
+	for _, h := range reg.Histograms() {
+		names[h.Name] = true
+	}
+	for _, want := range []string{
+		"tx.cycles", "tx.aborted_cycles", "stall.cycles",
+		"abort.backoff_cycles", "abort.log_records", "tx.read_set", "tx.write_set",
+	} {
+		if !names[want] {
+			t.Errorf("histogram %q not registered", want)
+		}
+	}
+	// A second bundle on the same registry shares histograms (re-attach
+	// across seeds).
+	m2 := NewCoreMetrics(reg)
+	if m2.TxCycles != m.TxCycles {
+		t.Errorf("re-attach duplicated histograms")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	if got := Percentiles(nil, 0.5); got[0] != 0 {
+		t.Errorf("empty percentiles = %v", got)
+	}
+	s := []float64{5, 1, 3, 2, 4}
+	got := Percentiles(s, 0, 0.5, 1, -1, 2)
+	want := []float64{1, 3, 5, 1, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("q[%d] = %f, want %f", i, got[i], want[i])
+		}
+	}
+	// Input must not be mutated.
+	if s[0] != 5 {
+		t.Errorf("Percentiles sorted the caller's slice")
+	}
+}

@@ -15,11 +15,14 @@ import (
 // Cycle is a point in simulated time, measured in processor clock cycles.
 type Cycle uint64
 
-// Event is a scheduled closure.
+// Event is a scheduled closure. Weak events (observability snapshots)
+// never extend a run: Run and RunUntil report the cycle of the last
+// strong event, so instrumentation cannot change measured cycle counts.
 type event struct {
-	at  Cycle
-	seq uint64
-	fn  func()
+	at   Cycle
+	seq  uint64
+	weak bool
+	fn   func()
 }
 
 type eventHeap []*event
@@ -45,11 +48,13 @@ func (h *eventHeap) Pop() interface{} {
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	queue  eventHeap
-	rng    *rand.Rand
-	halted bool
+	now      Cycle
+	seq      uint64
+	queue    eventHeap
+	rng      *rand.Rand
+	halted   bool
+	strong   int  // queued non-weak events
+	lastWeak bool // the most recently executed event was weak
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -67,7 +72,18 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // cycle, after all previously scheduled work for this cycle).
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.seq++
+	e.strong++
 	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleWeak runs fn after delay cycles like Schedule, but marks the
+// event weak: it rides along with the simulation without extending it.
+// Run/RunUntil report the last strong cycle, and PendingStrong ignores
+// weak events, so a self-rearming weak event (the metrics snapshotter)
+// cannot keep a run alive or change its measured length.
+func (e *Engine) ScheduleWeak(delay Cycle, fn func()) {
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, weak: true, fn: fn})
 }
 
 // ScheduleAt runs fn at absolute cycle at. If at is in the past the event
@@ -77,11 +93,16 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 		at = e.now
 	}
 	e.seq++
+	e.strong++
 	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
 }
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// PendingStrong reports the number of queued non-weak events — the
+// simulation's real outstanding work.
+func (e *Engine) PendingStrong() int { return e.strong }
 
 // Halt stops Run/RunUntil after the current event returns.
 func (e *Engine) Halt() { e.halted = true }
@@ -94,28 +115,45 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
+	e.lastWeak = ev.weak
+	if !ev.weak {
+		e.strong--
+	}
 	ev.fn()
 	return true
 }
 
 // Run executes events until the queue drains or Halt is called.
-// It returns the final cycle.
+// It returns the final cycle of strong work: trailing weak events
+// (metrics snapshots) execute but do not extend the reported run.
 func (e *Engine) Run() Cycle {
 	e.halted = false
+	last := e.now
 	for !e.halted && e.Step() {
+		if !e.lastWeak {
+			last = e.now
+		}
 	}
-	return e.now
+	return last
 }
 
 // RunUntil executes events with timestamps <= limit. Events scheduled
-// beyond limit remain queued. It returns the final cycle (<= limit).
+// beyond limit remain queued. It returns the final strong cycle
+// (<= limit), ignoring weak events like Run.
 func (e *Engine) RunUntil(limit Cycle) Cycle {
 	e.halted = false
+	last := e.now
 	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= limit {
 		e.Step()
+		if !e.lastWeak {
+			last = e.now
+		}
 	}
 	if e.now > limit {
 		e.now = limit
 	}
-	return e.now
+	if last > limit {
+		last = limit
+	}
+	return last
 }

@@ -114,3 +114,47 @@ func TestStepEmpty(t *testing.T) {
 		t.Errorf("Step on empty queue returned true")
 	}
 }
+
+func TestWeakEventsDoNotExtendRun(t *testing.T) {
+	e := NewEngine(1)
+	var snaps []Cycle
+	e.Schedule(70, func() {})
+	// A self-rearming weak observer, like the metrics snapshotter.
+	var arm func()
+	arm = func() {
+		e.ScheduleWeak(50, func() {
+			snaps = append(snaps, e.Now())
+			if e.PendingStrong() > 0 {
+				arm()
+			}
+		})
+	}
+	arm()
+	if got := e.Run(); got != 70 {
+		t.Errorf("Run = %d, want 70 (weak events must not extend the run)", got)
+	}
+	// The first snapshot (cycle 50) saw strong work pending and re-armed;
+	// the second (cycle 100) fired after the model finished and stopped.
+	if len(snaps) != 2 || snaps[0] != 50 || snaps[1] != 100 {
+		t.Errorf("snapshots = %v, want [50 100]", snaps)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("queue not drained")
+	}
+}
+
+func TestWeakEventsIgnoredByRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(30, func() {})
+	e.ScheduleWeak(40, func() {})
+	e.Schedule(200, func() {})
+	if got := e.RunUntil(100); got != 30 {
+		t.Errorf("RunUntil = %d, want 30 (last strong cycle)", got)
+	}
+	if e.PendingStrong() != 1 {
+		t.Errorf("PendingStrong = %d, want 1 (the cycle-200 event)", e.PendingStrong())
+	}
+	if got := e.Run(); got != 200 {
+		t.Errorf("Run = %d, want 200", got)
+	}
+}

@@ -1,0 +1,79 @@
+package logtmse
+
+// Observability surface: the library re-exports the internal/obs types
+// so downstream users can attach sinks and metrics without importing
+// internal packages. See the "Observability" section of DESIGN.md.
+
+import (
+	"io"
+
+	"logtmse/internal/obs"
+)
+
+// Re-exported observability types.
+type (
+	// Sink receives the structured lifecycle event stream.
+	Sink = obs.Sink
+	// Event is one lifecycle event (value type; emission is
+	// allocation-free).
+	Event = obs.Event
+	// EventKind enumerates the lifecycle events.
+	EventKind = obs.Kind
+	// AbortCause classifies EvTxAbort events.
+	AbortCause = obs.AbortCause
+	// Recorder is a Sink that retains every event in order.
+	Recorder = obs.Recorder
+	// DiscardSink drops every event; it measures the cost of the probes
+	// themselves (see BenchmarkObsOverhead).
+	DiscardSink = obs.Discard
+	// FuncSink adapts a function to the Sink interface.
+	FuncSink = obs.FuncSink
+	// Registry holds counters, gauges, histograms and their interval
+	// snapshots.
+	Registry = obs.Registry
+	// Histogram is a log-scale histogram of a nonnegative quantity.
+	Histogram = obs.Histogram
+	// CoreMetrics bundles the engine-side histograms with a registry.
+	CoreMetrics = obs.CoreMetrics
+	// CatapultTrace is the Chrome trace-event JSON document.
+	CatapultTrace = obs.CatapultTrace
+)
+
+// Lifecycle event kinds.
+const (
+	EvTxBegin         = obs.KindTxBegin
+	EvTxCommit        = obs.KindTxCommit
+	EvTxAbort         = obs.KindTxAbort
+	EvNack            = obs.KindNack
+	EvStallStart      = obs.KindStallStart
+	EvStallEnd        = obs.KindStallEnd
+	EvLogWalkStart    = obs.KindLogWalkStart
+	EvLogWalkEnd      = obs.KindLogWalkEnd
+	EvSummaryConflict = obs.KindSummaryConflict
+	EvStickyForward   = obs.KindStickyForward
+)
+
+// Abort causes.
+const (
+	AbortConflict = obs.CauseConflict
+	AbortSummary  = obs.CauseSummary
+	AbortOverflow = obs.CauseOverflow
+)
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewCoreMetrics registers the engine's histograms in reg and returns
+// the bundle to pass as RunConfig.Metrics.
+func NewCoreMetrics(reg *Registry) *CoreMetrics { return obs.NewCoreMetrics(reg) }
+
+// Tee fans one event stream out to several sinks.
+func Tee(sinks ...Sink) Sink { return obs.Tee(sinks...) }
+
+// BuildCatapult converts a recorded event stream into a Chrome
+// trace-event document (one process per core, one track per thread).
+func BuildCatapult(events []Event) *CatapultTrace { return obs.BuildCatapult(events) }
+
+// WriteCatapult encodes the event stream as catapult JSON, loadable in
+// chrome://tracing and Perfetto.
+func WriteCatapult(w io.Writer, events []Event) error { return obs.WriteCatapult(w, events) }

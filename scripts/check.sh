@@ -1,0 +1,17 @@
+#!/bin/sh
+# Pre-PR gate: formatting, vet, and the full test suite under the race
+# detector. Run via `make check` or directly. Fails fast on the first
+# problem.
+set -eu
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+go vet ./...
+go test -race ./...
+echo "check: OK"
