@@ -87,6 +87,86 @@ func TestInstrumentationDoesNotPerturb(t *testing.T) {
 	}
 }
 
+// TestOraclesDoNotPerturb is the chaos-tooling bit-identity gate: the
+// invariant oracles only observe (weak ticks, no latency, no engine RNG
+// draws), so a fully checked run must leave Stats and cycle counts
+// bit-identical to the bare run of the same seed — and report zero
+// violations on a healthy model.
+func TestOraclesDoNotPerturb(t *testing.T) {
+	v, _ := VariantByName("BS")
+	bare, err := RunOne(RunConfig{Workload: "BerkeleyDB", Variant: v, Scale: testScale}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := RunOne(RunConfig{
+		Workload: "BerkeleyDB", Variant: v, Scale: testScale,
+		Checks: AllChecks(500_000),
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Stats != checked.Stats {
+		t.Errorf("oracles perturbed Stats:\nbare %+v\nchecked %+v", bare.Stats, checked.Stats)
+	}
+	if bare.Cycles != checked.Cycles {
+		t.Errorf("oracles changed cycle count: %d vs %d", bare.Cycles, checked.Cycles)
+	}
+	if len(checked.CheckFailures) != 0 {
+		t.Errorf("healthy run reported violations: %v", checked.CheckFailures)
+	}
+}
+
+// TestFaultInjectionDeterministic pins the chaos replay contract: the
+// same fault plan and seed reproduce identical Stats and fault counts,
+// and an inactive plan is bit-identical to no plan at all.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	v, _ := VariantByName("BS")
+	plan, err := FaultMix("storm", 0) // seed derived from the run seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() RunResult {
+		r, err := RunOne(RunConfig{
+			Workload: "BerkeleyDB", Variant: v, Scale: testScale,
+			Checks: AllChecks(500_000), Fault: plan, MaxCycles: 3_000_000,
+		}, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if r1.Stats != r2.Stats {
+		t.Errorf("same plan+seed, different Stats:\n%+v\n%+v", r1.Stats, r2.Stats)
+	}
+	if len(r1.Faults) == 0 {
+		t.Errorf("storm plan injected nothing: %v", r1.Faults)
+	}
+	for k, n := range r1.Faults {
+		if r2.Faults[k] != n {
+			t.Errorf("fault count %s differs: %d vs %d", k, n, r2.Faults[k])
+		}
+	}
+	if len(r1.CheckFailures) != 0 {
+		t.Errorf("oracle violations under injection: %v", r1.CheckFailures)
+	}
+
+	// A zero-valued plan must not even attach the injector.
+	bare, err := RunOne(RunConfig{Workload: "BerkeleyDB", Variant: v, Scale: testScale}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inert, err := RunOne(RunConfig{
+		Workload: "BerkeleyDB", Variant: v, Scale: testScale, Fault: FaultPlan{},
+	}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Stats != inert.Stats || bare.Cycles != inert.Cycles {
+		t.Errorf("inactive fault plan perturbed the run")
+	}
+}
+
 // TestTraceOutHasSlicePerCommit mirrors the CLI acceptance criterion:
 // the exported timeline contains at least one complete-duration slice
 // per committed outermost transaction.

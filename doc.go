@@ -29,8 +29,10 @@ package logtmse
 
 import (
 	"logtmse/internal/addr"
+	"logtmse/internal/check"
 	"logtmse/internal/coherence"
 	"logtmse/internal/core"
+	"logtmse/internal/fault"
 	"logtmse/internal/sig"
 	"logtmse/internal/sim"
 )
@@ -64,7 +66,28 @@ type (
 	Resolution = core.Resolution
 	// TraceFunc receives the engine's transactional event stream.
 	TraceFunc = core.TraceFunc
+	// CheckConfig selects the runtime invariant oracles (RunConfig.Checks).
+	CheckConfig = check.Config
+	// Checker evaluates the invariant oracles against one system.
+	Checker = check.Checker
+	// CheckFailure is one recorded invariant violation.
+	CheckFailure = check.Failure
+	// FaultPlan configures the deterministic fault injector
+	// (RunConfig.Fault); the zero value injects nothing.
+	FaultPlan = fault.Plan
+	// Injector drives a FaultPlan against one system.
+	Injector = fault.Injector
 )
+
+// AllChecks returns a CheckConfig with every oracle enabled and the
+// given progress-watchdog window (0 disarms the watchdog).
+func AllChecks(watchdogWindow Cycle) CheckConfig { return check.All(watchdogWindow) }
+
+// FaultMixNames lists the named fault mixes of the chaos campaign.
+func FaultMixNames() []string { return fault.MixNames() }
+
+// FaultMix returns the FaultPlan for a named mix with the given seed.
+func FaultMix(name string, seed int64) (FaultPlan, error) { return fault.MixPlan(name, seed) }
 
 // Conflict-resolution policies.
 const (

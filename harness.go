@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"logtmse/internal/core"
+	"logtmse/internal/fault"
 	"logtmse/internal/sig"
 	"logtmse/internal/stats"
 	"logtmse/internal/workload"
@@ -79,6 +80,20 @@ type RunConfig struct {
 	// cache/directory warm-up, resets every counter, and measures only
 	// the remainder — the paper's representative-sample methodology.
 	WarmupCycles Cycle
+	// MaxCycles, when nonzero, bounds the run; a run still incomplete at
+	// the bound fails with the engine's wait-for diagnosis (the chaos
+	// campaign's hang backstop). 0 runs to completion.
+	MaxCycles Cycle
+	// Checks enables the runtime invariant oracles (shadow memory,
+	// signature membership, undo-log LIFO, sticky audit, progress
+	// watchdog). Oracles only observe: enabling them leaves Stats
+	// bit-identical for the same seed; any violation fails the run and
+	// is reported in RunResult.CheckFailures.
+	Checks CheckConfig
+	// Fault, when active, attaches the deterministic fault injector. A
+	// zero Fault.Seed derives one from the run seed so each seed sees a
+	// different (but reproducible) fault schedule.
+	Fault FaultPlan
 }
 
 func (rc RunConfig) withDefaults() RunConfig {
@@ -102,6 +117,13 @@ type RunResult struct {
 	WorkUnits     uint64
 	CyclesPerUnit float64
 	Stats         Stats
+	// CheckFailures lists invariant-oracle violations when RunConfig.Checks
+	// enabled oracles (empty = every oracle held). A non-empty list also
+	// makes RunOne return an error, with the partial result populated.
+	CheckFailures []CheckFailure
+	// Faults counts applied fault injections per class when
+	// RunConfig.Fault was active.
+	Faults map[string]uint64
 }
 
 // Aggregate summarizes an experiment cell across seeds.
@@ -203,12 +225,32 @@ func RunOne(rc RunConfig, seed int64) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	// The checker seeds its shadow memory from the workload's setup
+	// writes, so it must attach after Spawn and before the run.
+	var chk *Checker
+	if rc.Checks.Any() {
+		chk = sys.AttachChecker(rc.Checks)
+	}
+	var inj *Injector
+	if rc.Fault.Active() {
+		plan := rc.Fault
+		if plan.Seed == 0 {
+			plan.Seed = seed*7919 + 13
+		}
+		inj = fault.New(plan, sys)
+		inj.Arm()
+	}
 	measured := Cycle(0)
 	if rc.WarmupCycles > 0 {
 		measured = sys.RunUntil(rc.WarmupCycles)
 		sys.ResetStats()
 	}
-	end := sys.Run()
+	var end Cycle
+	if rc.MaxCycles > 0 {
+		end = sys.RunUntil(rc.MaxCycles)
+	} else {
+		end = sys.Run()
+	}
 	cycles := end - measured
 	if rc.Metrics != nil {
 		// Close the time series with the end-of-run state, stamped at
@@ -216,25 +258,38 @@ func RunOne(rc RunConfig, seed int64) (RunResult, error) {
 		// have advanced the raw clock past it).
 		rc.Metrics.Reg.Snapshot(end)
 	}
+	res := RunResult{Seed: seed}
+	if chk != nil {
+		res.CheckFailures = chk.Failures()
+	}
+	if inj != nil {
+		res.Faults = inj.Stats().ByClass()
+	}
 	if !sys.AllDone() {
-		return RunResult{}, fmt.Errorf("logtmse: %s/%s seed %d: threads stuck: %v",
-			rc.Workload, rc.Variant.Name, seed, sys.Stuck())
+		// A hung run fails with a full diagnosis — per-thread transaction
+		// state and the NACK wait-for graph — not just thread names.
+		return res, fmt.Errorf("logtmse: %s/%s seed %d: threads stuck: %v\n%s",
+			rc.Workload, rc.Variant.Name, seed, sys.Stuck(), sys.Diagnose())
 	}
 	if err := inst.Verify(sys); err != nil {
-		return RunResult{}, fmt.Errorf("logtmse: %s/%s seed %d: %w",
+		return res, fmt.Errorf("logtmse: %s/%s seed %d: %w",
 			rc.Workload, rc.Variant.Name, seed, err)
+	}
+	if chk != nil {
+		if err := chk.Err(); err != nil {
+			return res, fmt.Errorf("logtmse: %s/%s seed %d: %w",
+				rc.Workload, rc.Variant.Name, seed, err)
+		}
 	}
 	st := sys.Stats()
 	if st.WorkUnits == 0 {
-		return RunResult{}, fmt.Errorf("logtmse: %s produced no work units", rc.Workload)
+		return res, fmt.Errorf("logtmse: %s produced no work units", rc.Workload)
 	}
-	return RunResult{
-		Seed:          seed,
-		Cycles:        cycles,
-		WorkUnits:     st.WorkUnits,
-		CyclesPerUnit: float64(cycles) / float64(st.WorkUnits),
-		Stats:         st,
-	}, nil
+	res.Cycles = cycles
+	res.WorkUnits = st.WorkUnits
+	res.CyclesPerUnit = float64(cycles) / float64(st.WorkUnits)
+	res.Stats = st
+	return res, nil
 }
 
 // Run executes an experiment cell across its seeds.

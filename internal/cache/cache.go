@@ -195,6 +195,38 @@ func (c *Cache) Insert(a addr.PAddr, s State) (Victim, bool) {
 // Evictions reports how many lines have been displaced since construction.
 func (c *Cache) Evictions() uint64 { return c.evicted }
 
+// EvictNth removes the n'th valid line in fixed (set, way) scan order and
+// returns it as a victim. n wraps modulo the number of valid lines, so
+// any n deterministically selects some line of a non-empty cache. It
+// reports false if the cache holds no valid lines. The fault injector
+// uses it for victimization storms; callers must run the same victim
+// bookkeeping a capacity eviction would (sticky states, writebacks).
+func (c *Cache) EvictNth(n int) (Victim, bool) {
+	valid := c.Occupancy()
+	if valid == 0 {
+		return Victim{}, false
+	}
+	n %= valid
+	if n < 0 {
+		n += valid
+	}
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.state == Invalid {
+			continue
+		}
+		if n > 0 {
+			n--
+			continue
+		}
+		v := Victim{Addr: addr.PAddr(l.tag << addr.BlockShift), State: l.state}
+		*l = line{}
+		c.evicted++
+		return v, true
+	}
+	return Victim{}, false // unreachable: n < valid
+}
+
 // Occupancy reports how many lines are valid.
 func (c *Cache) Occupancy() int {
 	n := 0

@@ -1,0 +1,221 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/mem"
+	"logtmse/internal/sig"
+	"logtmse/internal/sim"
+)
+
+func newChecker(cfg Config) (*Checker, *sim.Cycle) {
+	now := new(sim.Cycle)
+	return New(cfg, func() sim.Cycle { return *now }), now
+}
+
+func firstOracle(c *Checker) string {
+	if len(c.Failures()) == 0 {
+		return ""
+	}
+	return c.Failures()[0].Oracle
+}
+
+// TestShadowCatchesLostUpdate drives the textbook lost update through the
+// shadow oracle: two transactions both read 0 from the same word and both
+// commit an increment. Whatever serial order the replay picks, the second
+// committer's recorded read cannot match it.
+func TestShadowCatchesLostUpdate(t *testing.T) {
+	c, _ := newChecker(Config{Shadow: true})
+	X := addr.PAddr(0x1000)
+	c.OnBegin(1, 1, false)
+	c.OnBegin(2, 1, false)
+	c.OnRead(1, ModeTx, X, 0)
+	c.OnRead(2, ModeTx, X, 0)
+	c.OnWrite(1, ModeTx, X, 1)
+	c.OnWrite(2, ModeTx, X, 1)
+	c.OnCommit(1, 1, false)
+	if c.Err() != nil {
+		t.Fatalf("first commit must replay cleanly: %v", c.Err())
+	}
+	c.OnCommit(2, 1, false)
+	if c.Err() == nil {
+		t.Fatalf("lost update not detected")
+	}
+	if firstOracle(c) != "shadow" {
+		t.Errorf("failure attributed to %q, want shadow", firstOracle(c))
+	}
+}
+
+// TestShadowAcceptsSerializedRun is the negative control: properly
+// serialized increments replay without a single failure, and nested
+// closed commits merge into the parent.
+func TestShadowAcceptsSerializedRun(t *testing.T) {
+	c, _ := newChecker(Config{Shadow: true})
+	X := addr.PAddr(0x2000)
+	for i, v := range []uint64{0, 1, 2} {
+		tid := 10 + i
+		c.OnBegin(tid, 1, false)
+		c.OnRead(tid, ModeTx, X, v)
+		c.OnBegin(tid, 2, false) // nested
+		c.OnWrite(tid, ModeTx, X, v+1)
+		c.OnCommit(tid, 2, false) // closed: merges into parent
+		c.OnCommit(tid, 1, false)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("serialized run flagged: %v", err)
+	}
+}
+
+// TestShadowPlainAndEscapedModes: plain accesses verify-and-apply
+// immediately; escaped reads are exempt (they may see the thread's own
+// uncommitted stores).
+func TestShadowPlainAndEscapedModes(t *testing.T) {
+	c, _ := newChecker(Config{Shadow: true})
+	X := addr.PAddr(0x3000)
+	c.OnWrite(0, ModePlain, X, 7)
+	c.OnRead(0, ModePlain, X, 7)
+	if c.Err() != nil {
+		t.Fatalf("consistent plain access flagged: %v", c.Err())
+	}
+	c.OnRead(0, ModeEscaped, X, 999) // legal: escape actions are unverified
+	if c.Err() != nil {
+		t.Fatalf("escaped read flagged: %v", c.Err())
+	}
+	c.OnRead(0, ModePlain, X, 999)
+	if c.Err() == nil {
+		t.Fatalf("inconsistent plain read not detected")
+	}
+}
+
+// TestUndoLIFOOracle verifies the abort-restore check: restoring the
+// oldest per-block record passes, leaving any newer value fails.
+func TestUndoLIFOOracle(t *testing.T) {
+	va := addr.VAddr(0x4000)
+	var oldest, newer mem.Block
+	oldest[0], newer[0] = 1, 2
+	m := map[addr.PAddr]mem.Block{}
+	translate := func(v addr.VAddr) addr.PAddr { return addr.PAddr(v) }
+	read := func(a addr.PAddr, out *mem.Block) { *out = m[a] }
+
+	run := func(restored mem.Block) *Checker {
+		c, _ := newChecker(Config{UndoLIFO: true})
+		c.OnBegin(5, 1, false)
+		c.OnLogAppend(5, va, &oldest) // first store logged the pre-tx data
+		c.OnLogAppend(5, va, &newer)  // a second record for the same block
+		m[addr.PAddr(va).Block()] = restored
+		c.OnAbortFrame(5, translate, read)
+		c.OnAbortDone(5, 0)
+		return c
+	}
+	if c := run(oldest); c.Err() != nil {
+		t.Fatalf("LIFO restore (oldest record) flagged: %v", c.Err())
+	}
+	c := run(newer) // a FIFO walk would leave this
+	if c.Err() == nil {
+		t.Fatalf("non-LIFO restore not detected")
+	}
+	if firstOracle(c) != "undo" {
+		t.Errorf("failure attributed to %q, want undo", firstOracle(c))
+	}
+}
+
+// TestSigMembershipOracle: membership after insert passes; a signature
+// missing an exact-set block is a false negative and must fail.
+func TestSigMembershipOracle(t *testing.T) {
+	sg, err := sig.NewSignature(sig.Config{Kind: sig.KindBitSelect, Bits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := newChecker(Config{SigMembership: true})
+	A := addr.PAddr(0x5000)
+	sg.Insert(sig.Read, A)
+	c.OnSigInsert(3, sg, sig.Read, A)
+	c.SigCovers(3, "test", sg, map[addr.PAddr]bool{A.Block(): true}, nil)
+	if c.Err() != nil {
+		t.Fatalf("covered set flagged: %v", c.Err())
+	}
+	// A block never inserted: guaranteed absent from a bit-select filter.
+	c.SigCovers(3, "test", sg, nil, map[addr.PAddr]bool{addr.PAddr(0x5040).Block(): true})
+	if c.Err() == nil {
+		t.Fatalf("false negative not detected")
+	}
+	if firstOracle(c) != "signature" {
+		t.Errorf("failure attributed to %q, want signature", firstOracle(c))
+	}
+}
+
+// TestWatchdog trips once per stall window, carries the diagnosis, and
+// re-arms after a commit.
+func TestWatchdog(t *testing.T) {
+	c, now := newChecker(Config{WatchdogWindow: 1000})
+	c.OnBegin(1, 1, false)
+	*now = 900
+	c.Evaluate(nil)
+	if c.Err() != nil {
+		t.Fatalf("tripped inside the window: %v", c.Err())
+	}
+	*now = 1500
+	c.Evaluate(func() string { return "WAITGRAPH" })
+	if len(c.Failures()) != 1 {
+		t.Fatalf("failures = %d, want 1", len(c.Failures()))
+	}
+	if f := c.Failures()[0]; f.Oracle != "watchdog" || !strings.Contains(f.Detail, "WAITGRAPH") {
+		t.Errorf("watchdog failure lacks diagnosis: %+v", f)
+	}
+	*now = 3000
+	c.Evaluate(nil) // latched: no duplicate until progress resumes
+	if len(c.Failures()) != 1 {
+		t.Fatalf("watchdog re-fired while tripped: %d failures", len(c.Failures()))
+	}
+	c.OnCommit(1, 1, false)
+	if c.ActiveTx() != 0 {
+		t.Errorf("activeTx = %d after commit", c.ActiveTx())
+	}
+	c.OnBegin(1, 1, false)
+	*now = 4800
+	c.Evaluate(nil)
+	if len(c.Failures()) != 2 {
+		t.Errorf("watchdog did not re-arm after commit: %d failures", len(c.Failures()))
+	}
+}
+
+// TestMaxFailuresCap: violations past the cap only bump the dropped
+// counter, keeping chaos reports bounded.
+func TestMaxFailuresCap(t *testing.T) {
+	c, _ := newChecker(Config{Shadow: true, MaxFailures: 3})
+	for i := 0; i < 10; i++ {
+		c.OnRead(0, ModePlain, addr.PAddr(0x6000), uint64(i+1)) // shadow has 0
+	}
+	if len(c.Failures()) != 3 {
+		t.Errorf("failures = %d, want capped at 3", len(c.Failures()))
+	}
+	if c.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", c.Dropped())
+	}
+}
+
+// TestOnPageRelocate moves shadow state and in-flight frame footprints to
+// the new physical page so post-relocation commits still replay.
+func TestOnPageRelocate(t *testing.T) {
+	c, _ := newChecker(Config{Shadow: true})
+	oldW, newW := addr.PAddr(0x7000), addr.PAddr(0x9000)
+	c.OnWrite(0, ModePlain, oldW, 42)
+	c.OnBegin(1, 1, false)
+	c.OnRead(1, ModeTx, oldW, 42)
+	c.OnWrite(1, ModeTx, oldW, 43)
+	c.OnPageRelocate(oldW.Page(), newW.Page())
+	if got := c.shadowWord(newW); got != 42 {
+		t.Errorf("shadow word after relocation = %d, want 42", got)
+	}
+	// The open frame's footprint moved with the page: the commit replays
+	// against the new address with no failures.
+	c.OnCommit(1, 1, false)
+	if err := c.Err(); err != nil {
+		t.Fatalf("post-relocation commit flagged: %v", err)
+	}
+	if got := c.shadowWord(newW); got != 43 {
+		t.Errorf("committed value at new page = %d, want 43", got)
+	}
+}

@@ -1,0 +1,109 @@
+package coherence
+
+import (
+	"testing"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/cache"
+	"logtmse/internal/sig"
+)
+
+// TestRebuildKeepsCheckAllForSignatureOnlyCoverage is the regression for
+// a conflict-detection bypass found by the chaos campaign's shadow
+// oracle: a transactional block can live only in a signature — no cached
+// copy anywhere — after §4.2 page re-insertion or an L2 victimization.
+// The first (compatible) access after the directory rebuild used to
+// clear check-all and grant Exclusive, so the very next store was a
+// silent E->M hit that never consulted the remote signature: a lost
+// update. The rebuilt entry must stay in check-all mode while any
+// signature still contains the block, and grants under check-all must be
+// Shared so stores come back as checkable upgrades.
+func TestRebuildKeepsCheckAllForSignatureOnlyCoverage(t *testing.T) {
+	s, h := newTestSystem(t, Directory)
+	X := addr.PAddr(0x3000)
+	// Core 0's transaction holds X in its read set with no cached copy:
+	// signature-only coverage, exactly the post-relocation shape.
+	h.add(0, 0, sig.Read, X)
+
+	r1 := s.Access(rd(1, X))
+	if r1.NACK {
+		t.Fatalf("read vs read-set membership must be compatible: %+v", r1)
+	}
+	if got := s.L1(1).Peek(X); got != cache.Shared {
+		t.Errorf("grant under signature coverage = %v, want S (E licenses a silent E->M store)", got)
+	}
+	if _, _, _, checkAll := s.DirState(X); !checkAll {
+		t.Errorf("rebuilt entry dropped check-all despite live signature membership")
+	}
+
+	// The store that used to be a silent L1 hit: as an upgrade through
+	// the directory it must be broadcast-checked and NACKed by core 0.
+	r2 := s.Access(wr(1, X))
+	if !r2.NACK {
+		t.Fatalf("write bypassed core 0's read-set signature: %+v", r2)
+	}
+	found := false
+	for _, n := range r2.Nackers {
+		if n.Core == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("NACK did not come from core 0: %+v", r2.Nackers)
+	}
+
+	// Core 0 commits: membership is gone, so the retried write is granted
+	// and the entry finally leaves check-all mode.
+	delete(h.readSet, [2]int{0, 0})
+	r3 := s.Access(wr(1, X))
+	if r3.NACK {
+		t.Fatalf("write still NACKed after the footprint was released: %+v", r3)
+	}
+	if got := s.L1(1).Peek(X); got != cache.Modified {
+		t.Errorf("granted write = %v, want M", got)
+	}
+	if _, _, _, checkAll := s.DirState(X); checkAll {
+		t.Errorf("check-all not cleared once no signature contains the block")
+	}
+}
+
+// TestCheckAllGrantInvalidatesSharers is the regression for the second
+// half of the same campaign failure: the check-all branch used to grant
+// directly after a clean broadcast, skipping the normal GETM actions, so
+// existing Shared copies survived a write grant and kept serving local
+// hits with the writer's uncommitted data. A grant under check-all must
+// run the full GETS/GETM path.
+func TestCheckAllGrantInvalidatesSharers(t *testing.T) {
+	s, h := newTestSystem(t, Directory)
+	Y := addr.PAddr(0x4000)
+	h.add(0, 0, sig.Read, Y)
+
+	// Two readers pick up Shared copies while the entry sits in
+	// check-all mode (core 0's signature-only coverage keeps it there).
+	if r := s.Access(rd(2, Y)); r.NACK {
+		t.Fatalf("reader 2 NACKed: %+v", r)
+	}
+	if r := s.Access(rd(3, Y)); r.NACK {
+		t.Fatalf("reader 3 NACKed: %+v", r)
+	}
+	if _, _, _, checkAll := s.DirState(Y); !checkAll {
+		t.Fatalf("entry left check-all mode while core 0's signature covers the block")
+	}
+
+	// Core 0 commits, then core 1 writes: the broadcast is clean, and
+	// the grant must still invalidate both Shared copies.
+	delete(h.readSet, [2]int{0, 0})
+	r := s.Access(wr(1, Y))
+	if r.NACK {
+		t.Fatalf("write NACKed after release: %+v", r)
+	}
+	if got := s.L1(2).Peek(Y); got != cache.Invalid {
+		t.Errorf("core 2 still holds %v after a remote write grant, want Invalid", got)
+	}
+	if got := s.L1(3).Peek(Y); got != cache.Invalid {
+		t.Errorf("core 3 still holds %v after a remote write grant, want Invalid", got)
+	}
+	if got := s.L1(1).Peek(Y); got != cache.Modified {
+		t.Errorf("writer = %v, want M", got)
+	}
+}

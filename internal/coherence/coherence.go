@@ -115,6 +115,15 @@ type Hooks interface {
 	// any active signature on core; drives the sticky-state decision on
 	// L1 eviction.
 	MayBeInSignature(core int, a addr.PAddr) bool
+	// SignatureMember conservatively reports whether req.Addr is in ANY
+	// signature set (read or write) of a scheduled in-transaction
+	// context on core, excluding the requesting thread itself.
+	// Membership, not conflict: a read-set entry counts even for a read
+	// request, and there are no side effects. The directory uses it to
+	// keep a rebuilt entry in check-all mode while signature-only
+	// coverage — victimized or relocated transactional blocks with no
+	// cache copy anywhere — still exists.
+	SignatureMember(core int, req Request) bool
 	// InExactSet reports whether block a is in the exact read- or
 	// write-set of an active transaction on core (victimization
 	// statistics only; hardware does not have this).
@@ -241,6 +250,10 @@ func (s *System) L1(core int) *cache.Cache { return s.l1[core] }
 // L2 exposes the shared L2.
 func (s *System) L2() *cache.Cache { return s.l2 }
 
+// Grid exposes the on-chip interconnect (the fault injector attaches its
+// latency perturbation here).
+func (s *System) Grid() *network.Grid { return s.p.Grid }
+
 // HasDirEntry reports whether the directory tracks a block (tests).
 func (s *System) HasDirEntry(a addr.PAddr) bool {
 	_, ok := s.dir[a.Block()]
@@ -254,6 +267,34 @@ func (s *System) DirOwner(a addr.PAddr) int {
 		return e.owner
 	}
 	return -1
+}
+
+// DirState reports the directory's full view of a block for the
+// sticky-state/directory consistency audit: whether the block is tracked,
+// the owner pointer, the conservative sharer mask, and whether the entry
+// is in check-all mode (post-rebuild conservative broadcasts).
+func (s *System) DirState(a addr.PAddr) (present bool, owner int, sharers uint64, checkAll bool) {
+	e, ok := s.dir[a.Block()]
+	if !ok {
+		return false, -1, 0, false
+	}
+	return true, e.owner, e.sharers, e.checkAll
+}
+
+// ForceEvict displaces the n'th valid line of a core's L1 (fault
+// injection: a victimization storm), running the same victim bookkeeping
+// a capacity eviction would — including the sticky-state decision. It
+// reports the evicted block and whether a line was evicted.
+func (s *System) ForceEvict(core, n int) (addr.PAddr, bool) {
+	if core < 0 || core >= len(s.l1) {
+		return 0, false
+	}
+	v, ok := s.l1[core].EvictNth(n)
+	if !ok {
+		return 0, false
+	}
+	s.l1Victim(core, v)
+	return v.Addr, true
 }
 
 // Access performs one memory access through the protocol and returns its
@@ -323,6 +364,13 @@ func (s *System) accessDirectory(req Request) AccessResult {
 			s.stats.NACKs++
 			return AccessResult{Latency: lat, NACK: true, Nackers: nackers}
 		}
+		// Even without a NACK the rebuilt entry may be blind: a remote
+		// signature can still contain the block with no cached copy
+		// anywhere (a victimized or relocated transactional block, §4.2).
+		// The fresh entry would route later requests by owner/sharer
+		// state alone and miss that footprint, so stay in check-all mode
+		// until membership is gone.
+		e.checkAll = s.anySignatureMember(req)
 		return s.grant(req, e, lat)
 	}
 
@@ -334,8 +382,14 @@ func (s *System) accessDirectory(req Request) AccessResult {
 			s.stats.NACKs++
 			return AccessResult{Latency: lat, NACK: true, Nackers: nackers}
 		}
-		e.checkAll = false
-		return s.grant(req, e, lat)
+		// A compatible grant does not prove the block left every
+		// signature (a read is granted against remote read-set
+		// membership); leave check-all until no signature contains it.
+		e.checkAll = s.anySignatureMember(req)
+		// Fall through to the normal GETS/GETM handling: the entry may
+		// still record an owner or sharers whose cached copies need the
+		// usual downgrades/invalidations — granting directly would leave
+		// stale L1 lines serving silent hits past conflict detection.
 	}
 
 	if req.Op == sig.Read {
@@ -470,7 +524,13 @@ func (s *System) grant(req Request, e *dirEntry, lat sim.Cycle) AccessResult {
 		newState = cache.Modified
 		e.owner = req.Core
 		e.sharers = 0
-	} else if e.owner == -1 && e.sharers&^(1<<uint(req.Core)) == 0 {
+	} else if !e.checkAll && e.owner == -1 && e.sharers&^(1<<uint(req.Core)) == 0 {
+		// The Exclusive upgrade is only safe when the directory fully
+		// knows who may care about the block: an E grant licenses a
+		// silent E->M store that never returns here. In check-all mode a
+		// remote signature still covers the block without any cached
+		// copy, so the store must come back as an upgrade request and be
+		// broadcast-checked — grant Shared instead (the else branch).
 		newState = cache.Exclusive
 		e.owner = req.Core
 		e.sharers = 0
@@ -581,4 +641,15 @@ func (s *System) checkCores(cores []int, req Request) []Nacker {
 		nackers = append(nackers, s.hooks.SignatureCheck(c, req)...)
 	}
 	return nackers
+}
+
+// anySignatureMember reports whether any core other than the requesting
+// thread's still holds req.Addr in a transactional signature set.
+func (s *System) anySignatureMember(req Request) bool {
+	for c := 0; c < s.p.Cores; c++ {
+		if s.hooks.SignatureMember(c, req) {
+			return true
+		}
+	}
+	return false
 }

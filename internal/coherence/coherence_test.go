@@ -67,6 +67,19 @@ func (h *stubHooks) MayBeInSignature(core int, a addr.PAddr) bool {
 	return false
 }
 
+func (h *stubHooks) SignatureMember(core int, req Request) bool {
+	for th := 0; th < h.threads; th++ {
+		if core == req.Core && th == req.Thread {
+			continue
+		}
+		k := [2]int{core, th}
+		if h.readSet[k][req.Addr] || h.writeSet[k][req.Addr] {
+			return true
+		}
+	}
+	return false
+}
+
 func (h *stubHooks) InExactSet(core int, a addr.PAddr) bool {
 	return h.MayBeInSignature(core, a)
 }

@@ -116,6 +116,12 @@ func (h *chipHooks) MayBeInSignature(core int, a addr.PAddr) bool {
 	return h.m.hooks.MayBeInSignature(h.global(core), a)
 }
 
+func (h *chipHooks) SignatureMember(core int, req Request) bool {
+	g := req
+	g.Core = h.global(req.Core)
+	return h.m.hooks.SignatureMember(h.global(core), g)
+}
+
 func (h *chipHooks) InExactSet(core int, a addr.PAddr) bool {
 	return h.m.hooks.InExactSet(h.global(core), a)
 }

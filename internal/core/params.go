@@ -88,6 +88,14 @@ type Params struct {
 	// consecutive aborts of the same innermost frame (0 disables).
 	NestAbortEscalation int
 
+	// StarvationRetryLimit, when nonzero, bounds how many consecutive
+	// NACKed retries one stalled transactional access may issue before
+	// the engine escalates and aborts the starving transaction
+	// (obs.CauseStarvation), releasing its isolation so the system
+	// degrades gracefully under livelock instead of spinning forever.
+	// 0 (the default) keeps the paper's pure stall-and-retry behavior.
+	StarvationRetryLimit int
+
 	// Resolution selects the conflict-resolution policy. The paper's
 	// base design stalls and aborts on possible deadlock cycles; it notes
 	// future versions could trap to a contention manager, so alternative

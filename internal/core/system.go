@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"logtmse/internal/addr"
+	"logtmse/internal/check"
 	"logtmse/internal/coherence"
 	"logtmse/internal/mem"
 	"logtmse/internal/network"
@@ -56,6 +57,23 @@ type System struct {
 	// Met, when attached with AttachMetrics, receives the engine's
 	// duration and set-size histograms.
 	Met *obs.CoreMetrics
+	// Check, when attached with AttachChecker, evaluates the runtime
+	// invariant oracles (shadow memory, signature membership, undo-log
+	// LIFO, sticky audit, progress watchdog) against this system.
+	Check *check.Checker
+	// Fault, if set, is consulted at the engine's perturbation points by
+	// the fault injector. Nil (the default) leaves behavior untouched.
+	Fault FaultHook
+}
+
+// FaultHook lets a fault injector perturb the engine at well-defined
+// points. Implementations must be deterministic functions of their own
+// seeded state: the engine's RNG is never used for injection, so runs
+// with a nil hook are bit-identical to an uninstrumented simulator.
+type FaultHook interface {
+	// NackRetryDelay returns extra cycles to add before a NACKed (or
+	// summary-blocked) access retries — the "slow NACK response" fault.
+	NackRetryDelay(tid int) sim.Cycle
 }
 
 // TraceFunc receives transactional engine events.
@@ -90,6 +108,8 @@ func (s *System) emit(kind obs.Kind, t *Thread, cause obs.AbortCause, depth int,
 // was granted, or the transaction aborted) and feeds the stall-duration
 // histogram.
 func (s *System) endStall(t *Thread, a addr.PAddr) {
+	t.stallRetries = 0
+	t.waitingOn = t.waitingOn[:0]
 	if !t.stalling {
 		return
 	}
@@ -419,6 +439,13 @@ func (s *System) handle(t *Thread, r request) {
 	case reqBegin:
 		s.begin(t, r.open)
 	case reqCommit:
+		if t.pendingAbort && t.InTx() && !t.escaped {
+			// Injected abort landing at the commit point: the transaction
+			// has not committed yet, so aborting here is legal.
+			t.pendingAbort = false
+			s.abort(t, obs.CauseInjected)
+			return
+		}
 		s.commit(t)
 	case reqWorkUnit:
 		t.WorkUnits++
@@ -501,6 +528,9 @@ func (s *System) begin(t *Thread, open bool) {
 		s.trace(t, "begin nested depth=%d open=%v", t.depth, open)
 	}
 	s.emit(obs.KindTxBegin, t, obs.CauseNone, t.depth, 0, 0, 0)
+	if s.Check != nil {
+		s.Check.OnBegin(t.ID, t.depth, open)
+	}
 	s.finish(t, response{depth: t.depth}, lat)
 }
 
@@ -552,6 +582,10 @@ func (s *System) commit(t *Thread) {
 			t.depth--
 			s.trace(t, "commit open depth=%d", t.depth+1)
 			s.emit(obs.KindTxCommit, t, obs.CauseNone, t.depth+1, 0, 0, 0)
+			if s.Check != nil {
+				s.Check.OnCommit(t.ID, t.depth+1, true)
+				s.Check.SigCovers(t.ID, "open-commit restore", ctx.Sig, t.exactRead, t.exactWrite)
+			}
 			// Restoring the parent's signature from the save area is
 			// synchronous unless a hardware backup copy exists.
 			s.finish(t, response{}, s.P.CommitLat+s.sigCopyLat(t.depth))
@@ -568,6 +602,9 @@ func (s *System) commit(t *Thread) {
 		t.depth--
 		s.trace(t, "commit closed depth=%d", t.depth+1)
 		s.emit(obs.KindTxCommit, t, obs.CauseNone, t.depth+1, 0, 0, 0)
+		if s.Check != nil {
+			s.Check.OnCommit(t.ID, t.depth+1, false)
+		}
 		s.finish(t, response{}, s.P.CommitLat)
 		return
 	}
@@ -590,6 +627,7 @@ func (s *System) commit(t *Thread) {
 	t.possibleCycle = false
 	t.abortStreak = 0
 	t.consecAborts = 0
+	t.pendingAbort = false
 	t.Log.Reset()
 	t.exactRead = make(map[addr.PAddr]bool)
 	t.exactWrite = make(map[addr.PAddr]bool)
@@ -612,6 +650,9 @@ func (s *System) commit(t *Thread) {
 	}
 	s.trace(t, "commit reads=%d writes=%d", rs, ws)
 	s.emit(obs.KindTxCommit, t, obs.CauseNone, 1, 0, uint64(rs), uint64(ws))
+	if s.Check != nil {
+		s.Check.OnCommit(t.ID, 1, false)
+	}
 	if s.Met != nil {
 		s.Met.TxCycles.Observe(uint64(s.Engine.Now() - t.txStart))
 		s.Met.ReadSet.Observe(uint64(rs))
@@ -623,6 +664,14 @@ func (s *System) commit(t *Thread) {
 // --- memory access -----------------------------------------------------------
 
 func (s *System) access(t *Thread, r request, op sig.Op) {
+	// Asynchronous (fault-injected) aborts are honored only here, at the
+	// thread's own continuation — first issue or NACK retry — so abort
+	// never runs from another thread's event.
+	if t.pendingAbort && t.InTx() && !t.escaped {
+		t.pendingAbort = false
+		s.abort(t, obs.CauseInjected)
+		return
+	}
 	ctx := t.ctx
 	pa := t.PT.Translate(r.va)
 
@@ -632,14 +681,7 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 	// non-transactional one backs off until the OS reschedules and
 	// commits the blocker.
 	if ctx.Summary != nil && ctx.Summary.Conflict(op, pa) {
-		s.stats.SummaryConflicts++
-		s.trace(t, "summary conflict %v %v", op, pa)
-		s.emit(obs.KindSummaryConflict, t, obs.CauseNone, t.depth, pa.Block(), 0, 0)
-		if t.InTx() && !t.escaped {
-			s.abort(t, obs.CauseSummary)
-			return
-		}
-		s.Engine.Schedule(8*s.P.StallRetryLat+s.jitter(), func() { s.access(t, r, op) })
+		s.summaryConflict(t, r, op, pa)
 		return
 	}
 
@@ -666,6 +708,20 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 	}
 	s.endStall(t, pa.Block())
 
+	// Re-check the summary now that the response is back: a transaction
+	// may have been descheduled while this request was in flight, so the
+	// remote signature check saw the replacement context's signature and
+	// the pre-access check above ran before the new summary was
+	// installed. The paper's IPI-quiesced summary install (§4.1) makes
+	// the switch atomic with respect to conflict checks; re-validating
+	// at response time closes the same window here. The context's own
+	// summary excludes this thread's saved footprint, so a rescheduled
+	// transaction never conflicts with itself.
+	if ctx.Summary != nil && ctx.Summary.Conflict(op, pa) {
+		s.summaryConflict(t, r, op, pa)
+		return
+	}
+
 	lat := res.Latency
 	if t.InTx() && !t.escaped {
 		if s.P.CD == CDCacheBits {
@@ -677,6 +733,9 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 			}
 		} else {
 			ctx.Sig.Insert(op, pa)
+			if s.Check != nil {
+				s.Check.OnSigInsert(t.ID, ctx.Sig, op, pa)
+			}
 		}
 		t.exactInsert(op, pa)
 		if op == sig.Write {
@@ -697,6 +756,26 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 		resp.val = s.Mem.ReadWord(pa)
 		s.Mem.WriteWord(pa, resp.val+r.val)
 	}
+	if s.Check != nil {
+		mode := check.ModePlain
+		if t.escaped {
+			mode = check.ModeEscaped
+		} else if t.InTx() {
+			mode = check.ModeTx
+		}
+		switch r.kind {
+		case reqLoad:
+			s.Check.OnRead(t.ID, mode, pa, resp.val)
+		case reqStore:
+			s.Check.OnWrite(t.ID, mode, pa, r.val)
+		case reqExchange:
+			s.Check.OnRead(t.ID, mode, pa, resp.val)
+			s.Check.OnWrite(t.ID, mode, pa, r.val)
+		case reqFetchAdd:
+			s.Check.OnRead(t.ID, mode, pa, resp.val)
+			s.Check.OnWrite(t.ID, mode, pa, resp.val+r.val)
+		}
+	}
 	s.finish(t, resp, lat)
 }
 
@@ -712,6 +791,9 @@ func (s *System) logStore(t *Thread, va addr.VAddr, pa addr.PAddr) sim.Cycle {
 	s.Mem.ReadBlock(pa, &old)
 	if err := t.Log.Append(txlog.UndoRecord{VAddr: va, PAddr: pa, Old: old}); err != nil {
 		panic(err)
+	}
+	if s.Check != nil {
+		s.Check.OnLogAppend(t.ID, va, &old)
 	}
 	ctx.Filter.Add(va)
 	s.stats.LogRecords++
@@ -748,6 +830,26 @@ func (s *System) smtConflict(t *Thread, op sig.Op, pa addr.PAddr) (coherence.Nac
 	return coherence.Nacker{}, false
 }
 
+// summaryConflict handles a hit in the context's summary signature: a
+// conflict with a descheduled transaction. Stalling cannot resolve it,
+// so a transactional requester traps and aborts; a non-transactional
+// (or escaped) one backs off until the OS reschedules and commits the
+// blocker.
+func (s *System) summaryConflict(t *Thread, r request, op sig.Op, pa addr.PAddr) {
+	s.stats.SummaryConflicts++
+	s.trace(t, "summary conflict %v %v", op, pa)
+	s.emit(obs.KindSummaryConflict, t, obs.CauseNone, t.depth, pa.Block(), 0, 0)
+	if t.InTx() && !t.escaped {
+		s.abort(t, obs.CauseSummary)
+		return
+	}
+	epoch := t.abortEpoch
+	s.Engine.Schedule(8*s.P.StallRetryLat+s.jitter()+s.faultRetryDelay(t), func() {
+		t.checkRetryEpoch(epoch)
+		s.access(t, r, op)
+	})
+}
+
 // resolveNACK applies LogTM conflict resolution: stall and retry, but
 // abort on a possible deadlock cycle (NACKed by an older transaction
 // while having NACKed an older one ourselves).
@@ -758,8 +860,23 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 		// Non-transactional (or escaped) requesters never abort: they
 		// back off and retry until the conflicting transaction ends.
 		s.stats.NonTxRetries++
-		s.Engine.Schedule(s.P.StallRetryLat+s.jitter(), func() { s.access(t, retry, op) })
+		epoch := t.abortEpoch
+		s.Engine.Schedule(s.P.StallRetryLat+s.jitter()+s.faultRetryDelay(t), func() {
+			t.checkRetryEpoch(epoch)
+			s.access(t, retry, op)
+		})
 		return
+	}
+	// Record who is blocking us (wait-for diagnosis for the watchdog and
+	// the harness's hung-run report).
+	t.waitingOn = t.waitingOn[:0]
+	for _, n := range nackers {
+		if n.Core < 0 || n.Core >= len(s.ctxs) || n.Thread < 0 || n.Thread >= s.P.ThreadsPerCore {
+			continue
+		}
+		if o := s.ctxs[n.Core][n.Thread].Cur; o != nil {
+			t.waitingOn = append(t.waitingOn, o.ID)
+		}
 	}
 	s.stats.Stalls++
 	t.Stalls++
@@ -819,11 +936,48 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 			return
 		}
 	}
-	s.Engine.Schedule(s.P.StallRetryLat+s.jitter(), func() { s.access(t, retry, op) })
+	// Bounded-retry starvation escalation (opt-in): a stalled access that
+	// keeps losing eventually aborts its transaction so the system sheds
+	// the livelock instead of spinning on NACKs forever.
+	if s.P.StarvationRetryLimit > 0 {
+		t.stallRetries++
+		if t.stallRetries >= s.P.StarvationRetryLimit {
+			s.trace(t, "starvation escalation after %d NACKed retries", t.stallRetries)
+			s.abort(t, obs.CauseStarvation)
+			return
+		}
+	}
+	epoch := t.abortEpoch
+	s.Engine.Schedule(s.P.StallRetryLat+s.jitter()+s.faultRetryDelay(t), func() {
+		t.checkRetryEpoch(epoch)
+		s.access(t, retry, op)
+	})
 }
 
 func (s *System) jitter() sim.Cycle {
 	return sim.Cycle(s.Engine.Rand().Int63n(8))
+}
+
+// faultRetryDelay asks the fault injector (if any) for extra delay on a
+// NACK-response retry; it draws only on the injector's own seeded state.
+func (s *System) faultRetryDelay(t *Thread) sim.Cycle {
+	if s.Fault == nil {
+		return 0
+	}
+	return s.Fault.NackRetryDelay(t.ID)
+}
+
+// checkRetryEpoch is the stale-retry guard: a scheduled access retry
+// captures the thread's abort epoch, and firing after an abort would mean
+// the retry belongs to a dead transaction and is about to run against the
+// next one — an engine bug (aborts only ever run from the aborting
+// thread's own single continuation, so no retry can be in flight when one
+// happens). Panic loudly rather than corrupt the successor transaction.
+func (t *Thread) checkRetryEpoch(epoch uint64) {
+	if t.abortEpoch != epoch {
+		panic(fmt.Sprintf("core: stale retry for %s: abort epoch advanced %d -> %d while the retry was in flight",
+			t.Name, epoch, t.abortEpoch))
+	}
 }
 
 // abort runs the software abort handler: walk the innermost frame's undo
@@ -859,6 +1013,11 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 		lat += s.P.AbortPerRec * sim.Cycle(len(frame.Undo))
 		records += len(frame.Undo)
 		t.depth--
+		if s.Check != nil {
+			// Verify the LIFO restore while this frame's translations and
+			// memory state are current (before any further unwinding).
+			s.Check.OnAbortFrame(t.ID, t.PT.Translate, s.Mem.ReadBlock)
+		}
 		if t.depth == 0 {
 			ctx.Sig.ClearAll()
 			ctx.Filter.Clear()
@@ -893,8 +1052,16 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 			t.exactWrite = snap.write
 			ctx.Filter.Clear()
 			lat += s.sigCopyLat(t.depth)
+			if s.Check != nil {
+				s.Check.SigCovers(t.ID, "nested-abort restore", ctx.Sig, t.exactRead, t.exactWrite)
+			}
 		}
 	}
+	if s.Check != nil {
+		s.Check.OnAbortDone(t.ID, t.depth)
+	}
+	t.pendingAbort = false
+	t.abortEpoch++
 	t.possibleCycle = false
 	t.abortStreak++
 	t.consecAborts++
@@ -911,17 +1078,32 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 	}
 
 	// Randomized exponential backoff before the retry (bounded).
-	shift := uint(t.consecAborts)
-	if shift > s.P.BackoffCapShift {
-		shift = s.P.BackoffCapShift
-	}
-	backoff := s.P.StallRetryLat << shift
+	backoff := backoffWindow(s.P.StallRetryLat, t.consecAborts, s.P.BackoffCapShift)
 	delay := sim.Cycle(s.Engine.Rand().Int63n(int64(backoff) + 1))
 	if s.Met != nil {
 		s.Met.Backoff.Observe(uint64(delay))
 	}
 	lat += delay
 	s.finish(t, response{abort: true, toDepth: t.depth}, lat)
+}
+
+// backoffWindow computes the bounded exponential backoff window after
+// consecutive aborts: base << min(aborts, capShift), with the effective
+// shift saturated at 32 so a large configured cap can never overflow the
+// 64-bit cycle arithmetic (the window is then clamped, not wrapped).
+func backoffWindow(base sim.Cycle, consecAborts int, capShift uint) sim.Cycle {
+	shift := uint(consecAborts)
+	if shift > capShift {
+		shift = capShift
+	}
+	if shift > 32 {
+		shift = 32
+	}
+	w := base << shift
+	if w < base {
+		w = base // defense in depth: never let overflow shrink the window
+	}
+	return w
 }
 
 // --- coherence.Hooks implementation ------------------------------------------
@@ -1007,6 +1189,40 @@ func (s *System) MayBeInSignature(core int, a addr.PAddr) bool {
 	return hit
 }
 
+// SignatureMember reports whether req.Addr is in any signature set —
+// read or write — of a scheduled, in-transaction, same-address-space
+// context on the core, excluding the requesting thread itself. Unlike
+// MayBeInSignature this never mutates conflict-detection state (in
+// CDCacheBits mode the R/W bits are only probed, not consumed). The
+// directory uses it to decide whether a rebuilt entry must stay in
+// check-all mode: membership without a cached copy means owner/sharer
+// routing alone would bypass the footprint.
+func (s *System) SignatureMember(core int, req coherence.Request) bool {
+	for th := 0; th < s.P.ThreadsPerCore; th++ {
+		if core == req.Core && th == req.Thread {
+			continue
+		}
+		ctx := s.ctxs[core][th]
+		o := ctx.Cur
+		if o == nil || !o.InTx() || o.ASID != req.ASID {
+			continue
+		}
+		if s.P.CD == CDCacheBits {
+			b := req.Addr.Block()
+			if ctx.overflow || ctx.rwRead[b] || ctx.rwWrite[b] {
+				return true
+			}
+			continue
+		}
+		// A write probe conflicts with both the read and write sets, so
+		// it is exactly set membership.
+		if ctx.Sig.Conflict(sig.Write, req.Addr) {
+			return true
+		}
+	}
+	return false
+}
+
 // InExactSet reports whether a block is truly in an active transaction's
 // read or write set on the core (victimization statistics).
 func (s *System) InExactSet(core int, a addr.PAddr) bool {
@@ -1062,6 +1278,9 @@ func (s *System) ScheduleOn(t *Thread, core, thread int) error {
 		}
 		t.SavedSig = nil
 		t.NeedsSummaryUpdate = true
+		if s.Check != nil {
+			s.Check.SigCovers(t.ID, "reschedule restore", t.ctx.Sig, t.exactRead, t.exactWrite)
+		}
 	}
 	return nil
 }

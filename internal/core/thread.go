@@ -103,6 +103,23 @@ type Thread struct {
 	txStart    sim.Cycle
 	stalling   bool
 	stallSince sim.Cycle
+	// stallRetries counts NACKed retries in the current stall episode
+	// (starvation escalation); waitingOn records the software thread ids
+	// of the episode's last NACKers (wait-for diagnosis).
+	stallRetries int
+	waitingOn    []int
+
+	// pendingAbort requests an asynchronous (fault-injected) abort; it is
+	// honored only at the thread's own continuation boundaries — the top
+	// of a memory access (including NACK retries) and the commit point —
+	// never from another thread's event, so the single-continuation
+	// invariant the engine relies on is preserved.
+	pendingAbort bool
+	// abortEpoch counts aborts. Scheduled retry closures capture it and
+	// panic if it changed before they fire: a stale retry racing a new
+	// transaction would be an engine bug (aborts may only run from the
+	// aborting thread's own continuation, so no retry can be in flight).
+	abortEpoch uint64
 
 	// escaped marks an active escape action: accesses execute
 	// non-transactionally (no signature insert, no logging, survive
@@ -156,6 +173,39 @@ func (t *Thread) WriteSetSize() int { return len(t.exactWrite) }
 
 // Done reports whether the thread function has returned.
 func (t *Thread) Done() bool { return t.done }
+
+// ExactSets exposes the transaction's exact read/write sets (block
+// granularity) for the invariant oracles. Callers must not mutate or
+// retain the maps.
+func (t *Thread) ExactSets() (read, write map[addr.PAddr]bool) {
+	return t.exactRead, t.exactWrite
+}
+
+// RelocatePage rewrites the thread's exact read/write sets (including the
+// nested-transaction snapshots) from the old physical page to the new
+// one. The OS model calls it alongside the §4.2 signature re-insertion so
+// the exact sets keep mirroring the signatures across a page relocation.
+func (t *Thread) RelocatePage(oldBase, newBase addr.PAddr) {
+	oldBase, newBase = oldBase.Page(), newBase.Page()
+	remap := func(m map[addr.PAddr]bool) {
+		var moved []addr.PAddr
+		for a := range m {
+			if a >= oldBase && a < oldBase+addr.PageBytes {
+				moved = append(moved, a)
+			}
+		}
+		for _, a := range moved {
+			delete(m, a)
+			m[newBase+(a-oldBase)] = true
+		}
+	}
+	remap(t.exactRead)
+	remap(t.exactWrite)
+	for _, snap := range t.exactStack {
+		remap(snap.read)
+		remap(snap.write)
+	}
+}
 
 func (t *Thread) exactInsert(o sig.Op, a addr.PAddr) {
 	if o == sig.Read {
@@ -306,8 +356,16 @@ func (a *API) transaction(fn func(), open bool) {
 		begin := a.roundTrip(request{kind: reqBegin, open: open})
 		myDepth := begin.depth
 		if a.run(fn, myDepth) {
-			a.roundTrip(request{kind: reqCommit})
-			return
+			resp := a.roundTrip(request{kind: reqCommit})
+			if !resp.abort {
+				return
+			}
+			// Aborted at the commit point (an injected abort can land
+			// there): behave exactly like an abort inside fn.
+			if resp.toDepth < myDepth-1 {
+				panic(txAbort{toDepth: resp.toDepth})
+			}
+			continue
 		}
 		// Aborted: the engine already unwound the log to (at most) this
 		// frame; retry from the register checkpoint (= re-run fn).

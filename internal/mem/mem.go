@@ -10,6 +10,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"logtmse/internal/addr"
@@ -91,6 +92,17 @@ func (m *Memory) CopyPage(src, dst addr.PAddr) {
 	}
 }
 
+// ForEachBlock calls fn for every touched block. Iteration order is
+// unspecified (map order); callers needing determinism must not let the
+// order escape. The invariant checker uses it to seed its shadow copy.
+func (m *Memory) ForEachBlock(fn func(a addr.PAddr, b *Block)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for a, b := range m.blocks {
+		fn(a, b)
+	}
+}
+
 // BlockCount reports how many distinct blocks have been touched.
 func (m *Memory) BlockCount() int {
 	m.mu.Lock()
@@ -161,3 +173,15 @@ func (pt *PageTable) Relocate(v addr.VAddr) (oldBase, newBase addr.PAddr, err er
 
 // MappedPages reports the number of mapped virtual pages.
 func (pt *PageTable) MappedPages() int { return len(pt.entries) }
+
+// MappedVPages returns the base virtual address of every mapped page in
+// ascending order — a deterministic candidate list for fault-injected
+// page relocations.
+func (pt *PageTable) MappedVPages() []addr.VAddr {
+	out := make([]addr.VAddr, 0, len(pt.entries))
+	for vpn := range pt.entries {
+		out = append(out, addr.VAddr(vpn<<addr.PageShift))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

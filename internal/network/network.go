@@ -27,6 +27,12 @@ type Grid struct {
 	contended  bool
 	routerFree []sim.Cycle
 	occupancy  sim.Cycle // router service time per message
+
+	// perturb, when set, post-processes every computed traversal latency
+	// (fault injection: extra hop latency and jitter). It must be
+	// deterministic for a given call sequence; it may return the latency
+	// unchanged but never a smaller one.
+	perturb func(sim.Cycle) sim.Cycle
 }
 
 // New returns a grid with the given dimensions and per-link latency,
@@ -57,6 +63,19 @@ func (g *Grid) EnableContention(occupancy sim.Cycle) {
 
 // Contended reports whether the occupancy model is on.
 func (g *Grid) Contended() bool { return g.contended }
+
+// SetPerturb installs (or, with nil, removes) a latency perturbation: fn
+// receives each computed message latency and returns the latency to
+// charge instead. The fault injector uses it to add hop delay and jitter;
+// a nil perturbation reproduces the unperturbed grid exactly.
+func (g *Grid) SetPerturb(fn func(sim.Cycle) sim.Cycle) { g.perturb = fn }
+
+func (g *Grid) perturbed(lat sim.Cycle) sim.Cycle {
+	if g.perturb == nil {
+		return lat
+	}
+	return g.perturb(lat)
+}
 
 // route returns the dimension-order (X then Y) router path from a to b,
 // excluding a itself.
@@ -99,7 +118,7 @@ func (g *Grid) TraverseAt(a, b int, now sim.Cycle) sim.Cycle {
 		g.routerFree[r] = t + g.occupancy
 		t += g.linkLat
 	}
-	return t - now
+	return g.perturbed(t - now)
 }
 
 // CoreNode returns the router a core attaches to.
@@ -128,7 +147,7 @@ func (g *Grid) Hops(a, b int) int {
 // Latency returns the uncontended latency between two routers: one link to
 // enter the network plus one per hop.
 func (g *Grid) Latency(a, b int) sim.Cycle {
-	return g.linkLat * sim.Cycle(1+g.Hops(a, b))
+	return g.perturbed(g.linkLat * sim.Cycle(1+g.Hops(a, b)))
 }
 
 // CoreToBank is the latency of a request from a core to an L2 bank.

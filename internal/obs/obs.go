@@ -60,6 +60,10 @@ const (
 	// still be checked (§3.1). Core is the sticky owner, Arg the
 	// requesting core.
 	KindStickyForward
+	// KindFaultInject is one applied fault-injection action; Arg carries
+	// the fault class (internal/fault.Class) and Addr the block involved,
+	// when the fault has one.
+	KindFaultInject
 	kindMax
 )
 
@@ -74,6 +78,7 @@ var kindNames = [...]string{
 	KindLogWalkEnd:      "log-walk-end",
 	KindSummaryConflict: "summary-conflict",
 	KindStickyForward:   "sticky-forward",
+	KindFaultInject:     "fault-inject",
 }
 
 func (k Kind) String() string {
@@ -98,6 +103,12 @@ const (
 	// CauseOverflow: every NACKer was an overflowed CDCacheBits context
 	// (original LogTM's conservative overflow NACKs).
 	CauseOverflow
+	// CauseInjected: a fault-injected abort (chaos testing).
+	CauseInjected
+	// CauseStarvation: the bounded-retry starvation escalation aborted a
+	// transaction whose stalled access exceeded Params.StarvationRetryLimit
+	// consecutive NACKed retries (graceful degradation under livelock).
+	CauseStarvation
 )
 
 func (c AbortCause) String() string {
@@ -110,6 +121,10 @@ func (c AbortCause) String() string {
 		return "summary"
 	case CauseOverflow:
 		return "overflow"
+	case CauseInjected:
+		return "injected"
+	case CauseStarvation:
+		return "starvation"
 	default:
 		return fmt.Sprintf("AbortCause(%d)", uint8(c))
 	}

@@ -72,11 +72,12 @@ type Scheduler struct {
 	// preempts transactions eagerly).
 	DeferInTxFactor sim.Cycle
 
-	procs map[addr.ASID]*Process
-	info  map[*core.Thread]*threadInfo
-	runq  []*core.Thread
-	free  [][2]int // idle contexts (core, thread)
-	stats Stats
+	procs  map[addr.ASID]*Process
+	info   map[*core.Thread]*threadInfo
+	runq   []*core.Thread
+	free   [][2]int // idle contexts (core, thread)
+	forced map[*core.Thread]bool
+	stats  Stats
 
 	nextASID addr.ASID
 }
@@ -91,6 +92,7 @@ func New(sys *core.System, quantum sim.Cycle) *Scheduler {
 		DeferInTxFactor: 4,
 		procs:           make(map[addr.ASID]*Process),
 		info:            make(map[*core.Thread]*threadInfo),
+		forced:          make(map[*core.Thread]bool),
 		nextASID:        1,
 	}
 	for c := 0; c < sys.P.Cores; c++ {
@@ -168,6 +170,17 @@ func (s *Scheduler) place(t *core.Thread, c, th int) {
 }
 
 func (s *Scheduler) preemptCheck(t *core.Thread) bool {
+	if s.forced[t] {
+		// Fault injection: preempt at the next request boundary
+		// regardless of quantum or queue state. Under CDCacheBits a
+		// transaction cannot be switched out (R/W bits are not software
+		// accessible); the flag stays set and fires once the thread is
+		// outside a transaction.
+		if !t.InTx() || s.sys.P.CD != core.CDCacheBits {
+			return true
+		}
+		return false
+	}
 	if s.quantum == 0 || len(s.runq) == 0 {
 		return false
 	}
@@ -192,7 +205,20 @@ func (s *Scheduler) preemptCheck(t *core.Thread) bool {
 	return true
 }
 
+// ForceDeschedule marks t for preemption at its next request boundary
+// (fault injection: a forced mid-transaction context switch). The thread
+// is descheduled with the usual signature save and summary update, then
+// requeued; with an otherwise empty run queue it is rescheduled
+// immediately, still exercising the full save/restore path.
+func (s *Scheduler) ForceDeschedule(t *core.Thread) {
+	if s.info[t] == nil || s.info[t].state == stateDone {
+		return
+	}
+	s.forced[t] = true
+}
+
 func (s *Scheduler) onPreempt(t *core.Thread) {
+	delete(s.forced, t)
 	ti := s.info[t]
 	ctx := t.Context()
 	slot := [2]int{ctx.Core, ctx.Thread}
@@ -304,6 +330,11 @@ func (s *Scheduler) RelocatePage(p *Process, va addr.VAddr) error {
 	}
 	s.sys.Mem.CopyPage(oldBase, newBase)
 	s.stats.PageRelocations++
+	if s.sys.Check != nil {
+		// The invariant checker keys shadow state by physical address;
+		// move it with the page before any post-relocation access.
+		s.sys.Check.OnPageRelocate(oldBase, newBase)
+	}
 	// Active transactions: walk the hardware signatures, plus the
 	// signature-save areas of nested frames in the log (§4.2 explicitly
 	// includes "signatures in the log from nesting" — an inner abort
@@ -318,6 +349,16 @@ func (s *Scheduler) RelocatePage(p *Process, va addr.VAddr) error {
 					s.stats.SigBlocksMoved += uint64(fr + fw)
 				}
 			})
+			// The exact sets mirror the signatures; move them too so
+			// false-positive classification (and the membership oracle)
+			// stay correct across the relocation.
+			t.RelocatePage(oldBase, newBase)
+			if s.sys.Check != nil {
+				er, ew := t.ExactSets()
+				s.sys.Check.SigCovers(t.ID, "page-relocation reinsert", ctx.Sig, er, ew)
+			}
+		} else if t.InTx() {
+			t.RelocatePage(oldBase, newBase)
 		}
 	}
 	// Descheduled transactions: update their saved signatures (the paper

@@ -86,6 +86,26 @@ func (e *Engine) ScheduleWeak(delay Cycle, fn func()) {
 	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, weak: true, fn: fn})
 }
 
+// ScheduleWeakEvery arms a self-rearming weak event: fn runs every
+// `every` cycles while it returns true and the simulation still has
+// strong work queued. Like all weak events it can neither extend a run
+// nor change its measured length; the fault injector and the invariant
+// oracles use it as their periodic trigger so that enabling them never
+// perturbs simulated behavior by itself.
+func (e *Engine) ScheduleWeakEvery(every Cycle, fn func() bool) {
+	if every == 0 {
+		return
+	}
+	e.ScheduleWeak(every, func() {
+		if e.PendingStrong() == 0 {
+			return // the model already finished; stop rearming
+		}
+		if fn() {
+			e.ScheduleWeakEvery(every, fn)
+		}
+	})
+}
+
 // ScheduleAt runs fn at absolute cycle at. If at is in the past the event
 // fires at the current cycle.
 func (e *Engine) ScheduleAt(at Cycle, fn func()) {

@@ -55,10 +55,16 @@ const (
 
 // Abort causes.
 const (
-	AbortConflict = obs.CauseConflict
-	AbortSummary  = obs.CauseSummary
-	AbortOverflow = obs.CauseOverflow
+	AbortConflict   = obs.CauseConflict
+	AbortSummary    = obs.CauseSummary
+	AbortOverflow   = obs.CauseOverflow
+	AbortInjected   = obs.CauseInjected
+	AbortStarvation = obs.CauseStarvation
 )
+
+// EvFaultInject is one applied fault-injection action (Arg carries the
+// fault class).
+const EvFaultInject = obs.KindFaultInject
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }

@@ -14,4 +14,13 @@ fi
 
 go vet ./...
 go test -race ./...
+
+# Fuzz smoke: each target gets a short randomized budget on top of its
+# checked-in seed corpus (go test -fuzz takes one target per invocation).
+fuzztime="${FUZZTIME:-10s}"
+go test -fuzz FuzzNoFalseNegatives -fuzztime "$fuzztime" -run xxx ./internal/sig
+go test -fuzz FuzzUnmarshalSignature -fuzztime "$fuzztime" -run xxx ./internal/sig
+go test -fuzz FuzzDecode -fuzztime "$fuzztime" -run xxx ./internal/trace
+go test -fuzz FuzzCatapult -fuzztime "$fuzztime" -run xxx ./internal/obs
+
 echo "check: OK"
