@@ -12,12 +12,14 @@ import (
 	"logtmse"
 	"logtmse/internal/sig"
 	"logtmse/internal/stats"
+	"logtmse/internal/sweep"
 	"logtmse/internal/workload"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.5, "input scale (1.0 = paper inputs)")
 	seeds := flag.Int("seeds", 3, "seeds per cell")
+	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); output is identical for any -j")
 	flag.Parse()
 	seedList := make([]int64, *seeds)
 	for i := range seedList {
@@ -31,11 +33,11 @@ func main() {
 		dirP := logtmse.DefaultParams()
 		snpP := logtmse.DefaultParams()
 		snpP.Protocol = logtmse.ProtocolSnoop
-		dir, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &dirP})
+		dir, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &dirP, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}
-		snp, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &snpP})
+		snp, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &snpP, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -59,22 +61,29 @@ func main() {
 		}
 		fmt.Println()
 		for _, name := range []string{"Raytrace", "Radiosity", "BerkeleyDB"} {
-			base, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList})
+			base, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Jobs: *jobs})
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("%-12s", name)
-			for _, size := range sizes {
+			type cell struct {
+				agg logtmse.Aggregate
+				err error
+			}
+			row := sweep.Map(len(sizes), *jobs, func(i int) cell {
 				v := logtmse.Variant{
-					Name: fmt.Sprintf("%s_%d", k.label, size),
+					Name: fmt.Sprintf("%s_%d", k.label, sizes[i]),
 					Mode: workload.TM,
-					Sig:  sig.Config{Kind: k.kind, Bits: size},
+					Sig:  sig.Config{Kind: k.kind, Bits: sizes[i]},
 				}
 				agg, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: v, Scale: *scale, Seeds: seedList})
-				if err != nil {
-					fatal(err)
+				return cell{agg: agg, err: err}
+			})
+			for i := range sizes {
+				if row[i].err != nil {
+					fatal(row[i].err)
 				}
-				fmt.Printf("%10.3f", stats.Speedup(base.CPU, agg.CPU))
+				fmt.Printf("%10.3f", stats.Speedup(base.CPU, row[i].agg.CPU))
 			}
 			fmt.Println()
 		}
@@ -87,11 +96,11 @@ func main() {
 		fourP.Chips = 4
 		fourP.GridW, fourP.GridH = 2, 2
 		fourP.InterChipLat = 50
-		one, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &oneP})
+		one, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &oneP, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}
-		four, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &fourP})
+		four, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &fourP, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -111,7 +120,7 @@ func main() {
 	} {
 		p := logtmse.DefaultParams()
 		pol.set(&p)
-		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: *scale, Seeds: seedList, Params: &p})
+		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -125,7 +134,7 @@ func main() {
 		p.SigBackupCopies = backups
 		v := logtmse.Variant{Name: "BS", Mode: workload.TM,
 			Sig: sig.Config{Kind: sig.KindBitSelect, Bits: 2048}}
-		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "NestedMicro", Variant: v, Scale: *scale, Seeds: seedList, Params: &p})
+		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "NestedMicro", Variant: v, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -138,11 +147,11 @@ func main() {
 		seP := logtmse.DefaultParams()
 		origP := logtmse.DefaultParams()
 		origP.CD = logtmse.CDCacheBits
-		se, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &seP})
+		se, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &seP, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}
-		orig, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &origP})
+		orig, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &origP, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}
@@ -156,11 +165,11 @@ func main() {
 		offP := logtmse.DefaultParams()
 		onP := logtmse.DefaultParams()
 		onP.ModelContention = true
-		off, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &offP})
+		off, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &offP, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}
-		on, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &onP})
+		on, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &onP, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,112 @@
+// Command benchdiff compares two benchmark snapshots written by
+// scripts/bench.sh and enforces the performance gate: no guarded cell
+// may regress past -max-regress, the Engine.Schedule hot path must stay
+// at zero allocations per operation, and the Figure-4 geomean speedup
+// versus the base snapshot is reported.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -base BENCH_baseline.json -new BENCH_abc1234.json
+//	go run ./cmd/benchdiff -base BENCH_baseline.json -new BENCH_ci.json -max-regress 0.10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+type cell struct {
+	Name     string             `json:"name"`
+	NsOp     float64            `json:"ns_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	BytesOp  float64            `json:"bytes_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+type snapshot struct {
+	Rev        string `json:"rev"`
+	Short      bool   `json:"short"`
+	Benchmarks []cell `json:"benchmarks"`
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func main() {
+	base := flag.String("base", "BENCH_baseline.json", "baseline snapshot")
+	neu := flag.String("new", "", "candidate snapshot (required)")
+	maxRegress := flag.Float64("max-regress", 0.10, "fail when a guarded cell's ns/op grows by more than this fraction")
+	flag.Parse()
+	if *neu == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	b, err := load(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	n, err := load(*neu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	baseBy := map[string]cell{}
+	for _, c := range b.Benchmarks {
+		baseBy[c.Name] = c
+	}
+
+	fmt.Printf("benchdiff: %s (%s) -> %s (%s)\n", *base, b.Rev, *neu, n.Rev)
+	fmt.Printf("%-34s %14s %14s %8s\n", "cell", "base ns/op", "new ns/op", "ratio")
+	failed := false
+	var logSum float64
+	var logN int
+	for _, c := range n.Benchmarks {
+		bc, ok := baseBy[c.Name]
+		if !ok || bc.NsOp <= 0 {
+			fmt.Printf("%-34s %14s %14.0f %8s\n", c.Name, "-", c.NsOp, "new")
+			continue
+		}
+		ratio := c.NsOp / bc.NsOp
+		mark := ""
+		if ratio > 1+*maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %8.3f%s\n", c.Name, bc.NsOp, c.NsOp, ratio, mark)
+		if strings.HasPrefix(c.Name, "Figure4/") {
+			logSum += math.Log(ratio)
+			logN++
+		}
+	}
+	if logN > 0 {
+		geo := math.Exp(logSum / float64(logN))
+		fmt.Printf("\nFigure4 geomean ratio: %.3f (%.2fx %s)\n",
+			geo, math.Max(geo, 1/geo), map[bool]string{true: "slower", false: "faster"}[geo > 1])
+	}
+	// The zero-alloc gate: the event-engine hot path must not allocate.
+	for _, c := range n.Benchmarks {
+		if strings.HasPrefix(c.Name, "EngineSchedule") && c.AllocsOp != 0 {
+			fmt.Printf("ALLOC GATE: %s allocates %.1f/op, want 0\n", c.Name, c.AllocsOp)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"logtmse"
 	"logtmse/internal/addr"
@@ -36,6 +38,7 @@ import (
 	"logtmse/internal/osm"
 	"logtmse/internal/sig"
 	"logtmse/internal/sim"
+	"logtmse/internal/sweep"
 )
 
 // runRecord is one seed's outcome in the report.
@@ -85,6 +88,12 @@ type config struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body and returns the exit code, so that deferred
+// profile writers fire before the process exits.
+func run() int {
 	seeds := flag.Int("seeds", 24, "number of campaign seeds to run")
 	seedBase := flag.Int64("seed-base", 1, "first seed")
 	mix := flag.String("mix", "all", "fault mix: all | "+joinMixes())
@@ -96,13 +105,44 @@ func main() {
 	watchdog := flag.Int64("watchdog", 400_000, "progress-watchdog window (cycles; 0 disables)")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	verbose := flag.Bool("v", false, "print one line per run to stderr")
+	jobs := flag.Int("j", 0, "parallel campaign runs (0 = GOMAXPROCS); the report is byte-identical for any -j")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a heap profile here at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	mixes := fault.MixNames()
 	if *mix != "all" {
 		if _, err := fault.MixPlan(*mix, 0); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		mixes = []string{*mix}
 	}
@@ -125,11 +165,15 @@ func main() {
 		rep.Campaign.Seeds = 1
 		rep.Campaign.SeedBase = *replay
 	}
-	for _, seed := range list {
-		m := mixFor(mixes, *seedBase, seed)
-		rec := runSeed(m, seed, cfg)
-		rep.Runs = append(rep.Runs, rec)
-		if *verbose {
+	// Every campaign run is a share-nothing cell, so the sweep runner can
+	// fan them out across workers; results land in submission (seed-list)
+	// order, keeping the report byte-identical for any -j.
+	rep.Runs = sweep.Map(len(list), *jobs, func(i int) runRecord {
+		seed := list[i]
+		return runSeed(mixFor(mixes, *seedBase, seed), seed, cfg)
+	})
+	if *verbose {
+		for _, rec := range rep.Runs {
 			status := "ok"
 			if !rec.OK {
 				status = "FAIL: " + rec.Error
@@ -143,20 +187,21 @@ func main() {
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	buf = append(buf, '\n')
 	if *out != "" {
 		if err := os.WriteFile(*out, buf, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 	} else {
 		os.Stdout.Write(buf)
 	}
 	if rep.Summary.Failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func joinMixes() string {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// goldenReportSHA256 is the sha256 of the report produced by
+// `chaos -seeds 12 -scale 0.03`, recorded before the zero-alloc engine
+// and storage rewrite. The campaign must stay byte-identical across the
+// rewrite and across every -j.
+const goldenReportSHA256 = "562ab50a95c9348c218e1670a5f490d758e460b09fccb4742207f8a987ec947b"
+
+// TestReportByteIdentical builds the chaos binary, runs the pinned
+// campaign serially and with 8 workers, and checks both reports against
+// each other and the pre-rewrite golden hash.
+func TestReportByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the campaign binary")
+	}
+	bin := filepath.Join(t.TempDir(), "chaos")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	run := func(jobs string) string {
+		out := filepath.Join(t.TempDir(), "report-"+jobs+".json")
+		cmd := exec.Command(bin, "-seeds", "12", "-scale", "0.03", "-j", jobs, "-out", out)
+		if o, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("chaos -j %s: %v\n%s", jobs, err, o)
+		}
+		buf, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf)
+		return hex.EncodeToString(sum[:])
+	}
+	serial := run("1")
+	parallel := run("8")
+	if serial != parallel {
+		t.Errorf("report differs between -j1 (%s) and -j8 (%s)", serial, parallel)
+	}
+	if serial != goldenReportSHA256 {
+		t.Errorf("report drifted from the pre-rewrite golden:\n got %s\nwant %s", serial, goldenReportSHA256)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figure4 [-scale 1.0] [-seeds 3] [-threads 32] [-workloads all]
+//	figure4 [-scale 1.0] [-seeds 3] [-threads 32] [-workloads all] [-j N]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	seeds := flag.Int("seeds", 3, "number of pseudo-random perturbations per cell (95% CIs)")
 	threads := flag.Int("threads", 0, "worker threads (0 = all 32 contexts)")
 	names := flag.String("workloads", "all", "comma-separated benchmark names or 'all'")
+	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); results are identical for any -j")
 	flag.Parse()
 
 	var sel []string
@@ -48,7 +49,7 @@ func main() {
 
 	for _, name := range sel {
 		params := logtmse.DefaultParams()
-		row, err := logtmse.Figure4(name, *scale, seedList, &params, *threads)
+		row, err := logtmse.Figure4(name, *scale, seedList, &params, *threads, *jobs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure4: %v\n", err)
 			os.Exit(1)

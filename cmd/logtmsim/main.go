@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"logtmse"
 )
@@ -33,6 +35,12 @@ func writeFile(path string, fn func(*os.File) error) error {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body and returns the exit code, so that deferred
+// profile writers fire before the process exits.
+func run() int {
 	name := flag.String("workload", "BerkeleyDB", "benchmark name (Table 2)")
 	variant := flag.String("variant", "Perfect", "Lock | Perfect | BS | CBS | DBS | BS_64")
 	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
@@ -46,7 +54,37 @@ func main() {
 	metricsInterval := flag.Uint64("metrics-interval", 10000, "metrics snapshot interval in cycles")
 	asJSON := flag.Bool("json", false, "emit the result as JSON (for scripting)")
 	printConfig := flag.Bool("print-config", false, "print the Table 1 system parameters and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a heap profile here at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
+			}
+		}()
+	}
 
 	params := logtmse.DefaultParams()
 	if *snoop {
@@ -70,13 +108,13 @@ func main() {
 		fmt.Printf("  Interconnect        %dx%d grid, 64-byte links, %d-cycle link latency\n",
 			params.GridW, params.GridH, params.LinkLat)
 		fmt.Printf("  Protocol            %v\n", params.Protocol)
-		return
+		return 0
 	}
 
 	v, ok := logtmse.VariantByName(*variant)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "logtmsim: unknown variant %q\n", *variant)
-		os.Exit(1)
+		return 1
 	}
 	var traced int
 	var tracer logtmse.TraceFunc
@@ -112,14 +150,14 @@ func main() {
 	res, err := logtmse.RunOne(rc, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if rec != nil {
 		if err := writeFile(*traceOut, func(w *os.File) error {
 			return logtmse.WriteCatapult(w, rec.Events)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "logtmsim: trace-out: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "logtmsim: wrote %d events to %s\n", len(rec.Events), *traceOut)
 	}
@@ -128,7 +166,7 @@ func main() {
 			return metrics.Reg.WriteCSV(w)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "logtmsim: metrics-out: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *asJSON {
@@ -145,9 +183,9 @@ func main() {
 			Stats         logtmse.Stats
 		}{*name, v.Name, *scale, *seed, uint64(res.Cycles), res.WorkUnits, res.CyclesPerUnit, res.Stats}); err != nil {
 			fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	st := res.Stats
 	fmt.Printf("%s / %s  (scale %.2f, seed %d)\n", *name, v.Name, *scale, *seed)
@@ -170,4 +208,5 @@ func main() {
 	fmt.Printf("  sticky evicts        %d\n", st.Coh.StickyEvicts)
 	fmt.Printf("  tx victims L1/L2     %d / %d\n", st.Coh.L1TxVictims, st.Coh.L2TxVictims)
 	fmt.Printf("  writebacks           %d\n", st.Coh.WritebacksToMem)
+	return 0
 }

@@ -13,13 +13,21 @@ import (
 
 	"logtmse"
 	"logtmse/internal/sig"
+	"logtmse/internal/sweep"
 	"logtmse/internal/workload"
 )
+
+// cellResult carries one RunOne cell's outcome through a parallel sweep.
+type cellResult struct {
+	r   logtmse.RunResult
+	err error
+}
 
 func main() {
 	scale := flag.Float64("scale", 0.25, "input scale (1.0 = paper inputs)")
 	seeds := flag.Int("seeds", 3, "seeds for Figure 4 confidence intervals")
 	out := flag.String("out", "", "write the markdown report here (default stdout)")
+	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); the report is byte-identical for any -j")
 	flag.Parse()
 
 	var b strings.Builder
@@ -41,12 +49,20 @@ func main() {
 		"Raytrace":   "47,781, 5.8/550, 2.0/3",
 		"Mp3d":       "17,733, 2.2/18, 1.7/10",
 	}
-	for _, w := range logtmse.Workloads() {
-		r, err := logtmse.RunOne(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale}, 1)
-		if err != nil {
-			fatal(err)
+	workloads := logtmse.Workloads()
+	// Table 2 and Result 4 read the same Perfect-signature seed-1 cells,
+	// so run them once, in parallel, and report from both tables below.
+	perfectCells := sweep.Map(len(workloads), *jobs, func(i int) cellResult {
+		r, err := logtmse.RunOne(logtmse.RunConfig{
+			Workload: workloads[i].Name, Variant: perfect, Scale: *scale,
+		}, 1)
+		return cellResult{r: r, err: err}
+	})
+	for i, w := range workloads {
+		if perfectCells[i].err != nil {
+			fatal(perfectCells[i].err)
 		}
-		st := r.Stats
+		st := perfectCells[i].r.Stats
 		fmt.Fprintf(&b, "| %s | %d | %.1f/%d | %.1f/%d | %s |\n",
 			w.Name, st.Commits, st.ReadSetAvg(), st.ReadSetMax,
 			st.WriteSetAvg(), st.WriteSetMax, paper2[w.Name])
@@ -64,9 +80,9 @@ func main() {
 		fmt.Fprintf(&b, "---|")
 	}
 	fmt.Fprintln(&b)
-	for _, w := range logtmse.Workloads() {
+	for _, w := range workloads {
 		params := logtmse.DefaultParams()
-		row, err := logtmse.Figure4(w.Name, *scale, seedList, &params, 0)
+		row, err := logtmse.Figure4(w.Name, *scale, seedList, &params, 0, *jobs)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,18 +110,24 @@ func main() {
 		{"CBS_64", sig.Config{Kind: sig.KindCoarseBitSelect, Bits: 64}},
 		{"DBS_64", sig.Config{Kind: sig.KindDoubleBitSelect, Bits: 64}},
 	}
-	for _, wl := range []string{"Raytrace", "BerkeleyDB"} {
+	table3WLs := []string{"Raytrace", "BerkeleyDB"}
+	table3 := sweep.Map(len(table3WLs)*len(cells), *jobs, func(i int) cellResult {
+		wl, c := table3WLs[i/len(cells)], cells[i%len(cells)]
+		r, err := logtmse.RunOne(logtmse.RunConfig{
+			Workload: wl,
+			Variant:  logtmse.Variant{Name: c.label, Mode: workload.TM, Sig: c.sc},
+			Scale:    *scale,
+		}, 1)
+		return cellResult{r: r, err: err}
+	})
+	for wi, wl := range table3WLs {
 		fmt.Fprintf(&b, "### %s\n\n| Signature | Txns | Aborts | Stalls | FalsePos%% |\n|---|---|---|---|---|\n", wl)
-		for _, c := range cells {
-			r, err := logtmse.RunOne(logtmse.RunConfig{
-				Workload: wl,
-				Variant:  logtmse.Variant{Name: c.label, Mode: workload.TM, Sig: c.sc},
-				Scale:    *scale,
-			}, 1)
-			if err != nil {
-				fatal(err)
+		for ci, c := range cells {
+			out := table3[wi*len(cells)+ci]
+			if out.err != nil {
+				fatal(out.err)
 			}
-			st := r.Stats
+			st := out.r.Stats
 			fmt.Fprintf(&b, "| %s | %d | %d | %d | %.1f |\n",
 				c.label, st.Commits, st.Aborts, st.Stalls, st.FPEpisodePct())
 		}
@@ -119,12 +141,8 @@ func main() {
 		"BerkeleyDB": "<20", "Cholesky": "<20", "Radiosity": "<20",
 		"Raytrace": "481 in 48K", "Mp3d": "<20",
 	}
-	for _, w := range logtmse.Workloads() {
-		r, err := logtmse.RunOne(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale}, 1)
-		if err != nil {
-			fatal(err)
-		}
-		st := r.Stats
+	for i, w := range workloads {
+		st := perfectCells[i].r.Stats
 		fmt.Fprintf(&b, "| %s | %d | %d | %s |\n",
 			w.Name, st.Commits, st.Coh.L1TxVictims+st.Coh.L2TxVictims, paper4[w.Name])
 	}

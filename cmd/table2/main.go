@@ -9,11 +9,13 @@ import (
 	"os"
 
 	"logtmse"
+	"logtmse/internal/sweep"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
 	seed := flag.Int64("seed", 1, "perturbation seed")
+	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); output is identical for any -j")
 	flag.Parse()
 
 	v, _ := logtmse.VariantByName("Perfect")
@@ -21,15 +23,23 @@ func main() {
 	fmt.Printf("%-12s %-22s %-18s %6s %12s %9s %9s %10s %10s\n",
 		"Benchmark", "Input", "Unit of Work", "Units", "Transactions",
 		"Read Avg", "Read Max", "Write Avg", "Write Max")
-	for _, w := range logtmse.Workloads() {
+	type cell struct {
+		res logtmse.RunResult
+		err error
+	}
+	workloads := logtmse.Workloads()
+	rows := sweep.Map(len(workloads), *jobs, func(i int) cell {
 		res, err := logtmse.RunOne(logtmse.RunConfig{
-			Workload: w.Name, Variant: v, Scale: *scale,
+			Workload: workloads[i].Name, Variant: v, Scale: *scale,
 		}, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "table2: %v\n", err)
+		return cell{res: res, err: err}
+	})
+	for i, w := range workloads {
+		if rows[i].err != nil {
+			fmt.Fprintf(os.Stderr, "table2: %v\n", rows[i].err)
 			os.Exit(1)
 		}
-		st := res.Stats
+		res, st := rows[i].res, rows[i].res.Stats
 		fmt.Printf("%-12s %-22s %-18s %6d %12d %9.1f %9d %10.1f %10d\n",
 			w.Name, w.Input, w.UnitOfWork, res.WorkUnits, st.Commits,
 			st.ReadSetAvg(), st.ReadSetMax, st.WriteSetAvg(), st.WriteSetMax)

@@ -11,12 +11,14 @@ import (
 
 	"logtmse"
 	"logtmse/internal/sig"
+	"logtmse/internal/sweep"
 	"logtmse/internal/workload"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
 	seed := flag.Int64("seed", 1, "perturbation seed")
+	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); output is identical for any -j")
 	flag.Parse()
 
 	type cfg struct {
@@ -46,17 +48,24 @@ func main() {
 				})
 			}
 		}
-		for _, c := range cells {
+		type cell struct {
+			res logtmse.RunResult
+			err error
+		}
+		rows := sweep.Map(len(cells), *jobs, func(i int) cell {
 			res, err := logtmse.RunOne(logtmse.RunConfig{
 				Workload: bench,
-				Variant:  logtmse.Variant{Name: c.label, Mode: workload.TM, Sig: c.sc},
+				Variant:  logtmse.Variant{Name: cells[i].label, Mode: workload.TM, Sig: cells[i].sc},
 				Scale:    *scale,
 			}, *seed)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "table3: %v\n", err)
+			return cell{res: res, err: err}
+		})
+		for i, c := range cells {
+			if rows[i].err != nil {
+				fmt.Fprintf(os.Stderr, "table3: %v\n", rows[i].err)
 				os.Exit(1)
 			}
-			st := res.Stats
+			st := rows[i].res.Stats
 			fmt.Printf("%-14s %12d %8d %10d %10d %8.1f\n",
 				c.label, st.Commits, st.Aborts, st.Stalls, st.StallEpisodes, st.FPEpisodePct())
 		}

@@ -2,8 +2,103 @@ package logtmse
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
+
+// goldenCell pins one cell's headline Stats to values recorded before the
+// zero-alloc engine/storage rewrite. The event queue, memory store,
+// directory and perfect signature are all implementation details of the
+// same (cycle, sequence) total order, so swapping them must leave every
+// counter bit-identical. A diff here means the optimization changed
+// simulated behavior, not just speed.
+type goldenCell struct {
+	workload, variant string
+	seed              int64
+	cycles            Cycle
+	workUnits         uint64
+	commits, aborts   uint64
+	stalls            uint64
+	l1Hits, nacks     uint64
+}
+
+// Recorded at the pre-rewrite revision with scale 0.05.
+var goldenCells = []goldenCell{
+	{"BerkeleyDB", "BS", 5, 303375, 32, 288, 1405, 303143, 4876, 280260},
+	{"Mp3d", "Perfect", 2, 279250, 25, 852, 154, 2332, 1726, 2261},
+	{"Raytrace", "CBS", 1, 1721607, 1, 2392, 4, 2151839, 2049, 2082871},
+	{"Cholesky", "DBS", 3, 50991, 1, 64, 465, 1598, 1570, 1278},
+	{"Radiosity", "BS_64", 7, 90977, 32, 704, 231, 30227, 744, 29331},
+}
+
+// TestGoldenFingerprints verifies the engine-swap bit-identity acceptance
+// criterion against cells frozen before the rewrite.
+func TestGoldenFingerprints(t *testing.T) {
+	for _, g := range goldenCells {
+		t.Run(g.workload+"/"+g.variant, func(t *testing.T) {
+			v, ok := VariantByName(g.variant)
+			if !ok {
+				t.Fatalf("unknown variant %q", g.variant)
+			}
+			r, err := RunOne(RunConfig{
+				Workload: g.workload, Variant: v, Scale: 0.05,
+			}, g.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := r.Stats
+			got := goldenCell{
+				g.workload, g.variant, g.seed,
+				r.Cycles, r.WorkUnits, st.Commits, st.Aborts, st.Stalls,
+				st.Coh.L1Hits, st.Coh.NACKs,
+			}
+			if got != g {
+				t.Errorf("fingerprint drifted:\n got %+v\nwant %+v", got, g)
+			}
+		})
+	}
+}
+
+// TestRunParallelIdentity pins the sweep-runner contract at the harness
+// level: an experiment cell aggregated at -j1 must be bit-identical to
+// the same cell at -j8, runs in seed order included.
+func TestRunParallelIdentity(t *testing.T) {
+	v, _ := VariantByName("BS")
+	rc := RunConfig{
+		Workload: "BerkeleyDB", Variant: v, Scale: testScale,
+		Seeds: []int64{1, 2, 3, 4, 5, 6},
+	}
+	rc.Jobs = 1
+	serial, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Jobs = 8
+	parallel, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Run differs between -j1 and -j8:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// TestFigure4ParallelIdentity extends the identity to the fanned-out
+// variants x seeds cell matrix of a Figure 4 row.
+func TestFigure4ParallelIdentity(t *testing.T) {
+	p := DefaultParams()
+	serial, err := Figure4("Mp3d", testScale, []int64{1, 2}, &p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure4("Mp3d", testScale, []int64{1, 2}, &p, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Figure4 differs between -j1 and -j8")
+	}
+}
 
 // TestDeterministicEventStream is the observability regression gate: two
 // runs of the same seed must produce bit-identical Stats and identical

@@ -7,6 +7,7 @@ import (
 	"logtmse/internal/fault"
 	"logtmse/internal/sig"
 	"logtmse/internal/stats"
+	"logtmse/internal/sweep"
 	"logtmse/internal/workload"
 )
 
@@ -94,6 +95,12 @@ type RunConfig struct {
 	// zero Fault.Seed derives one from the run seed so each seed sees a
 	// different (but reproducible) fault schedule.
 	Fault FaultPlan
+	// Jobs bounds how many seeds run concurrently (0 = GOMAXPROCS,
+	// 1 = serial). Each seed is a share-nothing cell, so the worker
+	// count never changes results — only wall-clock time. Cells with a
+	// Tracer, Sink or Metrics attached share those observers across
+	// seeds and therefore always run serially, whatever Jobs says.
+	Jobs int
 }
 
 func (rc RunConfig) withDefaults() RunConfig {
@@ -292,17 +299,34 @@ func RunOne(rc RunConfig, seed int64) (RunResult, error) {
 	return res, nil
 }
 
-// Run executes an experiment cell across its seeds.
+// seedOut pairs one seed's result with its error for ordered collection.
+type seedOut struct {
+	r   RunResult
+	err error
+}
+
+// Run executes an experiment cell across its seeds, up to rc.Jobs of them
+// concurrently. Results are aggregated in seed-list order, so the
+// Aggregate is bit-identical for every worker count.
 func Run(rc RunConfig) (Aggregate, error) {
 	rc = rc.withDefaults()
 	agg := Aggregate{Workload: rc.Workload, Variant: rc.Variant}
-	for _, seed := range rc.Seeds {
-		r, err := RunOne(rc, seed)
-		if err != nil {
-			return agg, err
+	jobs := rc.Jobs
+	if rc.Tracer != nil || rc.Sink != nil || rc.Metrics != nil {
+		// Observers are shared across seeds; keep their event streams
+		// serial and in seed order.
+		jobs = 1
+	}
+	outs := sweep.Map(len(rc.Seeds), jobs, func(i int) seedOut {
+		r, err := RunOne(rc, rc.Seeds[i])
+		return seedOut{r: r, err: err}
+	})
+	for _, o := range outs {
+		if o.err != nil {
+			return agg, o.err
 		}
-		agg.Runs = append(agg.Runs, r)
-		agg.CPU.Add(r.CyclesPerUnit)
+		agg.Runs = append(agg.Runs, o.r)
+		agg.CPU.Add(o.r.CyclesPerUnit)
 	}
 	return agg, nil
 }
@@ -318,22 +342,39 @@ type Figure4Row struct {
 }
 
 // Figure4 regenerates one row of Figure 4 for a benchmark. threads = 0
-// uses every hardware context.
-func Figure4(workloadName string, scale float64, seeds []int64, params *Params, threads int) (Figure4Row, error) {
+// uses every hardware context. jobs bounds concurrency across the full
+// variants x seeds cell matrix (0 = GOMAXPROCS, 1 = serial); results are
+// reassembled in (variant, seed) submission order so the row is
+// bit-identical for every worker count.
+func Figure4(workloadName string, scale float64, seeds []int64, params *Params, threads, jobs int) (Figure4Row, error) {
 	row := Figure4Row{
 		Workload: workloadName,
 		Speedup:  make(map[string]float64),
 		CI:       make(map[string]float64),
 		Cells:    make(map[string]Aggregate),
 	}
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	variants := Figure4Variants()
+	outs := sweep.Map(len(variants)*len(seeds), jobs, func(i int) seedOut {
+		rc := RunConfig{
+			Workload: workloadName, Variant: variants[i/len(seeds)],
+			Scale: scale, Seeds: seeds, Params: params, Threads: threads,
+		}
+		r, err := RunOne(rc.withDefaults(), seeds[i%len(seeds)])
+		return seedOut{r: r, err: err}
+	})
 	var lock Aggregate
-	for _, v := range Figure4Variants() {
-		agg, err := Run(RunConfig{
-			Workload: workloadName, Variant: v, Scale: scale, Seeds: seeds,
-			Params: params, Threads: threads,
-		})
-		if err != nil {
-			return row, err
+	for vi, v := range variants {
+		agg := Aggregate{Workload: workloadName, Variant: v}
+		for si := range seeds {
+			o := outs[vi*len(seeds)+si]
+			if o.err != nil {
+				return row, o.err
+			}
+			agg.Runs = append(agg.Runs, o.r)
+			agg.CPU.Add(o.r.CyclesPerUnit)
 		}
 		row.Cells[v.Name] = agg
 		if v.Name == "Lock" {

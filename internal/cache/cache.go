@@ -41,10 +41,13 @@ func (s State) String() string {
 	}
 }
 
+// line is kept to 16 bytes (the L2 alone has 64Ki of them, zeroed on
+// every construction): the MESI state fits a byte and the LRU clock 32
+// bits — it counts cache touches, which stay far below 2^32 per run.
 type line struct {
 	tag     uint64 // block index (address >> BlockShift)
-	state   State
-	lastUse uint64
+	lastUse uint32
+	state   uint8
 }
 
 // Cache is a set-associative tag array. The zero value is not usable;
@@ -53,7 +56,7 @@ type Cache struct {
 	sets    int
 	ways    int
 	lines   []line // sets*ways, row-major
-	useClk  uint64
+	useClk  uint32
 	banked  int // number of banks (for bank-of-address queries); >=1
 	sizeB   int
 	evicted uint64
@@ -112,7 +115,7 @@ func (c *Cache) find(a addr.PAddr) *line {
 	base := c.setOf(tag) * c.ways
 	for i := 0; i < c.ways; i++ {
 		l := &c.lines[base+i]
-		if l.state != Invalid && l.tag == tag {
+		if l.state != uint8(Invalid) && l.tag == tag {
 			return l
 		}
 	}
@@ -125,7 +128,7 @@ func (c *Cache) Lookup(a addr.PAddr) State {
 	if l := c.find(a); l != nil {
 		c.useClk++
 		l.lastUse = c.useClk
-		return l.state
+		return State(l.state)
 	}
 	return Invalid
 }
@@ -133,7 +136,7 @@ func (c *Cache) Lookup(a addr.PAddr) State {
 // Peek returns the state without disturbing LRU.
 func (c *Cache) Peek(a addr.PAddr) State {
 	if l := c.find(a); l != nil {
-		return l.state
+		return State(l.state)
 	}
 	return Invalid
 }
@@ -142,11 +145,7 @@ func (c *Cache) Peek(a addr.PAddr) State {
 // block is not resident.
 func (c *Cache) SetState(a addr.PAddr, s State) {
 	if l := c.find(a); l != nil {
-		if s == Invalid {
-			l.state = Invalid
-			return
-		}
-		l.state = s
+		l.state = uint8(s)
 	}
 }
 
@@ -167,15 +166,15 @@ func (c *Cache) Insert(a addr.PAddr, s State) (Victim, bool) {
 	c.useClk++
 	// Already resident: just update.
 	if l := c.find(a); l != nil {
-		l.state = s
+		l.state = uint8(s)
 		l.lastUse = c.useClk
 		return Victim{}, false
 	}
 	// Free way?
 	for i := 0; i < c.ways; i++ {
 		l := &c.lines[base+i]
-		if l.state == Invalid {
-			*l = line{tag: tag, state: s, lastUse: c.useClk}
+		if l.state == uint8(Invalid) {
+			*l = line{tag: tag, state: uint8(s), lastUse: c.useClk}
 			return Victim{}, false
 		}
 	}
@@ -186,8 +185,8 @@ func (c *Cache) Insert(a addr.PAddr, s State) (Victim, bool) {
 			victim = &c.lines[base+i]
 		}
 	}
-	v := Victim{Addr: addr.PAddr(victim.tag << addr.BlockShift), State: victim.state}
-	*victim = line{tag: tag, state: s, lastUse: c.useClk}
+	v := Victim{Addr: addr.PAddr(victim.tag << addr.BlockShift), State: State(victim.state)}
+	*victim = line{tag: tag, state: uint8(s), lastUse: c.useClk}
 	c.evicted++
 	return v, true
 }
@@ -212,14 +211,14 @@ func (c *Cache) EvictNth(n int) (Victim, bool) {
 	}
 	for i := range c.lines {
 		l := &c.lines[i]
-		if l.state == Invalid {
+		if l.state == uint8(Invalid) {
 			continue
 		}
 		if n > 0 {
 			n--
 			continue
 		}
-		v := Victim{Addr: addr.PAddr(l.tag << addr.BlockShift), State: l.state}
+		v := Victim{Addr: addr.PAddr(l.tag << addr.BlockShift), State: State(l.state)}
 		*l = line{}
 		c.evicted++
 		return v, true
@@ -231,7 +230,7 @@ func (c *Cache) EvictNth(n int) (Victim, bool) {
 func (c *Cache) Occupancy() int {
 	n := 0
 	for i := range c.lines {
-		if c.lines[i].state != Invalid {
+		if c.lines[i].state != uint8(Invalid) {
 			n++
 		}
 	}

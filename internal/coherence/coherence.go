@@ -17,11 +17,13 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
 	"logtmse/internal/addr"
 	"logtmse/internal/cache"
 	"logtmse/internal/network"
 	"logtmse/internal/obs"
+	"logtmse/internal/ptable"
 	"logtmse/internal/sig"
 	"logtmse/internal/sim"
 )
@@ -165,15 +167,27 @@ type dirEntry struct {
 	checkAll bool
 }
 
-// System is the simulated memory system.
+// System is the simulated memory system. The directory lives in
+// page-granular open-addressed storage (internal/ptable): entries are
+// found by a single page-number hash plus an in-page index, with no
+// per-block map hashing on the access path. Entry pointers stay valid
+// across growth because per-page block arrays are separately allocated.
 type System struct {
 	p        Params
 	l1       []*cache.Cache
 	l2       *cache.Cache
-	dir      map[addr.PAddr]*dirEntry
+	dir      ptable.Table[dirEntry]
 	hooks    Hooks
 	stats    Stats
 	bankFree []sim.Cycle // per-bank next-free cycle (contention model)
+
+	// Scratch storage for the per-access hot path. The system is owned
+	// by the single simulation goroutine and each returned slice is
+	// consumed before the next Access, so the buffers are reused instead
+	// of allocated per request.
+	coresList  []int
+	targetsBuf []int
+	nackBuf    []Nacker
 }
 
 // NewSystem builds the memory system. hooks may not be nil.
@@ -187,7 +201,7 @@ func NewSystem(p Params, hooks Hooks) (*System, error) {
 	if p.Grid == nil {
 		return nil, fmt.Errorf("coherence: nil grid")
 	}
-	s := &System{p: p, dir: make(map[addr.PAddr]*dirEntry), hooks: hooks}
+	s := &System{p: p, hooks: hooks}
 	for i := 0; i < p.Cores; i++ {
 		c, err := cache.New(p.L1Bytes, p.L1Ways, 1)
 		if err != nil {
@@ -201,6 +215,10 @@ func NewSystem(p Params, hooks Hooks) (*System, error) {
 	}
 	s.l2 = l2
 	s.bankFree = make([]sim.Cycle, p.L2Banks)
+	s.coresList = make([]int, p.Cores)
+	for c := range s.coresList {
+		s.coresList[c] = c
+	}
 	return s, nil
 }
 
@@ -256,14 +274,13 @@ func (s *System) Grid() *network.Grid { return s.p.Grid }
 
 // HasDirEntry reports whether the directory tracks a block (tests).
 func (s *System) HasDirEntry(a addr.PAddr) bool {
-	_, ok := s.dir[a.Block()]
-	return ok
+	return s.dir.Get(a.Block()) != nil
 }
 
 // DirOwner reports the directory's owner pointer for a block (-1 if none
 // or untracked); exposed for sticky-state tests.
 func (s *System) DirOwner(a addr.PAddr) int {
-	if e, ok := s.dir[a.Block()]; ok {
+	if e := s.dir.Get(a.Block()); e != nil {
 		return e.owner
 	}
 	return -1
@@ -274,8 +291,8 @@ func (s *System) DirOwner(a addr.PAddr) int {
 // the owner pointer, the conservative sharer mask, and whether the entry
 // is in check-all mode (post-rebuild conservative broadcasts).
 func (s *System) DirState(a addr.PAddr) (present bool, owner int, sharers uint64, checkAll bool) {
-	e, ok := s.dir[a.Block()]
-	if !ok {
+	e := s.dir.Get(a.Block())
+	if e == nil {
 		return false, -1, 0, false
 	}
 	return true, e.owner, e.sharers, e.checkAll
@@ -321,7 +338,7 @@ func (s *System) Access(req Request) AccessResult {
 		s.stats.L1Hits++
 		if st == cache.Exclusive {
 			s.l1[req.Core].SetState(req.Addr, cache.Modified)
-			if e, ok := s.dir[req.Addr]; ok {
+			if e := s.dir.Get(req.Addr); e != nil {
 				e.owner = req.Core
 			}
 		}
@@ -344,8 +361,8 @@ func (s *System) accessDirectory(req Request) AccessResult {
 	bank := s.l2.Bank(a)
 	lat := s.p.L1HitLat + s.reqPathLat(req.Core, bank) + s.p.DirLat + s.p.L2Lat
 
-	e, resident := s.dir[a]
-	if !resident {
+	e := s.dir.Get(a)
+	if e == nil {
 		// L2 miss: fetch from memory; directory info was lost when the
 		// L2 victimized the block, so conservatively broadcast to the
 		// L1s so they can check their signatures (§5).
@@ -354,8 +371,8 @@ func (s *System) accessDirectory(req Request) AccessResult {
 		lat += s.p.Grid.BroadcastFromBank(bank) + s.p.CheckLat
 		s.stats.Broadcasts++
 		nackers := s.checkCores(s.allCores(req.Core), req)
-		e = &dirEntry{owner: -1}
-		s.dir[a] = e
+		e, _ = s.dir.GetOrCreate(a)
+		*e = dirEntry{owner: -1}
 		s.insertL2(a)
 		if len(nackers) > 0 {
 			// Record the NACK: all subsequent requests must re-check
@@ -481,12 +498,12 @@ func (s *System) accessSnoop(req Request) AccessResult {
 		return AccessResult{Latency: lat, NACK: true, Nackers: nackers}
 	}
 	// Locate the data: L1 owner beats L2 beats memory.
-	e, resident := s.dir[a]
-	if !resident {
+	e := s.dir.Get(a)
+	if e == nil {
 		s.stats.L2Misses++
 		lat += s.p.L2Lat + s.p.MemLat
-		e = &dirEntry{owner: -1}
-		s.dir[a] = e
+		e, _ = s.dir.GetOrCreate(a)
+		*e = dirEntry{owner: -1}
 		s.insertL2(a)
 	} else {
 		lat += s.p.L2Lat
@@ -563,8 +580,8 @@ func (s *System) l1Victim(core int, v cache.Victim) {
 		s.stats.StickyEvicts++
 		return
 	}
-	ve, ok := s.dir[v.Addr]
-	if !ok {
+	ve := s.dir.Get(v.Addr)
+	if ve == nil {
 		return
 	}
 	switch v.State {
@@ -597,11 +614,11 @@ func (s *System) insertL2(a addr.PAddr) {
 			break
 		}
 	}
-	if ve, ok := s.dir[v.Addr]; ok {
+	if ve := s.dir.Get(v.Addr); ve != nil {
 		if ve.owner != -1 && s.l1[ve.owner].Peek(v.Addr) == cache.Modified {
 			s.stats.WritebacksToMem++
 		}
-		delete(s.dir, v.Addr)
+		s.dir.Delete(v.Addr)
 	}
 	for c := 0; c < s.p.Cores; c++ {
 		s.l1[c].Invalidate(v.Addr)
@@ -611,16 +628,19 @@ func (s *System) insertL2(a addr.PAddr) {
 // targetsOf lists the cores a GETM must check: the (possibly sticky)
 // owner plus every core in the conservative sharer mask, excluding the
 // requester itself.
+// The returned slice aliases a reusable scratch buffer: read it before
+// the next Access.
 func (s *System) targetsOf(e *dirEntry, reqCore int) []int {
-	var ts []int
-	for c := 0; c < s.p.Cores; c++ {
-		if c == reqCore {
-			continue
-		}
-		if c == e.owner || e.sharers&(1<<uint(c)) != 0 {
-			ts = append(ts, c)
-		}
+	ts := s.targetsBuf[:0]
+	mask := e.sharers
+	if e.owner >= 0 {
+		mask |= 1 << uint(e.owner)
 	}
+	mask &^= 1 << uint(reqCore)
+	for ; mask != 0; mask &= mask - 1 {
+		ts = append(ts, bits.TrailingZeros64(mask))
+	}
+	s.targetsBuf = ts
 	return ts
 }
 
@@ -628,18 +648,17 @@ func (s *System) targetsOf(e *dirEntry, reqCore int) []int {
 // sibling SMT context may hold a conflicting signature (the hook excludes
 // the requesting thread itself).
 func (s *System) allCores(int) []int {
-	ts := make([]int, s.p.Cores)
-	for c := range ts {
-		ts[c] = c
-	}
-	return ts
+	return s.coresList
 }
 
+// checkCores fans a request out for signature checks. The returned slice
+// aliases a reusable scratch buffer: read it before the next Access.
 func (s *System) checkCores(cores []int, req Request) []Nacker {
-	var nackers []Nacker
+	nackers := s.nackBuf[:0]
 	for _, c := range cores {
 		nackers = append(nackers, s.hooks.SignatureCheck(c, req)...)
 	}
+	s.nackBuf = nackers
 	return nackers
 }
 

@@ -6,6 +6,7 @@ import (
 	"logtmse/internal/addr"
 	"logtmse/internal/cache"
 	"logtmse/internal/obs"
+	"logtmse/internal/ptable"
 	"logtmse/internal/sig"
 	"logtmse/internal/sim"
 )
@@ -57,7 +58,7 @@ type MultiChip struct {
 	p            MultiChipParams
 	coresPerChip int
 	chips        []*System // per-chip L1s + L2 + intra-chip directory
-	memDir       map[addr.PAddr]*memDirEntry
+	memDir       ptable.Table[memDirEntry]
 	hooks        Hooks
 	stats        Stats
 }
@@ -77,7 +78,6 @@ func NewMultiChip(p MultiChipParams, hooks Hooks) (*MultiChip, error) {
 	m := &MultiChip{
 		p:            p,
 		coresPerChip: p.Cores / p.Chips,
-		memDir:       make(map[addr.PAddr]*memDirEntry),
 		hooks:        hooks,
 	}
 	for c := 0; c < p.Chips; c++ {
@@ -175,7 +175,7 @@ func (m *MultiChip) Access(req Request) AccessResult {
 	local.Core = req.Core % m.coresPerChip
 
 	a := req.Addr
-	e := m.memDir[a]
+	e := m.memDir.Get(a)
 	chipBit := uint64(1) << uint(chip)
 
 	// Determine whether the chip already has sufficient inter-chip
@@ -199,8 +199,8 @@ func (m *MultiChip) Access(req Request) AccessResult {
 	m.stats.InterChipMsgs++
 	lat := 2 * m.p.InterChipLat // chip <-> memory directory round trip
 	if e == nil {
-		e = &memDirEntry{ownerChip: -1}
-		m.memDir[a] = e
+		e, _ = m.memDir.GetOrCreate(a)
+		*e = memDirEntry{ownerChip: -1}
 	}
 
 	// Check every other chip that may hold the block (or a sticky
@@ -276,8 +276,8 @@ func (m *MultiChip) invalidateChip(chip int, a addr.PAddr) {
 	for lc := 0; lc < m.coresPerChip; lc++ {
 		c.l1[lc].Invalidate(a)
 	}
-	if _, ok := c.dir[a]; ok {
-		delete(c.dir, a)
+	if c.dir.Get(a) != nil {
+		c.dir.Delete(a)
 		c.l2.Invalidate(a)
 	}
 }
@@ -293,7 +293,7 @@ func (m *MultiChip) downgradeChip(chip int, a addr.PAddr) {
 			c.l1[lc].SetState(a, cache.Shared)
 		}
 	}
-	if e, ok := c.dir[a]; ok {
+	if e := c.dir.Get(a); e != nil {
 		if e.owner != -1 {
 			e.sharers |= 1 << uint(e.owner)
 			e.owner = -1
@@ -308,13 +308,13 @@ func (m *MultiChip) downgradeChip(chip int, a addr.PAddr) {
 // dirty transactional block is rare).
 func (m *MultiChip) VictimizeL2(chip int, a addr.PAddr) {
 	a = a.Block()
-	e := m.memDir[a]
+	e := m.memDir.Get(a)
 	if e == nil {
-		e = &memDirEntry{ownerChip: -1}
-		m.memDir[a] = e
+		e, _ = m.memDir.GetOrCreate(a)
+		*e = memDirEntry{ownerChip: -1}
 	}
 	m.chips[chip].l2.Invalidate(a)
-	delete(m.chips[chip].dir, a)
+	m.chips[chip].dir.Delete(a)
 	for lc := 0; lc < m.coresPerChip; lc++ {
 		m.chips[chip].l1[lc].Invalidate(a)
 	}
@@ -327,7 +327,7 @@ func (m *MultiChip) VictimizeL2(chip int, a addr.PAddr) {
 // MemDirOwner reports the memory directory's owner chip for a block
 // (-1 if none); exposed for tests.
 func (m *MultiChip) MemDirOwner(a addr.PAddr) (owner int, sticky bool) {
-	if e, ok := m.memDir[a.Block()]; ok {
+	if e := m.memDir.Get(a.Block()); e != nil {
 		return e.ownerChip, e.stickyM
 	}
 	return -1, false

@@ -46,9 +46,11 @@ func (s *System) audit() {
 			}
 			switch {
 			case t.ctx != nil:
-				s.Check.SigCovers(t.ID, "periodic audit", t.ctx.Sig, t.exactRead, t.exactWrite)
+				er, ew := t.ExactSets()
+				s.Check.SigCovers(t.ID, "periodic audit", t.ctx.Sig, er, ew)
 			case t.SavedSig != nil:
-				s.Check.SigCovers(t.ID, "periodic audit (saved)", t.SavedSig, t.exactRead, t.exactWrite)
+				er, ew := t.ExactSets()
+				s.Check.SigCovers(t.ID, "periodic audit (saved)", t.SavedSig, er, ew)
 			}
 		}
 	}
@@ -84,7 +86,8 @@ func (s *System) stickyAudit() {
 		// every other context of the process (§4.1): any conflicting
 		// access would trap on the accessor's local summary check.
 		var bad []string
-		for _, a := range sortedBlocks(t.exactWrite) {
+		exactRead, exactWrite := t.ExactSets()
+		for _, a := range sortedBlocks(exactWrite) {
 			present, owner, _, checkAll := dv.DirState(a)
 			if !present || checkAll || owner == core {
 				continue
@@ -94,8 +97,8 @@ func (s *System) stickyAudit() {
 			}
 			bad = append(bad, fmt.Sprintf("W %v owner=%d", a, owner))
 		}
-		for _, a := range sortedBlocks(t.exactRead) {
-			if t.exactWrite[a] {
+		for _, a := range sortedBlocks(exactRead) {
+			if exactWrite[a] {
 				continue
 			}
 			present, owner, sharers, checkAll := dv.DirState(a)

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
 
 	"logtmse/internal/addr"
 	"logtmse/internal/check"
@@ -28,6 +28,31 @@ type System struct {
 	ctxs    [][]*Context // [core][thread]
 	threads []*Thread
 	stats   Stats
+
+	// nackScratch backs SignatureCheck's result; smtNack backs the
+	// single-element slice the SMT-conflict path hands to resolveNACK.
+	// Both are read by the caller before any further check runs, and the
+	// system is owned by one simulation goroutine, so reusing them is
+	// safe and keeps the per-access hot path allocation-free.
+	nackScratch []coherence.Nacker
+	smtNack     [1]coherence.Nacker
+
+	// txLive counts scheduled in-transaction contexts per core. The
+	// coherence hooks consult it to skip the per-context scan on cores
+	// with no live transaction (the common case in low-conflict runs);
+	// recountTx refreshes it at every scheduling or depth transition.
+	txLive []int
+
+	// Engine-ownership handoff state (see pump): the event loop runs on
+	// whichever goroutine currently owns the engine — Run's caller or a
+	// resumed thread. readied names the thread whose response the event
+	// just executed made ready; mainWake resumes Run's caller when the
+	// bounded run finishes on a thread's goroutine. runLimit/runLast are
+	// the active Run/RunUntil bound and the last strong cycle.
+	readied  *Thread
+	mainWake chan struct{}
+	runLimit sim.Cycle
+	runLast  sim.Cycle
 
 	nextPhysPage uint64
 
@@ -198,6 +223,7 @@ func NewSystem(p Params) (*System, error) {
 		Mem:          mem.NewMemory(),
 		nextPhysPage: 1,
 		Sink:         p.Sink,
+		mainWake:     make(chan struct{}),
 	}
 	cohParams := coherence.Params{
 		Cores:   p.Cores,
@@ -263,6 +289,7 @@ func NewSystem(p Params) (*System, error) {
 		}
 		s.ctxs = append(s.ctxs, row)
 	}
+	s.txLive = make([]int, p.Cores)
 	return s, nil
 }
 
@@ -287,21 +314,20 @@ func (s *System) NewPageTable(asid addr.ASID) *mem.PageTable {
 // to a hardware context; call Place and Start (or SpawnOn).
 func (s *System) Spawn(name string, asid addr.ASID, pt *mem.PageTable, fn func(*API)) *Thread {
 	t := &Thread{
-		ID:         len(s.threads),
-		Name:       name,
-		ASID:       asid,
-		PT:         pt,
-		exactRead:  make(map[addr.PAddr]bool),
-		exactWrite: make(map[addr.PAddr]bool),
-		req:        make(chan request),
-		resp:       make(chan response),
-		rng:        rand.New(rand.NewSource(s.P.Seed*1_000_003 + int64(len(s.threads)))),
+		ID:      len(s.threads),
+		Name:    name,
+		ASID:    asid,
+		PT:      pt,
+		wake:    make(chan struct{}),
+		rngSeed: s.P.Seed*1_000_003 + int64(len(s.threads)),
 	}
 	s.threads = append(s.threads, t)
 	api := &API{t: t, sys: s}
 	go func() {
+		<-t.wake // the Start event hands us the engine
 		fn(api)
-		t.req <- request{kind: reqDone}
+		s.dispatch(t, request{kind: reqDone})
+		s.pumpExit(t)
 	}()
 	return t
 }
@@ -317,7 +343,23 @@ func (s *System) Place(t *Thread, core, thread int) error {
 	}
 	ctx.Cur = t
 	t.ctx = ctx
+	s.recountTx(core)
 	return nil
+}
+
+// recountTx refreshes the scheduled-transaction count of a core. It runs
+// at every transition that can change a scheduled context's in-transaction
+// status: begin, each commit/abort level, Place, and Deschedule. Recounting
+// (rather than maintaining deltas) makes drift impossible as long as every
+// transition site calls it.
+func (s *System) recountTx(core int) {
+	n := 0
+	for th := 0; th < s.P.ThreadsPerCore; th++ {
+		if o := s.ctxs[core][th].Cur; o != nil && o.InTx() {
+			n++
+		}
+	}
+	s.txLive[core] = n
 }
 
 // Start schedules the thread's first request; it must be placed.
@@ -326,8 +368,9 @@ func (s *System) Start(t *Thread) {
 		panic("core: Start of unplaced thread " + t.Name)
 	}
 	s.Engine.Schedule(0, func() {
-		r := <-t.req
-		s.dispatch(t, r)
+		// Hand the engine to the thread: it runs its function up to the
+		// first request, dispatches it inline, and keeps driving events.
+		s.readied = t
 	})
 }
 
@@ -344,16 +387,109 @@ func (s *System) SpawnOn(core, thread int, name string, asid addr.ASID, pt *mem.
 // Run drives the simulation until the event queue drains (all threads
 // done or parked) and returns the final cycle.
 func (s *System) Run() sim.Cycle {
-	c := s.Engine.Run()
+	c := s.drive(sim.Cycle(math.MaxInt64))
 	s.stats.Cycles = c
 	return c
 }
 
 // RunUntil drives the simulation to at most the given cycle.
 func (s *System) RunUntil(limit sim.Cycle) sim.Cycle {
-	c := s.Engine.RunUntil(limit)
+	c := s.drive(limit)
 	s.stats.Cycles = c
 	return c
+}
+
+// drive runs the engine up to limit, reproducing Engine.Run/RunUntil
+// semantics (last strong cycle, Halt, trailing clamp) while handing
+// engine ownership to thread goroutines as their responses become ready.
+// Event execution order is exactly the engine's queue order — only the
+// goroutine executing each event differs — so results are bit-identical
+// to a dedicated simulation goroutine.
+func (s *System) drive(limit sim.Cycle) sim.Cycle {
+	e := s.Engine
+	e.ClearHalt()
+	s.runLimit = limit
+	s.runLast = e.Now()
+	for {
+		if x := s.readied; x != nil {
+			s.readied = nil
+			x.wake <- struct{}{}
+			// The run continues on thread goroutines; we regain control
+			// only when the bounded run is over.
+			<-s.mainWake
+			break
+		}
+		if !s.stepBounded() {
+			break
+		}
+	}
+	if e.Now() > limit {
+		e.ClampNow(limit)
+	}
+	last := s.runLast
+	if last > limit {
+		last = limit
+	}
+	return last
+}
+
+// stepBounded executes one event within the active bound, tracking the
+// last strong cycle. Every engine owner (drive, pump, pumpExit) steps
+// through it so Run/RunUntil semantics hold regardless of which
+// goroutine drives.
+func (s *System) stepBounded() bool {
+	e := s.Engine
+	if e.Halted() || !e.StepWithin(s.runLimit) {
+		return false
+	}
+	if !e.LastWeak() {
+		s.runLast = e.Now()
+	}
+	return true
+}
+
+// pump drives the event loop on t's goroutine until t's response is
+// ready. When an executed event readies a different thread, ownership
+// transfers to it directly (one goroutine switch instead of the two a
+// dedicated simulation goroutine costs); when it readies t itself there
+// is no switch at all. If the bounded run ends while t still waits, t
+// wakes Run's caller and parks until a later Run/RunUntil readies it.
+func (s *System) pump(t *Thread) response {
+	for {
+		if x := s.readied; x != nil {
+			s.readied = nil
+			if x != t {
+				x.wake <- struct{}{}
+				<-t.wake
+			}
+			continue
+		}
+		if t.respReady {
+			t.respReady = false
+			return t.finishResp
+		}
+		if !s.stepBounded() {
+			s.mainWake <- struct{}{}
+			<-t.wake
+		}
+	}
+}
+
+// pumpExit is pump for a thread whose function has returned: it keeps
+// driving events until it can hand ownership away, then the goroutine
+// exits.
+func (s *System) pumpExit(t *Thread) {
+	for {
+		if x := s.readied; x != nil {
+			s.readied = nil
+			x.wake <- struct{}{}
+			return
+		}
+		if !s.stepBounded() {
+			s.mainWake <- struct{}{}
+			return
+		}
+	}
 }
 
 // AllDone reports whether every spawned thread has finished.
@@ -462,13 +598,21 @@ func (s *System) handle(t *Thread, r request) {
 
 // finish delivers the response after lat cycles and pumps the thread's
 // next request.
+// finish delivers a response to t after lat cycles and pumps its next
+// request. A thread has at most one continuation in flight (its request
+// loop is strictly sequential), so the completion closure is created once
+// per thread and the response is parked on the thread — the hot path
+// allocates nothing.
 func (s *System) finish(t *Thread, resp response, lat sim.Cycle) {
-	s.Engine.Schedule(lat, func() {
-		t.nowCache = s.Engine.Now()
-		t.resp <- resp
-		r := <-t.req
-		s.dispatch(t, r)
-	})
+	t.finishResp = resp
+	if t.finishFn == nil {
+		t.finishFn = func() {
+			t.nowCache = s.Engine.Now()
+			t.respReady = true
+			s.readied = t
+		}
+	}
+	s.Engine.Schedule(lat, t.finishFn)
 }
 
 func (s *System) barrier(t *Thread, b *Barrier) {
@@ -491,6 +635,7 @@ func (s *System) barrier(t *Thread, b *Barrier) {
 func (s *System) begin(t *Thread, open bool) {
 	ctx := t.ctx
 	t.depth++
+	s.recountTx(ctx.Core)
 	var saved *sig.Signature
 	if t.depth == 1 {
 		s.stats.Begins++
@@ -513,8 +658,7 @@ func (s *System) begin(t *Thread, open bool) {
 			// (§3.2).
 			saved = ctx.Sig.Clone()
 			t.exactStack = append(t.exactStack, exactSnap{
-				read:  cloneSet(t.exactRead),
-				write: cloneSet(t.exactWrite),
+				set: t.exact.clone(),
 			})
 			ctx.Filter.Clear()
 			lat += s.sigCopyLat(t.depth - 1)
@@ -523,9 +667,13 @@ func (s *System) begin(t *Thread, open bool) {
 	t.Log.Push(nil, saved, open)
 	if t.depth == 1 {
 		t.txStart = s.Engine.Now()
-		s.trace(t, "begin ts=%d", t.ts)
+		if s.Tracer != nil {
+			s.trace(t, "begin ts=%d", t.ts)
+		}
 	} else {
-		s.trace(t, "begin nested depth=%d open=%v", t.depth, open)
+		if s.Tracer != nil {
+			s.trace(t, "begin nested depth=%d open=%v", t.depth, open)
+		}
 	}
 	s.emit(obs.KindTxBegin, t, obs.CauseNone, t.depth, 0, 0, 0)
 	if s.Check != nil {
@@ -577,14 +725,17 @@ func (s *System) commit(t *Thread) {
 			}
 			snap := t.exactStack[len(t.exactStack)-1]
 			t.exactStack = t.exactStack[:len(t.exactStack)-1]
-			t.exactRead = snap.read
-			t.exactWrite = snap.write
+			t.exact = snap.set
 			t.depth--
-			s.trace(t, "commit open depth=%d", t.depth+1)
+			s.recountTx(t.ctx.Core)
+			if s.Tracer != nil {
+				s.trace(t, "commit open depth=%d", t.depth+1)
+			}
 			s.emit(obs.KindTxCommit, t, obs.CauseNone, t.depth+1, 0, 0, 0)
 			if s.Check != nil {
 				s.Check.OnCommit(t.ID, t.depth+1, true)
-				s.Check.SigCovers(t.ID, "open-commit restore", ctx.Sig, t.exactRead, t.exactWrite)
+				er, ew := t.ExactSets()
+				s.Check.SigCovers(t.ID, "open-commit restore", ctx.Sig, er, ew)
 			}
 			// Restoring the parent's signature from the save area is
 			// synchronous unless a hardware backup copy exists.
@@ -600,7 +751,10 @@ func (s *System) commit(t *Thread) {
 			t.exactStack = t.exactStack[:len(t.exactStack)-1]
 		}
 		t.depth--
-		s.trace(t, "commit closed depth=%d", t.depth+1)
+		s.recountTx(t.ctx.Core)
+		if s.Tracer != nil {
+			s.trace(t, "commit closed depth=%d", t.depth+1)
+		}
 		s.emit(obs.KindTxCommit, t, obs.CauseNone, t.depth+1, 0, 0, 0)
 		if s.Check != nil {
 			s.Check.OnCommit(t.ID, t.depth+1, false)
@@ -613,7 +767,7 @@ func (s *System) commit(t *Thread) {
 	// reset the log pointer, nothing else (§2).
 	s.stats.Commits++
 	t.Commits++
-	rs, ws := len(t.exactRead), len(t.exactWrite)
+	rs, ws := t.exact.reads, t.exact.writes
 	s.stats.ReadSetSum += uint64(rs)
 	s.stats.WriteSetSum += uint64(ws)
 	if rs > s.stats.ReadSetMax {
@@ -623,15 +777,17 @@ func (s *System) commit(t *Thread) {
 		s.stats.WriteSetMax = ws
 	}
 	t.depth = 0
+	s.recountTx(t.ctx.Core)
 	t.ts = 0
 	t.possibleCycle = false
 	t.abortStreak = 0
 	t.consecAborts = 0
 	t.pendingAbort = false
 	t.Log.Reset()
-	t.exactRead = make(map[addr.PAddr]bool)
-	t.exactWrite = make(map[addr.PAddr]bool)
-	t.exactStack = nil
+	// Reuse the exact-set maps across transactions: clearing keeps the
+	// bucket storage, so steady-state commits allocate nothing.
+	t.exact.clear()
+	t.exactStack = t.exactStack[:0]
 	ctx.Sig.ClearAll()
 	ctx.Filter.Clear()
 	if s.P.CD == CDCacheBits {
@@ -648,7 +804,9 @@ func (s *System) commit(t *Thread) {
 		s.OnOuterCommit(t)
 		t.NeedsSummaryUpdate = false
 	}
-	s.trace(t, "commit reads=%d writes=%d", rs, ws)
+	if s.Tracer != nil {
+		s.trace(t, "commit reads=%d writes=%d", rs, ws)
+	}
 	s.emit(obs.KindTxCommit, t, obs.CauseNone, 1, 0, uint64(rs), uint64(ws))
 	if s.Check != nil {
 		s.Check.OnCommit(t.ID, 1, false)
@@ -689,8 +847,11 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 	// be detected even on L1 hits (§2, multi-threaded cores).
 	if n, conflict := s.smtConflict(t, op, pa); conflict {
 		s.stats.SMTConflicts++
-		s.trace(t, "SMT conflict %v %v with thread %d", op, pa, n.Thread)
-		s.resolveNACK(t, r, op, []coherence.Nacker{n})
+		if s.Tracer != nil {
+			s.trace(t, "SMT conflict %v %v with thread %d", op, pa, n.Thread)
+		}
+		s.smtNack[0] = n
+		s.resolveNACK(t, r, op, s.smtNack[:])
 		return
 	}
 
@@ -806,6 +967,11 @@ func (s *System) logStore(t *Thread, va addr.VAddr, pa addr.PAddr) sim.Cycle {
 // smtConflict checks the other thread contexts on the requester's core.
 func (s *System) smtConflict(t *Thread, op sig.Op, pa addr.PAddr) (coherence.Nacker, bool) {
 	ctx := t.ctx
+	// If the requester is the core's only live transaction (or there is
+	// none), no sibling can be in-transaction, so the scan is a no-op.
+	if live := s.txLive[ctx.Core]; live == 0 || (live == 1 && t.InTx()) {
+		return coherence.Nacker{}, false
+	}
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
 		if th == ctx.Thread {
 			continue
@@ -837,7 +1003,9 @@ func (s *System) smtConflict(t *Thread, op sig.Op, pa addr.PAddr) (coherence.Nac
 // blocker.
 func (s *System) summaryConflict(t *Thread, r request, op sig.Op, pa addr.PAddr) {
 	s.stats.SummaryConflicts++
-	s.trace(t, "summary conflict %v %v", op, pa)
+	if s.Tracer != nil {
+		s.trace(t, "summary conflict %v %v", op, pa)
+	}
 	s.emit(obs.KindSummaryConflict, t, obs.CauseNone, t.depth, pa.Block(), 0, 0)
 	if t.InTx() && !t.escaped {
 		s.abort(t, obs.CauseSummary)
@@ -860,11 +1028,7 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 		// Non-transactional (or escaped) requesters never abort: they
 		// back off and retry until the conflicting transaction ends.
 		s.stats.NonTxRetries++
-		epoch := t.abortEpoch
-		s.Engine.Schedule(s.P.StallRetryLat+s.jitter()+s.faultRetryDelay(t), func() {
-			t.checkRetryEpoch(epoch)
-			s.access(t, retry, op)
-		})
+		s.scheduleRetry(t, retry, op)
 		return
 	}
 	// Record who is blocking us (wait-for diagnosis for the watchdog and
@@ -881,7 +1045,9 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 	s.stats.Stalls++
 	t.Stalls++
 	if !r.retrying {
-		s.trace(t, "stall %v %v nackers=%d", op, t.PT.Translate(r.va).Block(), len(nackers))
+		if s.Tracer != nil {
+			s.trace(t, "stall %v %v nackers=%d", op, t.PT.Translate(r.va).Block(), len(nackers))
+		}
 	}
 	allFalse := true
 	allOverflow := len(nackers) > 0
@@ -942,16 +1108,30 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 	if s.P.StarvationRetryLimit > 0 {
 		t.stallRetries++
 		if t.stallRetries >= s.P.StarvationRetryLimit {
-			s.trace(t, "starvation escalation after %d NACKed retries", t.stallRetries)
+			if s.Tracer != nil {
+				s.trace(t, "starvation escalation after %d NACKed retries", t.stallRetries)
+			}
 			s.abort(t, obs.CauseStarvation)
 			return
 		}
 	}
-	epoch := t.abortEpoch
-	s.Engine.Schedule(s.P.StallRetryLat+s.jitter()+s.faultRetryDelay(t), func() {
-		t.checkRetryEpoch(epoch)
-		s.access(t, retry, op)
-	})
+	s.scheduleRetry(t, retry, op)
+}
+
+// scheduleRetry re-issues a NACKed request after the backoff delay. The
+// thread has exactly one continuation in flight, so the request is
+// parked on the thread and re-dispatched by a single reusable closure —
+// stall-heavy workloads retry millions of times, and allocating a fresh
+// closure per retry dominated the allocation profile.
+func (s *System) scheduleRetry(t *Thread, retry request, op sig.Op) {
+	t.retryReq, t.retryOp, t.retryEpoch = retry, op, t.abortEpoch
+	if t.retryFn == nil {
+		t.retryFn = func() {
+			t.checkRetryEpoch(t.retryEpoch)
+			s.access(t, t.retryReq, t.retryOp)
+		}
+	}
+	s.Engine.Schedule(s.P.StallRetryLat+s.jitter()+s.faultRetryDelay(t), t.retryFn)
 }
 
 func (s *System) jitter() sim.Cycle {
@@ -1013,6 +1193,7 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 		lat += s.P.AbortPerRec * sim.Cycle(len(frame.Undo))
 		records += len(frame.Undo)
 		t.depth--
+		s.recountTx(t.ctx.Core)
 		if s.Check != nil {
 			// Verify the LIFO restore while this frame's translations and
 			// memory state are current (before any further unwinding).
@@ -1028,9 +1209,8 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 				s.stats.FlashClears++
 			}
 			t.Log.Reset()
-			t.exactRead = make(map[addr.PAddr]bool)
-			t.exactWrite = make(map[addr.PAddr]bool)
-			t.exactStack = nil
+			t.exact.clear()
+			t.exactStack = t.exactStack[:0]
 			if t.NeedsSummaryUpdate && s.OnOuterCommit != nil {
 				// The outermost abort released isolation; trap so the
 				// OS drops this transaction's saved signature from the
@@ -1048,12 +1228,12 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 			}
 			snap := t.exactStack[len(t.exactStack)-1]
 			t.exactStack = t.exactStack[:len(t.exactStack)-1]
-			t.exactRead = snap.read
-			t.exactWrite = snap.write
+			t.exact = snap.set
 			ctx.Filter.Clear()
 			lat += s.sigCopyLat(t.depth)
 			if s.Check != nil {
-				s.Check.SigCovers(t.ID, "nested-abort restore", ctx.Sig, t.exactRead, t.exactWrite)
+				er, ew := t.ExactSets()
+				s.Check.SigCovers(t.ID, "nested-abort restore", ctx.Sig, er, ew)
 			}
 		}
 	}
@@ -1067,7 +1247,9 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 	t.consecAborts++
 	s.stats.Aborts++
 	t.Aborts++
-	s.trace(t, "abort to depth=%d (streak %d)", t.depth, t.consecAborts)
+	if s.Tracer != nil {
+		s.trace(t, "abort to depth=%d (streak %d)", t.depth, t.consecAborts)
+	}
 	s.emit(obs.KindLogWalkEnd, t, cause, t.depth, 0, uint64(records), 0)
 	s.emit(obs.KindTxAbort, t, cause, t.depth, 0, uint64(records), 0)
 	if s.Met != nil {
@@ -1133,7 +1315,10 @@ func (s *System) ctxConflict(ctx *Context, op sig.Op, a addr.PAddr) bool {
 // of every scheduled, in-transaction thread context whose address space
 // matches (the ASID filter prevents cross-process false conflicts, §2).
 func (s *System) SignatureCheck(targetCore int, req coherence.Request) []coherence.Nacker {
-	var ns []coherence.Nacker
+	if s.txLive[targetCore] == 0 {
+		return nil
+	}
+	ns := s.nackScratch[:0]
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
 		if targetCore == req.Core && th == req.Thread {
 			continue
@@ -1157,6 +1342,9 @@ func (s *System) SignatureCheck(targetCore int, req coherence.Request) []coheren
 			Overflow:      s.P.CD == CDCacheBits && ctx.overflow,
 		})
 	}
+	// The returned slice aliases the scratch buffer; callers copy or
+	// consume it before the next check runs.
+	s.nackScratch = ns
 	return ns
 }
 
@@ -1166,6 +1354,9 @@ func (s *System) SignatureCheck(targetCore int, req coherence.Request) []coheren
 // CDCacheBits mode the eviction of a marked line also destroys its R/W
 // bits, setting the context's overflow flag (original LogTM).
 func (s *System) MayBeInSignature(core int, a addr.PAddr) bool {
+	if s.txLive[core] == 0 {
+		return false
+	}
 	hit := false
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
 		ctx := s.ctxs[core][th]
@@ -1198,6 +1389,9 @@ func (s *System) MayBeInSignature(core int, a addr.PAddr) bool {
 // check-all mode: membership without a cached copy means owner/sharer
 // routing alone would bypass the footprint.
 func (s *System) SignatureMember(core int, req coherence.Request) bool {
+	if s.txLive[core] == 0 {
+		return false
+	}
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
 		if core == req.Core && th == req.Thread {
 			continue
@@ -1226,6 +1420,9 @@ func (s *System) SignatureMember(core int, req coherence.Request) bool {
 // InExactSet reports whether a block is truly in an active transaction's
 // read or write set on the core (victimization statistics).
 func (s *System) InExactSet(core int, a addr.PAddr) bool {
+	if s.txLive[core] == 0 {
+		return false
+	}
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
 		o := s.ctxs[core][th].Cur
 		if o == nil || !o.InTx() {
@@ -1262,6 +1459,7 @@ func (s *System) Deschedule(t *Thread) {
 	ctx.Filter.Clear()
 	ctx.Cur = nil
 	t.ctx = nil
+	s.recountTx(ctx.Core)
 }
 
 // ScheduleOn installs a thread on an idle context, restoring its saved
@@ -1279,7 +1477,8 @@ func (s *System) ScheduleOn(t *Thread, core, thread int) error {
 		t.SavedSig = nil
 		t.NeedsSummaryUpdate = true
 		if s.Check != nil {
-			s.Check.SigCovers(t.ID, "reschedule restore", t.ctx.Sig, t.exactRead, t.exactWrite)
+			er, ew := t.ExactSets()
+			s.Check.SigCovers(t.ID, "reschedule restore", t.ctx.Sig, er, ew)
 		}
 	}
 	return nil

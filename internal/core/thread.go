@@ -5,6 +5,7 @@ import (
 
 	"logtmse/internal/addr"
 	"logtmse/internal/mem"
+	"logtmse/internal/ptable"
 	"logtmse/internal/sig"
 	"logtmse/internal/sim"
 	"logtmse/internal/txlog"
@@ -74,7 +75,95 @@ type txAbort struct{ toDepth int }
 // exactSnap snapshots the exact read/write sets at a nested begin so an
 // abort or open commit can restore them (they mirror the saved signature).
 type exactSnap struct {
-	read, write map[addr.PAddr]bool
+	set exactSet
+}
+
+// Exact read/write flag bits stored per block in exactSet.
+const (
+	exactR uint8 = 1 << iota
+	exactW
+)
+
+// exactSet is a transaction's exact footprint at block granularity: R/W
+// flag bits per block in page-granular open-addressed storage
+// (internal/ptable), with per-set block counts. It replaces a pair of
+// map[addr.PAddr]bool on the access hot path: insert and conflict do one
+// page-hash probe instead of a full map hash each, and commit-time
+// clearing reuses the page storage.
+type exactSet struct {
+	tab    ptable.Table[uint8]
+	reads  int // blocks with exactR set
+	writes int // blocks with exactW set
+}
+
+func (e *exactSet) insert(o sig.Op, a addr.PAddr) {
+	v, _ := e.tab.GetOrCreate(a.Block())
+	if o == sig.Read {
+		if *v&exactR == 0 {
+			*v |= exactR
+			e.reads++
+		}
+	} else if *v&exactW == 0 {
+		*v |= exactW
+		e.writes++
+	}
+}
+
+// conflict applies the exact-set conflict rule: a read conflicts with the
+// write set; a write conflicts with either set.
+func (e *exactSet) conflict(o sig.Op, a addr.PAddr) bool {
+	v := e.tab.Get(a.Block())
+	if v == nil {
+		return false
+	}
+	if o == sig.Read {
+		return *v&exactW != 0
+	}
+	return *v != 0
+}
+
+func (e *exactSet) clear() {
+	e.tab.Clear()
+	e.reads, e.writes = 0, 0
+}
+
+func (e *exactSet) clone() exactSet {
+	return exactSet{tab: e.tab.Clone(), reads: e.reads, writes: e.writes}
+}
+
+// maps materializes the set as read/write maps for diagnostic consumers
+// (invariant oracles, summary recompute, hung-run reports).
+func (e *exactSet) maps() (read, write map[addr.PAddr]bool) {
+	read = make(map[addr.PAddr]bool, e.reads)
+	write = make(map[addr.PAddr]bool, e.writes)
+	e.tab.ForEach(func(a addr.PAddr, v *uint8) {
+		if *v&exactR != 0 {
+			read[a] = true
+		}
+		if *v&exactW != 0 {
+			write[a] = true
+		}
+	})
+	return read, write
+}
+
+// relocate rewrites blocks on the page at oldBase to newBase.
+func (e *exactSet) relocate(oldBase, newBase addr.PAddr) {
+	type mv struct {
+		a addr.PAddr
+		v uint8
+	}
+	var moved []mv
+	e.tab.ForEach(func(a addr.PAddr, v *uint8) {
+		if a >= oldBase && a < oldBase+addr.PageBytes {
+			moved = append(moved, mv{a, *v})
+		}
+	})
+	for _, m := range moved {
+		e.tab.Delete(m.a)
+		nv, _ := e.tab.GetOrCreate(newBase + (m.a - oldBase))
+		*nv |= m.v
+	}
 }
 
 // Thread is a software thread: virtualizable state only (log, page table,
@@ -91,8 +180,7 @@ type Thread struct {
 	depth         int
 	ts            uint64 // timestamp (begin order); 0 = not in a transaction
 	possibleCycle bool
-	exactRead     map[addr.PAddr]bool
-	exactWrite    map[addr.PAddr]bool
+	exact         exactSet
 	exactStack    []exactSnap
 	abortStreak   int // consecutive aborts without progress (escalation)
 	consecAborts  int // consecutive aborts of the whole transaction (backoff)
@@ -121,6 +209,22 @@ type Thread struct {
 	// aborting thread's own continuation, so no retry can be in flight).
 	abortEpoch uint64
 
+	// retryFn is the thread's reusable NACK-retry continuation. A thread
+	// has exactly one continuation in flight, so the retried request is
+	// parked in retryReq/retryOp/retryEpoch and one closure per thread
+	// re-issues it — instead of allocating a fresh closure per NACK,
+	// which dominated the allocation profile on stall-heavy workloads.
+	retryFn    func()
+	retryReq   request
+	retryOp    sig.Op
+	retryEpoch uint64
+
+	// finishFn is the pooled completion continuation (see System.finish);
+	// finishResp is the response it delivers. Valid because a thread has
+	// at most one continuation in flight.
+	finishFn   func()
+	finishResp response
+
 	// escaped marks an active escape action: accesses execute
 	// non-transactionally (no signature insert, no logging, survive
 	// aborts), as Nested LogTM's escape actions do for system calls,
@@ -134,14 +238,19 @@ type Thread struct {
 	// must trap to the OS to recompute summary signatures.
 	NeedsSummaryUpdate bool
 
-	ctx      *Context
-	req      chan request
-	resp     chan response
-	done     bool
-	parked   bool
-	pending  *request // request held while descheduled
-	nowCache sim.Cycle
-	rng      *rand.Rand
+	ctx *Context
+	// wake is the engine-ownership handoff: a thread parked in pump (or
+	// at startup) resumes when the current engine owner sends on it (see
+	// System.pump). respReady marks that finishResp holds the response
+	// the thread is waiting for.
+	wake      chan struct{}
+	respReady bool
+	done      bool
+	parked    bool
+	pending   *request // request held while descheduled
+	nowCache  sim.Cycle
+	rngSeed   int64 // lazily seeds rng on first API.Rand call
+	rng       *rand.Rand
 
 	// Per-thread statistics.
 	Commits   uint64
@@ -165,20 +274,20 @@ func (t *Thread) Context() *Context { return t.ctx }
 
 // ReadSetSize reports the exact read-set size (blocks) of the active
 // transaction.
-func (t *Thread) ReadSetSize() int { return len(t.exactRead) }
+func (t *Thread) ReadSetSize() int { return t.exact.reads }
 
 // WriteSetSize reports the exact write-set size (blocks) of the active
 // transaction.
-func (t *Thread) WriteSetSize() int { return len(t.exactWrite) }
+func (t *Thread) WriteSetSize() int { return t.exact.writes }
 
 // Done reports whether the thread function has returned.
 func (t *Thread) Done() bool { return t.done }
 
-// ExactSets exposes the transaction's exact read/write sets (block
-// granularity) for the invariant oracles. Callers must not mutate or
-// retain the maps.
+// ExactSets materializes the transaction's exact read/write sets (block
+// granularity) as maps for the invariant oracles and diagnostics. The
+// returned maps are fresh copies.
 func (t *Thread) ExactSets() (read, write map[addr.PAddr]bool) {
-	return t.exactRead, t.exactWrite
+	return t.exact.maps()
 }
 
 // RelocatePage rewrites the thread's exact read/write sets (including the
@@ -187,48 +296,18 @@ func (t *Thread) ExactSets() (read, write map[addr.PAddr]bool) {
 // the exact sets keep mirroring the signatures across a page relocation.
 func (t *Thread) RelocatePage(oldBase, newBase addr.PAddr) {
 	oldBase, newBase = oldBase.Page(), newBase.Page()
-	remap := func(m map[addr.PAddr]bool) {
-		var moved []addr.PAddr
-		for a := range m {
-			if a >= oldBase && a < oldBase+addr.PageBytes {
-				moved = append(moved, a)
-			}
-		}
-		for _, a := range moved {
-			delete(m, a)
-			m[newBase+(a-oldBase)] = true
-		}
-	}
-	remap(t.exactRead)
-	remap(t.exactWrite)
-	for _, snap := range t.exactStack {
-		remap(snap.read)
-		remap(snap.write)
+	t.exact.relocate(oldBase, newBase)
+	for i := range t.exactStack {
+		t.exactStack[i].set.relocate(oldBase, newBase)
 	}
 }
 
 func (t *Thread) exactInsert(o sig.Op, a addr.PAddr) {
-	if o == sig.Read {
-		t.exactRead[a.Block()] = true
-	} else {
-		t.exactWrite[a.Block()] = true
-	}
+	t.exact.insert(o, a)
 }
 
 func (t *Thread) exactConflict(o sig.Op, a addr.PAddr) bool {
-	a = a.Block()
-	if o == sig.Read {
-		return t.exactWrite[a]
-	}
-	return t.exactRead[a] || t.exactWrite[a]
-}
-
-func cloneSet(m map[addr.PAddr]bool) map[addr.PAddr]bool {
-	c := make(map[addr.PAddr]bool, len(m))
-	for k := range m {
-		c[k] = true
-	}
-	return c
+	return t.exact.conflict(o, a)
 }
 
 // Barrier synchronizes n threads; construct with NewBarrier.
@@ -249,9 +328,15 @@ type API struct {
 	sys *System
 }
 
+// roundTrip issues one request and waits for its response. The calling
+// goroutine owns the engine at this point (it was handed ownership when
+// its previous response became ready), so it dispatches the request
+// inline and then drives the event loop itself until the response is
+// ready — no goroutine switch at all when consecutive events belong to
+// this thread, and a single direct switch otherwise.
 func (a *API) roundTrip(r request) response {
-	a.t.req <- r
-	return <-a.t.resp
+	a.sys.dispatch(a.t, r)
+	return a.sys.pump(a.t)
 }
 
 func (a *API) memOp(r request) uint64 {
@@ -313,7 +398,15 @@ func (a *API) Yield() {
 func (a *API) Now() sim.Cycle { return a.t.nowCache }
 
 // Rand returns the thread's deterministic random source.
-func (a *API) Rand() *rand.Rand { return a.t.rng }
+func (a *API) Rand() *rand.Rand {
+	// Seeding a math/rand source fills a 607-word feedback register —
+	// expensive enough to dominate short runs — so the source is built
+	// on first use. The stream is identical to an eagerly seeded one.
+	if a.t.rng == nil {
+		a.t.rng = rand.New(rand.NewSource(a.t.rngSeed))
+	}
+	return a.t.rng
+}
 
 // Thread returns the underlying thread (for identity and stats).
 func (a *API) Thread() *Thread { return a.t }

@@ -1,0 +1,71 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+
+	"logtmse/internal/addr"
+)
+
+// TestWordAccessZeroAlloc guards the hot path: word reads and writes to
+// touched blocks must not allocate (no mutex, no map hashing).
+func TestWordAccessZeroAlloc(t *testing.T) {
+	m := NewMemory()
+	a := addr.PAddr(3 * addr.PageBytes)
+	m.WriteWord(a, 1)
+	if n := testing.AllocsPerRun(1000, func() {
+		m.WriteWord(a, m.ReadWord(a)+1)
+	}); n != 0 {
+		t.Errorf("ReadWord/WriteWord allocated %.1f/op, want 0", n)
+	}
+}
+
+// TestLockedMemoryConcurrent exercises the Locked() shim, the only
+// supported way to share a Memory across goroutines.
+func TestLockedMemoryConcurrent(t *testing.T) {
+	l := NewMemory().Locked()
+	a := addr.PAddr(0x4000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slot := a + addr.PAddr(w*addr.WordBytes)
+			for i := 0; i < 1000; i++ {
+				l.WriteWord(slot, l.ReadWord(slot)+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		if got := l.ReadWord(a + addr.PAddr(w*addr.WordBytes)); got != 1000 {
+			t.Errorf("worker %d slot = %d, want 1000", w, got)
+		}
+	}
+	var blk Block
+	l.ReadBlock(a, &blk)
+	l.WriteBlock(a+addr.PAddr(addr.BlockBytes), &blk)
+}
+
+func BenchmarkMemoryReadWord(b *testing.B) {
+	m := NewMemory()
+	for p := 0; p < 16; p++ {
+		m.WriteWord(addr.PAddr(p*addr.PageBytes), uint64(p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.ReadWord(addr.PAddr((i % 16) * addr.PageBytes))
+	}
+	_ = sink
+}
+
+func BenchmarkMemoryWriteWord(b *testing.B) {
+	m := NewMemory()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.WriteWord(addr.PAddr((i%1024)*addr.BlockBytes), uint64(i))
+	}
+}

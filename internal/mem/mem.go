@@ -9,81 +9,65 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
 
 	"logtmse/internal/addr"
+	"logtmse/internal/ptable"
 )
 
 // Block is one cache block of data.
 type Block [addr.BlockBytes]byte
 
-// Memory is a sparse physical memory. It is safe for use from a single
-// simulation goroutine; a mutex guards the rare concurrent test uses.
+// Memory is a sparse physical memory backed by page-granular
+// open-addressed storage (see internal/ptable). It is owned by the
+// single simulation goroutine and is deliberately unsynchronized: a word
+// access is a few loads on the hot path, with no mutex and no per-block
+// map hashing. Callers that genuinely share a Memory across goroutines
+// (rare, test-only) must go through Locked().
 type Memory struct {
-	mu     sync.Mutex
-	blocks map[addr.PAddr]*Block
+	blocks ptable.Table[Block]
 }
 
 // NewMemory returns an empty physical memory.
 func NewMemory() *Memory {
-	return &Memory{blocks: make(map[addr.PAddr]*Block)}
+	return &Memory{}
 }
 
 func (m *Memory) block(a addr.PAddr) *Block {
-	b := a.Block()
-	blk, ok := m.blocks[b]
-	if !ok {
-		blk = new(Block)
-		m.blocks[b] = blk
-	}
-	return blk
+	b, _ := m.blocks.GetOrCreate(a)
+	return b
 }
 
 // ReadBlock copies the block containing a into out.
 func (m *Memory) ReadBlock(a addr.PAddr, out *Block) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	*out = *m.block(a)
 }
 
 // WriteBlock replaces the block containing a with data.
 func (m *Memory) WriteBlock(a addr.PAddr, data *Block) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	*m.block(a) = *data
 }
 
 // ReadWord reads the 8-byte word at a (a must be word-aligned within its
 // block; misaligned addresses are rounded down).
 func (m *Memory) ReadWord(a addr.PAddr) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	blk := m.block(a)
 	off := a.BlockOffset() &^ (addr.WordBytes - 1)
-	var v uint64
-	for i := 0; i < addr.WordBytes; i++ {
-		v |= uint64(blk[off+uint64(i)]) << (8 * uint(i))
-	}
-	return v
+	return binary.LittleEndian.Uint64(blk[off:])
 }
 
 // WriteWord writes the 8-byte word at a.
 func (m *Memory) WriteWord(a addr.PAddr, v uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	blk := m.block(a)
 	off := a.BlockOffset() &^ (addr.WordBytes - 1)
-	for i := 0; i < addr.WordBytes; i++ {
-		blk[off+uint64(i)] = byte(v >> (8 * uint(i)))
-	}
+	binary.LittleEndian.PutUint64(blk[off:], v)
 }
 
 // CopyPage copies PageBytes of data from physical page src to dst.
 func (m *Memory) CopyPage(src, dst addr.PAddr) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	src, dst = src.Page(), dst.Page()
 	for off := uint64(0); off < addr.PageBytes; off += addr.BlockBytes {
 		s := m.block(src + addr.PAddr(off))
@@ -92,22 +76,61 @@ func (m *Memory) CopyPage(src, dst addr.PAddr) {
 	}
 }
 
-// ForEachBlock calls fn for every touched block. Iteration order is
-// unspecified (map order); callers needing determinism must not let the
-// order escape. The invariant checker uses it to seed its shadow copy.
+// ForEachBlock calls fn for every touched block, in the deterministic
+// slot order of the underlying page table. The invariant checker uses it
+// to seed its shadow copy.
 func (m *Memory) ForEachBlock(fn func(a addr.PAddr, b *Block)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for a, b := range m.blocks {
-		fn(a, b)
-	}
+	m.blocks.ForEach(fn)
 }
 
 // BlockCount reports how many distinct blocks have been touched.
 func (m *Memory) BlockCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.blocks)
+	return m.blocks.Len()
+}
+
+// Locked returns a mutex-guarded view of m for the rare uses that share
+// a Memory across goroutines (concurrency tests). All simulation-path
+// accessors stay on the unsynchronized Memory, which is owned by the
+// single simulation goroutine.
+func (m *Memory) Locked() *LockedMemory {
+	return &LockedMemory{m: m}
+}
+
+// LockedMemory serializes access to an underlying Memory. Each call
+// locks, so it is safe for concurrent use — and measurably slower, which
+// is why the simulation never routes through it.
+type LockedMemory struct {
+	mu sync.Mutex
+	m  *Memory
+}
+
+// ReadBlock is Memory.ReadBlock under the lock.
+func (l *LockedMemory) ReadBlock(a addr.PAddr, out *Block) {
+	l.mu.Lock()
+	l.m.ReadBlock(a, out)
+	l.mu.Unlock()
+}
+
+// WriteBlock is Memory.WriteBlock under the lock.
+func (l *LockedMemory) WriteBlock(a addr.PAddr, data *Block) {
+	l.mu.Lock()
+	l.m.WriteBlock(a, data)
+	l.mu.Unlock()
+}
+
+// ReadWord is Memory.ReadWord under the lock.
+func (l *LockedMemory) ReadWord(a addr.PAddr) uint64 {
+	l.mu.Lock()
+	v := l.m.ReadWord(a)
+	l.mu.Unlock()
+	return v
+}
+
+// WriteWord is Memory.WriteWord under the lock.
+func (l *LockedMemory) WriteWord(a addr.PAddr, v uint64) {
+	l.mu.Lock()
+	l.m.WriteWord(a, v)
+	l.mu.Unlock()
 }
 
 // PageTable maps one address space's virtual pages to physical pages.
@@ -116,6 +139,13 @@ type PageTable struct {
 	entries map[uint64]uint64 // virtual page number -> physical page number
 	nextPhy uint64            // simple bump allocator of physical pages
 	alloc   func() uint64     // overrideable physical page allocator
+
+	// One-entry MRU translation cache: accesses have strong page
+	// locality, so most Translate calls skip the map lookup. Relocate
+	// invalidates it.
+	mruVPN uint64
+	mruPPN uint64
+	mruSet bool
 }
 
 // NewPageTable returns a page table for the given address space. Physical
@@ -138,11 +168,15 @@ func NewPageTable(asid addr.ASID, alloc func() uint64) *PageTable {
 // fresh physical page on first touch (demand allocation).
 func (pt *PageTable) Translate(v addr.VAddr) addr.PAddr {
 	vpn := v.PageIndex()
+	if pt.mruSet && vpn == pt.mruVPN {
+		return addr.PAddr(pt.mruPPN<<addr.PageShift | v.PageOffset())
+	}
 	ppn, ok := pt.entries[vpn]
 	if !ok {
 		ppn = pt.alloc()
 		pt.entries[vpn] = ppn
 	}
+	pt.mruVPN, pt.mruPPN, pt.mruSet = vpn, ppn, true
 	return addr.PAddr(ppn<<addr.PageShift | v.PageOffset())
 }
 
@@ -168,6 +202,7 @@ func (pt *PageTable) Relocate(v addr.VAddr) (oldBase, newBase addr.PAddr, err er
 	}
 	np := pt.alloc()
 	pt.entries[vpn] = np
+	pt.mruSet = false
 	return addr.PAddr(ppn << addr.PageShift), addr.PAddr(np << addr.PageShift), nil
 }
 

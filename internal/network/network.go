@@ -33,6 +33,16 @@ type Grid struct {
 	// deterministic for a given call sequence; it may return the latency
 	// unchanged but never a smaller one.
 	perturb func(sim.Cycle) sim.Cycle
+
+	// Precomputed uncontended latencies, used only while perturb is nil
+	// (a set perturbation must see the exact per-pair call sequence).
+	nodes     int         // cached Nodes() for the latTab index
+	latTab    []sim.Cycle // router pair a,b at latTab[a*nodes+b]
+	bankBcast []sim.Cycle // BroadcastFromBank result per bank
+	coreBcast []sim.Cycle // BroadcastFromCore result per core
+
+	coreBankLat []sim.Cycle // CoreToBank at [core*banks+bank]
+	coreCoreLat []sim.Cycle // CoreToCore at [a*cores+b]
 }
 
 // New returns a grid with the given dimensions and per-link latency,
@@ -44,7 +54,36 @@ func New(w, h int, linkLat sim.Cycle, cores, banks int) *Grid {
 	if h < 1 {
 		h = 1
 	}
-	return &Grid{w: w, h: h, linkLat: linkLat, cores: cores, banks: banks}
+	g := &Grid{w: w, h: h, linkLat: linkLat, cores: cores, banks: banks}
+	n := g.Nodes()
+	g.nodes = n
+	g.latTab = make([]sim.Cycle, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			g.latTab[a*n+b] = linkLat * sim.Cycle(1+g.Hops(a, b))
+		}
+	}
+	g.bankBcast = make([]sim.Cycle, banks)
+	for b := range g.bankBcast {
+		g.bankBcast[b] = g.broadcastFromBankSlow(b)
+	}
+	g.coreBcast = make([]sim.Cycle, cores)
+	for c := range g.coreBcast {
+		g.coreBcast[c] = g.broadcastFromCoreSlow(c)
+	}
+	g.coreBankLat = make([]sim.Cycle, cores*banks)
+	for c := 0; c < cores; c++ {
+		for b := 0; b < banks; b++ {
+			g.coreBankLat[c*banks+b] = g.latTab[g.CoreNode(c)*n+g.BankNode(b)]
+		}
+	}
+	g.coreCoreLat = make([]sim.Cycle, cores*cores)
+	for a := 0; a < cores; a++ {
+		for b := 0; b < cores; b++ {
+			g.coreCoreLat[a*cores+b] = g.latTab[g.CoreNode(a)*n+g.CoreNode(b)]
+		}
+	}
+	return g
 }
 
 // Nodes reports the number of routers.
@@ -147,22 +186,38 @@ func (g *Grid) Hops(a, b int) int {
 // Latency returns the uncontended latency between two routers: one link to
 // enter the network plus one per hop.
 func (g *Grid) Latency(a, b int) sim.Cycle {
+	if g.perturb == nil {
+		return g.latTab[a*g.nodes+b]
+	}
 	return g.perturbed(g.linkLat * sim.Cycle(1+g.Hops(a, b)))
 }
 
 // CoreToBank is the latency of a request from a core to an L2 bank.
 func (g *Grid) CoreToBank(core, bank int) sim.Cycle {
+	if g.perturb == nil {
+		return g.coreBankLat[core*g.banks+bank]
+	}
 	return g.Latency(g.CoreNode(core), g.BankNode(bank))
 }
 
 // CoreToCore is the latency of a forwarded request between cores.
 func (g *Grid) CoreToCore(a, b int) sim.Cycle {
+	if g.perturb == nil {
+		return g.coreCoreLat[a*g.cores+b]
+	}
 	return g.Latency(g.CoreNode(a), g.CoreNode(b))
 }
 
 // BroadcastFromBank is the latency for a bank to reach every core and
 // collect responses: the round trip to the farthest core.
 func (g *Grid) BroadcastFromBank(bank int) sim.Cycle {
+	if g.perturb == nil && bank >= 0 && bank < len(g.bankBcast) {
+		return g.bankBcast[bank]
+	}
+	return g.broadcastFromBankSlow(bank)
+}
+
+func (g *Grid) broadcastFromBankSlow(bank int) sim.Cycle {
 	worst := sim.Cycle(0)
 	for c := 0; c < g.cores; c++ {
 		if l := g.Latency(g.BankNode(bank), g.CoreNode(c)); l > worst {
@@ -175,6 +230,13 @@ func (g *Grid) BroadcastFromBank(bank int) sim.Cycle {
 // BroadcastFromCore is the latency for a core to reach every other core
 // and collect responses (snooping-protocol request).
 func (g *Grid) BroadcastFromCore(core int) sim.Cycle {
+	if g.perturb == nil && core >= 0 && core < len(g.coreBcast) {
+		return g.coreBcast[core]
+	}
+	return g.broadcastFromCoreSlow(core)
+}
+
+func (g *Grid) broadcastFromCoreSlow(core int) sim.Cycle {
 	worst := sim.Cycle(0)
 	for c := 0; c < g.cores; c++ {
 		if c == core {

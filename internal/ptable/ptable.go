@@ -1,0 +1,208 @@
+// Package ptable provides a page-granular open-addressed store keyed by
+// physical block address — the hot-path replacement for the
+// map[addr.PAddr] block stores in mem, coherence and sig.
+//
+// A Table hashes only the page number (open addressing with linear
+// probing over a power-of-two slot array); blocks within a page live in
+// a dense per-page array indexed by the block offset, with a presence
+// bitmap. Compared to a Go map keyed by block address this removes
+// per-access hashing of the full address, bucket pointer-chasing, and
+// one allocation per block (pages allocate once for all 128 blocks).
+//
+// Iteration order is slot order, which is a pure function of the
+// insertion history — deterministic for a deterministic simulation, so
+// (unlike map iteration) it is safe anywhere the order could escape.
+package ptable
+
+import (
+	"math/bits"
+
+	"logtmse/internal/addr"
+)
+
+const (
+	wordsPerPage = addr.BlocksPerPage / 64
+	minSlots     = 64
+)
+
+type slot[T any] struct {
+	page    uint64 // page number + 1; 0 marks an empty slot
+	present [wordsPerPage]uint64
+	data    *[addr.BlocksPerPage]T
+}
+
+// Table maps block-aligned physical addresses to values of T.
+// The zero value is an empty table ready for use.
+type Table[T any] struct {
+	slots  []slot[T]
+	pages  int // occupied slots
+	blocks int // present blocks
+}
+
+// hash spreads the page number over the slot array (Fibonacci hashing).
+func hash(page uint64, mask uint64) uint64 {
+	return (page * 0x9E3779B97F4A7C15) >> 32 & mask
+}
+
+// find returns the slot for a's page, or nil if the page is untracked.
+func (t *Table[T]) find(page uint64) *slot[T] {
+	if len(t.slots) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hash(page, mask); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.page == 0 {
+			return nil
+		}
+		if s.page == page+1 {
+			return s
+		}
+	}
+}
+
+func (t *Table[T]) grow() {
+	old := t.slots
+	n := 2 * len(old)
+	if n < minSlots {
+		n = minSlots
+	}
+	t.slots = make([]slot[T], n)
+	mask := uint64(n - 1)
+	for i := range old {
+		s := &old[i]
+		if s.page == 0 {
+			continue
+		}
+		j := hash(s.page-1, mask)
+		for t.slots[j].page != 0 {
+			j = (j + 1) & mask
+		}
+		t.slots[j] = *s
+	}
+}
+
+// ensure returns the slot for page, creating it if needed.
+func (t *Table[T]) ensure(page uint64) *slot[T] {
+	if 4*(t.pages+1) > 3*len(t.slots) { // load factor 3/4
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := hash(page, mask)
+	for {
+		s := &t.slots[i]
+		if s.page == page+1 {
+			return s
+		}
+		if s.page == 0 {
+			s.page = page + 1
+			s.data = new([addr.BlocksPerPage]T)
+			t.pages++
+			return s
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func blockIdx(a addr.PAddr) uint64 {
+	return a.PageOffset() >> addr.BlockShift
+}
+
+// Get returns the value for the block containing a, or nil if absent.
+func (t *Table[T]) Get(a addr.PAddr) *T {
+	s := t.find(a.PageIndex())
+	if s == nil {
+		return nil
+	}
+	b := blockIdx(a)
+	if s.present[b/64]&(1<<(b%64)) == 0 {
+		return nil
+	}
+	return &s.data[b]
+}
+
+// GetOrCreate returns the value for the block containing a, marking it
+// present (with T's zero value) on first touch; created reports whether
+// this call added the block.
+func (t *Table[T]) GetOrCreate(a addr.PAddr) (v *T, created bool) {
+	s := t.ensure(a.PageIndex())
+	b := blockIdx(a)
+	if s.present[b/64]&(1<<(b%64)) == 0 {
+		s.present[b/64] |= 1 << (b % 64)
+		t.blocks++
+		created = true
+	}
+	return &s.data[b], created
+}
+
+// Delete removes the block containing a, zeroing its storage. The page
+// slot is retained (pages are never unmapped), so open addressing needs
+// no tombstones.
+func (t *Table[T]) Delete(a addr.PAddr) {
+	s := t.find(a.PageIndex())
+	if s == nil {
+		return
+	}
+	b := blockIdx(a)
+	if s.present[b/64]&(1<<(b%64)) == 0 {
+		return
+	}
+	s.present[b/64] &^= 1 << (b % 64)
+	s.data[b] = *new(T)
+	t.blocks--
+}
+
+// Len reports the number of present blocks.
+func (t *Table[T]) Len() int { return t.blocks }
+
+// ForEach calls fn for every present block in slot order (deterministic
+// for a deterministic insertion history).
+func (t *Table[T]) ForEach(fn func(a addr.PAddr, v *T)) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.page == 0 {
+			continue
+		}
+		base := addr.PAddr((s.page - 1) << addr.PageShift)
+		for w := 0; w < wordsPerPage; w++ {
+			for m := s.present[w]; m != 0; m &= m - 1 {
+				b := uint64(w*64) + uint64(bits.TrailingZeros64(m))
+				fn(base+addr.PAddr(b<<addr.BlockShift), &s.data[b])
+			}
+		}
+	}
+}
+
+// Clear removes every block while keeping the slot array and per-page
+// storage for reuse. Present blocks are zeroed first so GetOrCreate's
+// zero-value contract holds across a Clear.
+func (t *Table[T]) Clear() {
+	var zero T
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.page == 0 {
+			continue
+		}
+		for w := 0; w < wordsPerPage; w++ {
+			for m := s.present[w]; m != 0; m &= m - 1 {
+				s.data[uint64(w*64)+uint64(bits.TrailingZeros64(m))] = zero
+			}
+			s.present[w] = 0
+		}
+	}
+	t.blocks = 0
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table[T]) Clone() Table[T] {
+	c := Table[T]{slots: make([]slot[T], len(t.slots)), pages: t.pages, blocks: t.blocks}
+	for i := range t.slots {
+		s := &t.slots[i]
+		c.slots[i] = *s
+		if s.data != nil {
+			d := *s.data
+			c.slots[i].data = &d
+		}
+	}
+	return c
+}

@@ -1,0 +1,141 @@
+package ptable
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"logtmse/internal/addr"
+)
+
+// TestAgainstMap drives the table against a reference map through a
+// randomized Get/GetOrCreate/Delete workload.
+func TestAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var tab Table[uint64]
+	ref := map[addr.PAddr]uint64{}
+	blocks := make([]addr.PAddr, 0, 4096)
+	for i := 0; i < 2000; i++ {
+		a := addr.PAddr(rng.Intn(200)*addr.PageBytes + rng.Intn(addr.BlocksPerPage)*addr.BlockBytes)
+		switch rng.Intn(4) {
+		case 0: // create + write
+			v, created := tab.GetOrCreate(a)
+			if _, ok := ref[a]; ok == created {
+				t.Fatalf("created=%v but ref presence=%v for %v", created, ok, a)
+			}
+			*v = uint64(i)
+			ref[a] = uint64(i)
+			if created {
+				blocks = append(blocks, a)
+			}
+		case 1: // read
+			v := tab.Get(a)
+			rv, ok := ref[a]
+			if (v != nil) != ok {
+				t.Fatalf("presence mismatch for %v: table=%v ref=%v", a, v != nil, ok)
+			}
+			if ok && *v != rv {
+				t.Fatalf("value mismatch for %v: %d != %d", a, *v, rv)
+			}
+		case 2: // delete
+			tab.Delete(a)
+			delete(ref, a)
+		case 3: // re-read an existing block
+			if len(blocks) > 0 {
+				b := blocks[rng.Intn(len(blocks))]
+				v := tab.Get(b)
+				rv, ok := ref[b]
+				if (v != nil) != ok || (ok && *v != rv) {
+					t.Fatalf("existing-block mismatch for %v", b)
+				}
+			}
+		}
+		if tab.Len() != len(ref) {
+			t.Fatalf("Len=%d, ref=%d", tab.Len(), len(ref))
+		}
+	}
+
+	// ForEach must visit exactly the present blocks.
+	seen := map[addr.PAddr]uint64{}
+	tab.ForEach(func(a addr.PAddr, v *uint64) { seen[a] = *v })
+	if len(seen) != len(ref) {
+		t.Fatalf("ForEach visited %d blocks, want %d", len(seen), len(ref))
+	}
+	for a, v := range ref {
+		if seen[a] != v {
+			t.Fatalf("ForEach value mismatch at %v: %d != %d", a, seen[a], v)
+		}
+	}
+}
+
+// TestForEachDeterministic: identical insertion histories yield identical
+// iteration order (unlike a Go map).
+func TestForEachDeterministic(t *testing.T) {
+	build := func() []addr.PAddr {
+		var tab Table[int]
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 500; i++ {
+			a := addr.PAddr(rng.Intn(64)*addr.PageBytes + rng.Intn(addr.BlocksPerPage)*addr.BlockBytes)
+			v, _ := tab.GetOrCreate(a)
+			*v = i
+		}
+		var order []addr.PAddr
+		tab.ForEach(func(a addr.PAddr, _ *int) { order = append(order, a) })
+		return order
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("orders differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration order diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestGrowthKeepsEverything fills many pages to force several rehashes.
+func TestGrowthKeepsEverything(t *testing.T) {
+	var tab Table[uint32]
+	const pages = 1000
+	for p := 0; p < pages; p++ {
+		a := addr.PAddr(p * addr.PageBytes)
+		v, created := tab.GetOrCreate(a)
+		if !created {
+			t.Fatalf("page %d: block reported pre-existing", p)
+		}
+		*v = uint32(p)
+	}
+	for p := 0; p < pages; p++ {
+		v := tab.Get(addr.PAddr(p * addr.PageBytes))
+		if v == nil || *v != uint32(p) {
+			t.Fatalf("page %d lost after growth", p)
+		}
+	}
+	var got []int
+	tab.ForEach(func(a addr.PAddr, v *uint32) { got = append(got, int(*v)) })
+	sort.Ints(got)
+	if len(got) != pages {
+		t.Fatalf("ForEach after growth visited %d, want %d", len(got), pages)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("missing page value %d", i)
+		}
+	}
+}
+
+// TestSteadyStateZeroAlloc: hits on existing blocks allocate nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	var tab Table[uint64]
+	a := addr.PAddr(5 * addr.PageBytes)
+	tab.GetOrCreate(a)
+	if n := testing.AllocsPerRun(1000, func() {
+		if v := tab.Get(a); v == nil {
+			t.Fatal("lost block")
+		}
+		tab.GetOrCreate(a)
+	}); n != 0 {
+		t.Errorf("steady-state Get/GetOrCreate allocated %.1f/op, want 0", n)
+	}
+}

@@ -87,9 +87,9 @@ func (c *CountingFilter) Add(f Filter) error {
 		return err
 	}
 	if c.cfg.Kind == KindPerfect {
-		for a := range f.(*perfect).set {
+		f.(*perfect).forEachAddr(func(a addr.PAddr) {
 			c.perfect[a]++
-		}
+		})
 		c.n++
 		return nil
 	}
@@ -111,13 +111,21 @@ func (c *CountingFilter) Remove(f Filter) error {
 		return err
 	}
 	if c.cfg.Kind == KindPerfect {
-		for a := range f.(*perfect).set {
+		var underflow error
+		f.(*perfect).forEachAddr(func(a addr.PAddr) {
+			if underflow != nil {
+				return
+			}
 			if c.perfect[a] == 0 {
-				return fmt.Errorf("sig: counting underflow at %v", a)
+				underflow = fmt.Errorf("sig: counting underflow at %v", a)
+				return
 			}
 			if c.perfect[a]--; c.perfect[a] == 0 {
 				delete(c.perfect, a)
 			}
+		})
+		if underflow != nil {
+			return underflow
 		}
 		c.n--
 		return nil
@@ -151,7 +159,7 @@ func (c *CountingFilter) Snapshot() (Filter, error) {
 	if c.cfg.Kind == KindPerfect {
 		p := f.(*perfect)
 		for a := range c.perfect {
-			p.set[a] = struct{}{}
+			p.Insert(a)
 		}
 		return f, nil
 	}

@@ -43,10 +43,10 @@ func (s *Signature) MarshalBinary() ([]byte, error) {
 func appendFilter(out []byte, f Filter) ([]byte, error) {
 	switch v := f.(type) {
 	case *perfect:
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(v.set)))
-		for a := range v.set {
+		out = binary.LittleEndian.AppendUint32(out, uint32(v.n))
+		v.forEachAddr(func(a addr.PAddr) {
 			out = binary.LittleEndian.AppendUint64(out, uint64(a))
-		}
+		})
 		return out, nil
 	case *bitSelect:
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(v.bitsVec)))
@@ -159,7 +159,7 @@ func decodeFilter(d *decoder, f Filter) error {
 			if err != nil {
 				return err
 			}
-			v.set[addr.PAddr(a)] = struct{}{}
+			v.Insert(addr.PAddr(a))
 		}
 	case *bitSelect:
 		if int(n) != len(v.bitsVec) {

@@ -86,38 +86,122 @@ type Filter interface {
 
 // --- Perfect ---------------------------------------------------------------
 
-// perfect records the exact block set.
+// perfect records the exact block set in a small open-addressed hash set
+// (linear probing over a power-of-two array). Keys are stored as block
+// address + 1 so the zero word marks an empty slot; the hot Insert and
+// MayContain paths are a multiply, a mask and a short probe — no map
+// hashing, no allocation once the table has grown to its working set.
 type perfect struct {
-	set map[addr.PAddr]struct{}
+	keys []uint64 // block address + 1; 0 = empty
+	n    int      // occupied slots
 }
 
-// NewPerfect returns an exact filter.
-func NewPerfect() Filter { return &perfect{set: make(map[addr.PAddr]struct{})} }
+const perfectMinSlots = 16
 
-func (p *perfect) Insert(a addr.PAddr)          { p.set[a.Block()] = struct{}{} }
-func (p *perfect) MayContain(a addr.PAddr) bool { _, ok := p.set[a.Block()]; return ok }
-func (p *perfect) Clear()                       { clear(p.set) }
-func (p *perfect) Empty() bool                  { return len(p.set) == 0 }
-func (p *perfect) Kind() Kind                   { return KindPerfect }
-func (p *perfect) SizeBits() int                { return 0 }
-func (p *perfect) PopCount() int                { return len(p.set) }
+// NewPerfect returns an exact filter.
+func NewPerfect() Filter { return &perfect{} }
+
+func perfectHash(k uint64, mask uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> 32 & mask
+}
+
+func (p *perfect) grow() {
+	old := p.keys
+	n := 2 * len(old)
+	if n < perfectMinSlots {
+		n = perfectMinSlots
+	}
+	p.keys = make([]uint64, n)
+	mask := uint64(n - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := perfectHash(k, mask)
+		for p.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		p.keys[i] = k
+	}
+}
+
+func (p *perfect) insertKey(k uint64) {
+	if 4*(p.n+1) > 3*len(p.keys) { // load factor 3/4
+		p.grow()
+	}
+	mask := uint64(len(p.keys) - 1)
+	i := perfectHash(k, mask)
+	for {
+		switch p.keys[i] {
+		case 0:
+			p.keys[i] = k
+			p.n++
+			return
+		case k:
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (p *perfect) Insert(a addr.PAddr) { p.insertKey(uint64(a.Block()) + 1) }
+
+// forEachAddr visits every recorded block address in slot order — a pure
+// function of the insertion history, so deterministic across runs (unlike
+// Go map range order).
+func (p *perfect) forEachAddr(fn func(a addr.PAddr)) {
+	for _, k := range p.keys {
+		if k != 0 {
+			fn(addr.PAddr(k - 1))
+		}
+	}
+}
+
+func (p *perfect) MayContain(a addr.PAddr) bool {
+	if p.n == 0 {
+		return false
+	}
+	k := uint64(a.Block()) + 1
+	mask := uint64(len(p.keys) - 1)
+	for i := perfectHash(k, mask); ; i = (i + 1) & mask {
+		switch p.keys[i] {
+		case k:
+			return true
+		case 0:
+			return false
+		}
+	}
+}
+
+func (p *perfect) Clear() {
+	if p.n == 0 {
+		return
+	}
+	clear(p.keys)
+	p.n = 0
+}
+
+func (p *perfect) Empty() bool   { return p.n == 0 }
+func (p *perfect) Kind() Kind    { return KindPerfect }
+func (p *perfect) SizeBits() int { return 0 }
+func (p *perfect) PopCount() int { return p.n }
 
 func (p *perfect) Union(other Filter) error {
 	o, ok := other.(*perfect)
 	if !ok {
 		return fmt.Errorf("sig: union of Perfect with %v", other.Kind())
 	}
-	for a := range o.set {
-		p.set[a] = struct{}{}
+	for _, k := range o.keys {
+		if k != 0 {
+			p.insertKey(k)
+		}
 	}
 	return nil
 }
 
 func (p *perfect) Clone() Filter {
-	c := &perfect{set: make(map[addr.PAddr]struct{}, len(p.set))}
-	for a := range p.set {
-		c.set[a] = struct{}{}
-	}
+	c := &perfect{keys: make([]uint64, len(p.keys)), n: p.n}
+	copy(c.keys, p.keys)
 	return c
 }
 

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestScheduleStepZeroAlloc is the hot-path guard: once the pooled event
+// array has grown to its high-water mark, Schedule and Step must not
+// allocate (part of the repo-wide zero-alloc suite).
+func TestScheduleStepZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	// Warm the pool past the working set used below.
+	for i := 0; i < 256; i++ {
+		e.Schedule(Cycle(i%13), fn)
+	}
+	for e.Step() {
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		e.Schedule(3, fn)
+		e.Schedule(1, fn)
+		e.Schedule(7, fn)
+		for e.Step() {
+		}
+	}); n != 0 {
+		t.Errorf("Schedule/Step allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestWeakEveryZeroAllocSteadyState: the self-rearming periodic tick must
+// reuse its single closure, not build a chain.
+func TestWeakEveryZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Cycle(i*100), fn)
+	}
+	ticks := 0
+	e.ScheduleWeakEvery(10, func() bool { ticks++; return true })
+	allocs := testing.AllocsPerRun(1, func() {
+		e.Run()
+	})
+	if ticks == 0 {
+		t.Fatal("periodic weak event never fired")
+	}
+	// One warm-up growth of the heap array is tolerated; per-tick closure
+	// chains (the old recursive rearm) would show hundreds.
+	if allocs > 5 {
+		t.Errorf("Run with a periodic weak event allocated %.0f times for %d ticks", allocs, ticks)
+	}
+}
+
+// TestHeapMatchesReferenceOrder drives the 4-ary heap against a sorted
+// reference on a large randomized schedule, including interleaved pops —
+// the determinism gate for the queue swap.
+func TestHeapMatchesReferenceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine(1)
+	type ref struct {
+		at  Cycle
+		seq int
+	}
+	var want []ref
+	var got []ref
+	seq := 0
+	add := func(delay Cycle) {
+		id := seq
+		seq++
+		want = append(want, ref{e.now + delay, id})
+		e.Schedule(delay, func() { got = append(got, ref{e.now, id}) })
+	}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < rng.Intn(40); i++ {
+			add(Cycle(rng.Intn(20)))
+		}
+		for i := 0; i < rng.Intn(30) && e.Pending() > 0; i++ {
+			e.Step()
+		}
+	}
+	e.Run()
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].seq < want[j].seq
+	})
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].seq != want[i].seq {
+			t.Fatalf("event %d: got id %d at cycle %d, want id %d at cycle %d",
+				i, got[i].seq, got[i].at, want[i].seq, want[i].at)
+		}
+	}
+}
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycle(i%97), fn)
+		if e.Pending() >= 1024 {
+			for e.Step() {
+			}
+		}
+	}
+}
+
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycle(i%13), fn)
+		e.Schedule(Cycle(i%7), fn)
+		e.Step()
+		e.Step()
+	}
+}

@@ -5,44 +5,44 @@
 // All model components schedule closures at absolute or relative cycle
 // times; the engine executes them in (cycle, insertion-sequence) order so a
 // run is a pure function of its configuration and seed.
+//
+// The queue is an index-based 4-ary min-heap over a pooled array of
+// non-boxed events: Schedule and Step are zero-allocation in steady state
+// (the backing array grows to the high-water mark of outstanding events
+// and is reused thereafter). Execution order depends only on the total
+// order (cycle, sequence), never on heap layout, so swapping the queue
+// implementation cannot change simulated behavior.
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 )
 
 // Cycle is a point in simulated time, measured in processor clock cycles.
 type Cycle uint64
 
-// Event is a scheduled closure. Weak events (observability snapshots)
-// never extend a run: Run and RunUntil report the cycle of the last
-// strong event, so instrumentation cannot change measured cycle counts.
+// event is a scheduled closure, stored by value in the heap array. Weak
+// events (observability snapshots) never extend a run: Run and RunUntil
+// report the cycle of the last strong event, so instrumentation cannot
+// change measured cycle counts.
+//
+// key packs the insertion sequence (high 63 bits) and the weak flag (low
+// bit): sequence order is preserved under the shift, and the packing
+// keeps the event at 32 bytes so heap sifts move one word less.
 type event struct {
-	at   Cycle
-	seq  uint64
-	weak bool
-	fn   func()
+	at  Cycle
+	key uint64 // seq<<1 | weak
+	fn  func()
 }
 
-type eventHeap []*event
+func (ev *event) weak() bool { return ev.key&1 != 0 }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a must execute before b: (cycle, sequence) order.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.key < b.key
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
@@ -50,8 +50,9 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now      Cycle
 	seq      uint64
-	queue    eventHeap
-	rng      *rand.Rand
+	heap     []event // 4-ary min-heap by (at, seq); index 0 is the root
+	seed     int64
+	rng      *rand.Rand // lazily seeded from seed on first Rand call
 	halted   bool
 	strong   int  // queued non-weak events
 	lastWeak bool // the most recently executed event was weak
@@ -59,21 +60,84 @@ type Engine struct {
 
 // NewEngine returns an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{seed: seed}
 }
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
-// Rand returns the engine's deterministic random source.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+// Rand returns the engine's deterministic random source. It is built on
+// first use (seeding is expensive relative to a short run) and yields the
+// same stream as an eagerly seeded source.
+func (e *Engine) Rand() *rand.Rand {
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(e.seed))
+	}
+	return e.rng
+}
+
+// push inserts ev, sifting parents down rather than swapping so each
+// level moves one 32-byte event instead of three.
+func (e *Engine) push(ev event) {
+	h := append(e.heap, event{})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h[p].before(&ev) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+// pop removes and returns the root. The vacated tail slot is zeroed so
+// the array does not retain the closure.
+func (e *Engine) pop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	e.heap = h
+	// Sift last down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if h[j].before(&h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(&last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	if n > 0 {
+		h[i] = last
+	}
+	return top
+}
 
 // Schedule runs fn after delay cycles (delay 0 runs later in the current
 // cycle, after all previously scheduled work for this cycle).
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.seq++
 	e.strong++
-	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.push(event{at: e.now + delay, key: e.seq << 1, fn: fn})
 }
 
 // ScheduleWeak runs fn after delay cycles like Schedule, but marks the
@@ -83,27 +147,31 @@ func (e *Engine) Schedule(delay Cycle, fn func()) {
 // cannot keep a run alive or change its measured length.
 func (e *Engine) ScheduleWeak(delay Cycle, fn func()) {
 	e.seq++
-	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, weak: true, fn: fn})
+	e.push(event{at: e.now + delay, key: e.seq<<1 | 1, fn: fn})
 }
 
 // ScheduleWeakEvery arms a self-rearming weak event: fn runs every
 // `every` cycles while it returns true and the simulation still has
-// strong work queued. Like all weak events it can neither extend a run
-// nor change its measured length; the fault injector and the invariant
-// oracles use it as their periodic trigger so that enabling them never
-// perturbs simulated behavior by itself.
+// strong work queued. A single closure rearms itself through the pooled
+// queue, so the steady-state tick allocates nothing. Like all weak
+// events it can neither extend a run nor change its measured length;
+// the fault injector and the invariant oracles use it as their periodic
+// trigger so that enabling them never perturbs simulated behavior by
+// itself.
 func (e *Engine) ScheduleWeakEvery(every Cycle, fn func() bool) {
 	if every == 0 {
 		return
 	}
-	e.ScheduleWeak(every, func() {
+	var tick func()
+	tick = func() {
 		if e.PendingStrong() == 0 {
 			return // the model already finished; stop rearming
 		}
 		if fn() {
-			e.ScheduleWeakEvery(every, fn)
+			e.ScheduleWeak(every, tick)
 		}
-	})
+	}
+	e.ScheduleWeak(every, tick)
 }
 
 // ScheduleAt runs fn at absolute cycle at. If at is in the past the event
@@ -114,11 +182,11 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 	}
 	e.seq++
 	e.strong++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, key: e.seq << 1, fn: fn})
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // PendingStrong reports the number of queued non-weak events — the
 // simulation's real outstanding work.
@@ -130,17 +198,46 @@ func (e *Engine) Halt() { e.halted = true }
 // Step executes the single next event and returns true, or returns false
 // if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.pop()
 	e.now = ev.at
-	e.lastWeak = ev.weak
-	if !ev.weak {
+	e.lastWeak = ev.weak()
+	if !e.lastWeak {
 		e.strong--
 	}
 	ev.fn()
 	return true
+}
+
+// StepWithin executes the single next event if its timestamp is within
+// limit, returning false when the queue is empty or the next event lies
+// beyond the bound. Together with Halted and LastWeak it lets an external
+// driver reproduce Run/RunUntil semantics one event at a time.
+func (e *Engine) StepWithin(limit Cycle) bool {
+	if len(e.heap) == 0 || e.heap[0].at > limit {
+		return false
+	}
+	return e.Step()
+}
+
+// Halted reports whether Halt has been called since the last ClearHalt.
+func (e *Engine) Halted() bool { return e.halted }
+
+// ClearHalt re-arms the engine after a Halt (Run and RunUntil do this on
+// entry; external drivers must too).
+func (e *Engine) ClearHalt() { e.halted = false }
+
+// LastWeak reports whether the most recently executed event was weak.
+func (e *Engine) LastWeak() bool { return e.lastWeak }
+
+// ClampNow lowers the engine clock to limit if it has run past it (the
+// trailing clamp RunUntil applies).
+func (e *Engine) ClampNow(limit Cycle) {
+	if e.now > limit {
+		e.now = limit
+	}
 }
 
 // Run executes events until the queue drains or Halt is called.
@@ -163,7 +260,7 @@ func (e *Engine) Run() Cycle {
 func (e *Engine) RunUntil(limit Cycle) Cycle {
 	e.halted = false
 	last := e.now
-	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= limit {
+	for !e.halted && len(e.heap) > 0 && e.heap[0].at <= limit {
 		e.Step()
 		if !e.lastWeak {
 			last = e.now

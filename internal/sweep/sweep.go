@@ -1,0 +1,72 @@
+// Package sweep runs independent simulation cells in parallel with
+// deterministic, submission-ordered result aggregation.
+//
+// A "cell" is one self-contained RunOne invocation: it builds its own
+// engine, memory system and workload, shares nothing with its neighbors,
+// and returns a value. Because cells are share-nothing, running them
+// concurrently cannot perturb any cell's execution — and because results
+// are written into a slice indexed by submission order, the aggregate
+// output is bit-identical regardless of the worker count. -j only changes
+// wall-clock time, never results.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs normalizes a -j flag value: j > 0 is taken as-is; j <= 0 means
+// "one worker per available CPU" (GOMAXPROCS).
+func Jobs(j int) int {
+	if j > 0 {
+		return j
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map evaluates fn(0..n-1) on up to j workers and returns the results in
+// index order. fn must be safe to call concurrently for distinct indices
+// (share-nothing cells satisfy this trivially). With j <= 1 the cells run
+// serially on the calling goroutine, in index order.
+func Map[T any](n, j int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	j = Jobs(j)
+	if j > n {
+		j = n
+	}
+	if j <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < j; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Each is Map for cells that produce no value.
+func Each(n, j int, fn func(i int)) {
+	Map(n, j, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}

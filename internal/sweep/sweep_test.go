@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobs(t *testing.T) {
+	if got := Jobs(4); got != 4 {
+		t.Errorf("Jobs(4) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Jobs(0); got != want {
+		t.Errorf("Jobs(0) = %d, want %d", got, want)
+	}
+	if got := Jobs(-3); got != want {
+		t.Errorf("Jobs(-3) = %d, want %d", got, want)
+	}
+}
+
+// cell is a deterministic pure function of its index — a stand-in for a
+// share-nothing simulation cell.
+func cell(i int) uint64 {
+	x := uint64(i)*0x9E3779B97F4A7C15 + 1
+	for k := 0; k < 100; k++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// TestMapDeterministicAcrossJ is the sweep-level determinism pin: the
+// result slice must be identical for every worker count.
+func TestMapDeterministicAcrossJ(t *testing.T) {
+	const n = 257
+	ref := Map(n, 1, cell)
+	for _, j := range []int{2, 3, 8, 64, n + 5} {
+		got := Map(n, j, cell)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("Map with j=%d differs from j=1", j)
+		}
+	}
+}
+
+func TestMapRunsEveryIndexExactlyOnce(t *testing.T) {
+	const n = 1000
+	var calls [n]atomic.Int32
+	Map(n, 8, func(i int) int {
+		calls[i].Add(1)
+		return i
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if got := Map(0, 8, cell); got != nil {
+		t.Errorf("Map(0) = %v, want nil", got)
+	}
+	if got := Map(-5, 8, cell); got != nil {
+		t.Errorf("Map(-5) = %v, want nil", got)
+	}
+	if got := Map(1, 8, cell); len(got) != 1 || got[0] != cell(0) {
+		t.Errorf("Map(1) = %v", got)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	Each(100, 4, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 4950 {
+		t.Errorf("Each sum = %d, want 4950", sum.Load())
+	}
+}

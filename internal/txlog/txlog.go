@@ -55,6 +55,10 @@ type Frame struct {
 // Log is a per-thread transaction log. The zero value is an empty log.
 type Log struct {
 	frames []*Frame
+	// spare holds retired frames for reuse so steady-state begin/commit
+	// cycles do not allocate. A recycled frame's undo storage is kept and
+	// truncated at reuse time, after any post-pop reads by the caller.
+	spare []*Frame
 }
 
 // Depth reports the current nesting depth (0 = no active transaction).
@@ -72,8 +76,27 @@ func (l *Log) Bytes() int {
 
 // Push begins a new frame (transaction begin, any nesting level).
 func (l *Log) Push(checkpoint interface{}, savedSig *sig.Signature, open bool) *Frame {
-	f := &Frame{Checkpoint: checkpoint, SavedSig: savedSig, Open: open}
+	var f *Frame
+	if n := len(l.spare); n > 0 {
+		f = l.spare[n-1]
+		l.spare[n-1] = nil
+		l.spare = l.spare[:n-1]
+		f.Checkpoint, f.SavedSig, f.Open = checkpoint, savedSig, open
+		f.Undo = f.Undo[:0]
+	} else {
+		f = &Frame{Checkpoint: checkpoint, SavedSig: savedSig, Open: open}
+	}
 	l.frames = append(l.frames, f)
+	return f
+}
+
+// retire pops the innermost frame and parks it on the spare list. The
+// caller may still read the returned frame until the next Push.
+func (l *Log) retire() *Frame {
+	f := l.frames[len(l.frames)-1]
+	l.frames[len(l.frames)-1] = nil
+	l.frames = l.frames[:len(l.frames)-1]
+	l.spare = append(l.spare, f)
 	return f
 }
 
@@ -114,7 +137,7 @@ func (l *Log) CommitClosed() (*Frame, error) {
 	if f == nil {
 		return nil, fmt.Errorf("txlog: commit with no active frame")
 	}
-	l.frames = l.frames[:len(l.frames)-1]
+	l.retire()
 	if parent := l.Top(); parent != nil {
 		parent.Undo = append(parent.Undo, f.Undo...)
 	}
@@ -129,7 +152,7 @@ func (l *Log) CommitOpen() (*Frame, error) {
 	if f == nil {
 		return nil, fmt.Errorf("txlog: open commit with no active frame")
 	}
-	l.frames = l.frames[:len(l.frames)-1]
+	l.retire()
 	return f, nil
 }
 
@@ -144,12 +167,17 @@ func (l *Log) Abort(restore func(UndoRecord)) (*Frame, error) {
 	for i := len(f.Undo) - 1; i >= 0; i-- {
 		restore(f.Undo[i])
 	}
-	l.frames = l.frames[:len(l.frames)-1]
+	l.retire()
 	return f, nil
 }
 
 // Reset discards every frame (outermost commit or full abort completion).
-func (l *Log) Reset() { l.frames = nil }
+// Frames are parked for reuse rather than freed.
+func (l *Log) Reset() {
+	l.spare = append(l.spare, l.frames...)
+	clear(l.frames)
+	l.frames = l.frames[:0]
+}
 
 // Filter is the log filter: a small set-associative array of recently
 // logged virtual block addresses.
