@@ -377,6 +377,55 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepCell is the end-to-end sweep-throughput benchmark: one
+// complete experiment cell per iteration, under the three execution
+// strategies a sweep command composes. "cold" constructs every System
+// from scratch (pooling off); "pooled" reuses a Reset() machine from the
+// pool; "cached" serves the repeat from the in-memory result cache.
+// benchdiff reads the pooled/cold and cached/cold ratios from these.
+func BenchmarkSweepCell(b *testing.B) {
+	perfect, _ := VariantByName("Perfect")
+	rc := RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: benchScale}
+	run := func(b *testing.B, rc RunConfig) {
+		var last RunResult
+		for i := 0; i < b.N; i++ {
+			r, err := RunOne(rc, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = r
+		}
+		b.ReportMetric(last.CyclesPerUnit, "cycles/unit")
+	}
+	b.Run("cold", func(b *testing.B) {
+		prev := SetSystemPooling(false)
+		defer SetSystemPooling(prev)
+		drainSystemPool()
+		run(b, rc)
+	})
+	b.Run("pooled", func(b *testing.B) {
+		prev := SetSystemPooling(true)
+		defer func() {
+			drainSystemPool()
+			SetSystemPooling(prev)
+		}()
+		if _, err := RunOne(rc, 1); err != nil { // prime the pool
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, rc)
+	})
+	b.Run("cached", func(b *testing.B) {
+		cached := rc
+		cached.Cache = NewResultCache("", 0)
+		if _, err := RunOne(cached, 1); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, cached)
+	})
+}
+
 // BenchmarkSignatureOps microbenchmarks the signature hardware itself:
 // insert+test throughput per implementation (a pure data-structure
 // benchmark, independent of the simulator).

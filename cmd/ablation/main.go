@@ -20,7 +20,10 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "input scale (1.0 = paper inputs)")
 	seeds := flag.Int("seeds", 3, "seeds per cell")
 	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); output is identical for any -j")
+	useCache := flag.Bool("cache", false, "memoize cell results by fingerprint (output is byte-identical either way)")
+	cacheDir := flag.String("cache-dir", "", "persist cached cell results in this directory across invocations (implies -cache)")
 	flag.Parse()
+	cache := logtmse.CacheFromFlags(*useCache, *cacheDir)
 	seedList := make([]int64, *seeds)
 	for i := range seedList {
 		seedList[i] = int64(i + 1)
@@ -33,11 +36,11 @@ func main() {
 		dirP := logtmse.DefaultParams()
 		snpP := logtmse.DefaultParams()
 		snpP.Protocol = logtmse.ProtocolSnoop
-		dir, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &dirP, Jobs: *jobs})
+		dir, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &dirP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
-		snp, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &snpP, Jobs: *jobs})
+		snp, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &snpP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -54,17 +57,24 @@ func main() {
 		{"BS", sig.KindBitSelect},
 		{"H3", sig.KindH3}, // the multi-hash "creative signature" §5 anticipates
 	}
+	// The Perfect reference is one cell per benchmark — compute it once
+	// here, not once per signature kind.
+	sigWLs := []string{"Raytrace", "Radiosity", "BerkeleyDB"}
+	bases := make(map[string]logtmse.Aggregate, len(sigWLs))
+	for _, name := range sigWLs {
+		base, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Jobs: *jobs, Cache: cache})
+		if err != nil {
+			fatal(err)
+		}
+		bases[name] = base
+	}
 	for _, k := range kinds {
 		fmt.Printf("%-12s", "Benchmark")
 		for _, s := range sizes {
 			fmt.Printf("%10s", fmt.Sprintf("%s_%d", k.label, s))
 		}
 		fmt.Println()
-		for _, name := range []string{"Raytrace", "Radiosity", "BerkeleyDB"} {
-			base, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Jobs: *jobs})
-			if err != nil {
-				fatal(err)
-			}
+		for _, name := range sigWLs {
 			fmt.Printf("%-12s", name)
 			type cell struct {
 				agg logtmse.Aggregate
@@ -76,14 +86,14 @@ func main() {
 					Mode: workload.TM,
 					Sig:  sig.Config{Kind: k.kind, Bits: sizes[i]},
 				}
-				agg, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: v, Scale: *scale, Seeds: seedList})
+				agg, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: v, Scale: *scale, Seeds: seedList, Cache: cache})
 				return cell{agg: agg, err: err}
 			})
 			for i := range sizes {
 				if row[i].err != nil {
 					fatal(row[i].err)
 				}
-				fmt.Printf("%10.3f", stats.Speedup(base.CPU, row[i].agg.CPU))
+				fmt.Printf("%10.3f", stats.Speedup(bases[name].CPU, row[i].agg.CPU))
 			}
 			fmt.Println()
 		}
@@ -96,11 +106,11 @@ func main() {
 		fourP.Chips = 4
 		fourP.GridW, fourP.GridH = 2, 2
 		fourP.InterChipLat = 50
-		one, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &oneP, Jobs: *jobs})
+		one, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &oneP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
-		four, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &fourP, Jobs: *jobs})
+		four, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &fourP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -120,7 +130,7 @@ func main() {
 	} {
 		p := logtmse.DefaultParams()
 		pol.set(&p)
-		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs})
+		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -134,7 +144,7 @@ func main() {
 		p.SigBackupCopies = backups
 		v := logtmse.Variant{Name: "BS", Mode: workload.TM,
 			Sig: sig.Config{Kind: sig.KindBitSelect, Bits: 2048}}
-		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "NestedMicro", Variant: v, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs})
+		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "NestedMicro", Variant: v, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -147,11 +157,11 @@ func main() {
 		seP := logtmse.DefaultParams()
 		origP := logtmse.DefaultParams()
 		origP.CD = logtmse.CDCacheBits
-		se, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &seP, Jobs: *jobs})
+		se, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &seP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
-		orig, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &origP, Jobs: *jobs})
+		orig, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &origP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -165,17 +175,20 @@ func main() {
 		offP := logtmse.DefaultParams()
 		onP := logtmse.DefaultParams()
 		onP.ModelContention = true
-		off, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &offP, Jobs: *jobs})
+		off, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &offP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
-		on, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &onP, Jobs: *jobs})
+		on, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &onP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%-12s %18.0f %16.0f %9.2fx\n", name, off.Mean(), on.Mean(), on.Mean()/off.Mean())
 	}
 
+	if cache != nil {
+		fmt.Fprintln(os.Stderr, logtmse.CacheSummary(cache))
+	}
 	fmt.Println("\nExpected shapes: snooping within ~10-20% of the directory (broadcasts")
 	fmt.Println("cost latency but avoid indirection); BS speedup vs Perfect approaches")
 	fmt.Println("1.0 as the signature grows (Raytrace/Radiosity hurt most at 64 bits);")

@@ -82,7 +82,11 @@ func main() {
 		}
 		ratio := c.NsOp / bc.NsOp
 		mark := ""
-		if ratio > 1+*maxRegress {
+		// The cache-hit cell runs in microseconds; scheduler noise swamps
+		// the gate there, and a "regression" in cache-hit latency is not a
+		// simulation regression. The cold and pooled cells stay guarded.
+		guarded := c.Name != "SweepCell/cached"
+		if guarded && ratio > 1+*maxRegress {
 			mark = "  REGRESSION"
 			failed = true
 		}
@@ -96,6 +100,22 @@ func main() {
 		geo := math.Exp(logSum / float64(logN))
 		fmt.Printf("\nFigure4 geomean ratio: %.3f (%.2fx %s)\n",
 			geo, math.Max(geo, 1/geo), map[bool]string{true: "slower", false: "faster"}[geo > 1])
+	}
+	// Sweep-strategy summary: how much the pooled fast path and the
+	// result cache buy over cold construction, within this snapshot.
+	newBy := map[string]cell{}
+	for _, c := range n.Benchmarks {
+		newBy[c.Name] = c
+	}
+	if cold, ok := newBy["SweepCell/cold"]; ok && cold.NsOp > 0 {
+		if p, ok := newBy["SweepCell/pooled"]; ok && p.NsOp > 0 {
+			fmt.Printf("SweepCell pooled/cold: %.3f (%.0f -> %.0f B/op)\n",
+				p.NsOp/cold.NsOp, cold.BytesOp, p.BytesOp)
+		}
+		if h, ok := newBy["SweepCell/cached"]; ok && h.NsOp > 0 {
+			fmt.Printf("SweepCell cached/cold: %.4f (%.0fx speedup on a cache hit)\n",
+				h.NsOp/cold.NsOp, cold.NsOp/h.NsOp)
+		}
 	}
 	// The zero-alloc gate: the event-engine hot path must not allocate.
 	for _, c := range n.Benchmarks {

@@ -85,6 +85,7 @@ type config struct {
 	threads   int
 	maxCycles sim.Cycle
 	watchdog  sim.Cycle
+	cache     *logtmse.ResultCache
 }
 
 func main() {
@@ -106,6 +107,8 @@ func run() int {
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	verbose := flag.Bool("v", false, "print one line per run to stderr")
 	jobs := flag.Int("j", 0, "parallel campaign runs (0 = GOMAXPROCS); the report is byte-identical for any -j")
+	useCache := flag.Bool("cache", false, "memoize harness-scenario results by fingerprint (the report is byte-identical either way)")
+	cacheDir := flag.String("cache-dir", "", "persist cached results in this directory across campaigns (implies -cache)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here at exit")
 	flag.Parse()
@@ -152,6 +155,7 @@ func run() int {
 		threads:   *threads,
 		maxCycles: sim.Cycle(*maxCycles),
 		watchdog:  sim.Cycle(*watchdog),
+		cache:     logtmse.CacheFromFlags(*useCache, *cacheDir),
 	}
 
 	rep := report{Campaign: campaign{
@@ -183,6 +187,9 @@ func run() int {
 		}
 	}
 	rep.Summary = summarize(rep.Runs)
+	if cfg.cache != nil {
+		fmt.Fprintln(os.Stderr, logtmse.CacheSummary(cfg.cache))
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -280,6 +287,7 @@ func runHarness(mix string, seed int64, cfg config) runRecord {
 		MaxCycles: cfg.maxCycles,
 		Checks:    logtmse.AllChecks(cfg.watchdog),
 		Fault:     plan,
+		Cache:     cfg.cache,
 	}, seed)
 	rec.Cycles = uint64(res.Cycles)
 	rec.Faults = res.Faults

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"logtmse"
+	"logtmse/internal/obs"
 	"logtmse/internal/stats"
 )
 
@@ -23,7 +24,11 @@ func main() {
 	threads := flag.Int("threads", 0, "worker threads (0 = all 32 contexts)")
 	names := flag.String("workloads", "all", "comma-separated benchmark names or 'all'")
 	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); results are identical for any -j")
+	useCache := flag.Bool("cache", false, "memoize cell results by fingerprint (in-memory; output is byte-identical either way)")
+	cacheDir := flag.String("cache-dir", "", "persist cached cell results in this directory across invocations (implies -cache)")
+	cacheMetrics := flag.String("cache-metrics", "", "write the cache hit/miss/eviction counters as a metrics CSV here (summarize with txviz -metrics)")
 	flag.Parse()
+	cache := logtmse.CacheFromFlags(*useCache, *cacheDir)
 
 	var sel []string
 	if *names == "all" {
@@ -49,7 +54,7 @@ func main() {
 
 	for _, name := range sel {
 		params := logtmse.DefaultParams()
-		row, err := logtmse.Figure4(name, *scale, seedList, &params, *threads, *jobs)
+		row, err := logtmse.Figure4Cached(name, *scale, seedList, &params, *threads, *jobs, cache)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure4: %v\n", err)
 			os.Exit(1)
@@ -64,5 +69,28 @@ func main() {
 			fmt.Printf("    %-8s |%s\n", v.Name, stats.Bar(row.Speedup[v.Name], 2.0, 48))
 		}
 		fmt.Println()
+	}
+	if cache != nil {
+		fmt.Fprintln(os.Stderr, logtmse.CacheSummary(cache))
+	}
+	if *cacheMetrics != "" {
+		if cache == nil {
+			fmt.Fprintln(os.Stderr, "figure4: -cache-metrics needs -cache or -cache-dir")
+			os.Exit(2)
+		}
+		reg := obs.NewRegistry()
+		cache.Bind(reg)
+		reg.Snapshot(0)
+		f, err := os.Create(*cacheMetrics)
+		if err == nil {
+			err = reg.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure4: cache-metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

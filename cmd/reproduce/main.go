@@ -28,7 +28,10 @@ func main() {
 	seeds := flag.Int("seeds", 3, "seeds for Figure 4 confidence intervals")
 	out := flag.String("out", "", "write the markdown report here (default stdout)")
 	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); the report is byte-identical for any -j")
+	useCache := flag.Bool("cache", false, "memoize cell results by fingerprint (the report is byte-identical either way)")
+	cacheDir := flag.String("cache-dir", "", "persist cached cell results in this directory across invocations (implies -cache)")
 	flag.Parse()
+	cache := logtmse.CacheFromFlags(*useCache, *cacheDir)
 
 	var b strings.Builder
 	seedList := make([]int64, *seeds)
@@ -54,7 +57,7 @@ func main() {
 	// so run them once, in parallel, and report from both tables below.
 	perfectCells := sweep.Map(len(workloads), *jobs, func(i int) cellResult {
 		r, err := logtmse.RunOne(logtmse.RunConfig{
-			Workload: workloads[i].Name, Variant: perfect, Scale: *scale,
+			Workload: workloads[i].Name, Variant: perfect, Scale: *scale, Cache: cache,
 		}, 1)
 		return cellResult{r: r, err: err}
 	})
@@ -82,7 +85,7 @@ func main() {
 	fmt.Fprintln(&b)
 	for _, w := range workloads {
 		params := logtmse.DefaultParams()
-		row, err := logtmse.Figure4(w.Name, *scale, seedList, &params, 0, *jobs)
+		row, err := logtmse.Figure4Cached(w.Name, *scale, seedList, &params, 0, *jobs, cache)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,6 +120,7 @@ func main() {
 			Workload: wl,
 			Variant:  logtmse.Variant{Name: c.label, Mode: workload.TM, Sig: c.sc},
 			Scale:    *scale,
+			Cache:    cache,
 		}, 1)
 		return cellResult{r: r, err: err}
 	})
@@ -147,6 +151,9 @@ func main() {
 			w.Name, st.Commits, st.Coh.L1TxVictims+st.Coh.L2TxVictims, paper4[w.Name])
 	}
 
+	if cache != nil {
+		fmt.Fprintln(os.Stderr, logtmse.CacheSummary(cache))
+	}
 	if *out == "" {
 		fmt.Print(b.String())
 		return

@@ -16,7 +16,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
 	seed := flag.Int64("seed", 1, "perturbation seed")
 	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); output is identical for any -j")
+	useCache := flag.Bool("cache", false, "memoize cell results by fingerprint (output is byte-identical either way)")
+	cacheDir := flag.String("cache-dir", "", "persist cached cell results in this directory across invocations (implies -cache)")
 	flag.Parse()
+	cache := logtmse.CacheFromFlags(*useCache, *cacheDir)
 
 	v, _ := logtmse.VariantByName("Perfect")
 	fmt.Println("Table 2: Benchmarks and Inputs (measured with perfect signatures)")
@@ -30,7 +33,7 @@ func main() {
 	workloads := logtmse.Workloads()
 	rows := sweep.Map(len(workloads), *jobs, func(i int) cell {
 		res, err := logtmse.RunOne(logtmse.RunConfig{
-			Workload: workloads[i].Name, Variant: v, Scale: *scale,
+			Workload: workloads[i].Name, Variant: v, Scale: *scale, Cache: cache,
 		}, *seed)
 		return cell{res: res, err: err}
 	})
@@ -43,6 +46,9 @@ func main() {
 		fmt.Printf("%-12s %-22s %-18s %6d %12d %9.1f %9d %10.1f %10d\n",
 			w.Name, w.Input, w.UnitOfWork, res.WorkUnits, st.Commits,
 			st.ReadSetAvg(), st.ReadSetMax, st.WriteSetAvg(), st.WriteSetMax)
+	}
+	if cache != nil {
+		fmt.Fprintln(os.Stderr, logtmse.CacheSummary(cache))
 	}
 	fmt.Println("\nPaper reference (Table 2):")
 	fmt.Println("  BerkeleyDB  128 units,  1,120 txns, read 8.1/30,  write 6.8/28")

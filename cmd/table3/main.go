@@ -19,7 +19,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
 	seed := flag.Int64("seed", 1, "perturbation seed")
 	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); output is identical for any -j")
+	useCache := flag.Bool("cache", false, "memoize cell results by fingerprint (output is byte-identical either way)")
+	cacheDir := flag.String("cache-dir", "", "persist cached cell results in this directory across invocations (implies -cache)")
 	flag.Parse()
+	cache := logtmse.CacheFromFlags(*useCache, *cacheDir)
 
 	type cfg struct {
 		label string
@@ -57,6 +60,7 @@ func main() {
 				Workload: bench,
 				Variant:  logtmse.Variant{Name: cells[i].label, Mode: workload.TM, Sig: cells[i].sc},
 				Scale:    *scale,
+				Cache:    cache,
 			}, *seed)
 			return cell{res: res, err: err}
 		})
@@ -70,6 +74,9 @@ func main() {
 				c.label, st.Commits, st.Aborts, st.Stalls, st.StallEpisodes, st.FPEpisodePct())
 		}
 		fmt.Println()
+	}
+	if cache != nil {
+		fmt.Fprintln(os.Stderr, logtmse.CacheSummary(cache))
 	}
 	fmt.Println("Paper trends (Table 3): stalls >> aborts everywhere; false-positive")
 	fmt.Println("share of conflicts is 0 for Perfect, grows as signatures shrink")

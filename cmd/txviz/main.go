@@ -1,29 +1,45 @@
 // Command txviz summarizes a catapult trace produced by
 // `logtmsim -trace-out`: transaction and stall duration percentiles,
-// abort causes, and the top-N conflict addresses.
+// abort causes, and the top-N conflict addresses. With -metrics it
+// instead (or additionally) summarizes a metrics CSV — the final value
+// of every counter and gauge, including the result cache's memo.*
+// counters when the CSV came from `figure4 -cache-metrics`.
 //
 // Usage:
 //
 //	logtmsim -workload BerkeleyDB -scale 0.1 -trace-out run.json
 //	txviz run.json
 //	txviz -top 20 run.json
+//	figure4 -cache -cache-metrics cache.csv && txviz -metrics cache.csv
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"logtmse/internal/obs"
 )
 
 func main() {
 	top := flag.Int("top", 10, "conflict addresses to list")
+	metrics := flag.String("metrics", "", "summarize a metrics CSV (logtmsim -metrics-out or figure4 -cache-metrics)")
 	flag.Parse()
+	if *metrics != "" {
+		if err := summarizeMetrics(os.Stdout, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "txviz: %v\n", err)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: txviz [-top N] <trace.json>\n")
+		fmt.Fprintf(os.Stderr, "usage: txviz [-top N] [-metrics run.csv] <trace.json>\n")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -38,6 +54,42 @@ func main() {
 		os.Exit(1)
 	}
 	summarize(os.Stdout, &doc, *top)
+}
+
+// summarizeMetrics prints the last snapshot of a metrics CSV: one
+// "name value" line per column, in column order. The result cache's
+// memo.* counters show up here like any other registry metric.
+func summarizeMetrics(w *os.File, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var header, last []string
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), ",")
+		if header == nil {
+			header = fields
+			continue
+		}
+		last = fields
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if header == nil || last == nil {
+		return fmt.Errorf("%s: no metrics snapshots", path)
+	}
+	if len(last) != len(header) {
+		return fmt.Errorf("%s: final row has %d fields for %d columns", path, len(last), len(header))
+	}
+	fmt.Fprintf(w, "metrics (%s, final snapshot):\n", path)
+	for i, name := range header {
+		fmt.Fprintf(w, "  %-28s %s\n", name, last[i])
+	}
+	return nil
 }
 
 // conflictStat accumulates per-address conflict activity.

@@ -243,3 +243,12 @@ func (c *Cache) Clear() {
 		c.lines[i] = line{}
 	}
 }
+
+// Reset returns the cache to its just-constructed state for pooled
+// reuse: every line invalid, LRU clock and eviction counter at zero.
+// A Reset cache is indistinguishable from a fresh New.
+func (c *Cache) Reset() {
+	c.Clear()
+	c.useClk = 0
+	c.evicted = 0
+}

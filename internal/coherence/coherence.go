@@ -262,6 +262,23 @@ func (s *System) Stats() Stats { return s.stats }
 // ResetStats zeroes the counters (used between warmup and measurement).
 func (s *System) ResetStats() { s.stats = Stats{} }
 
+// Reset returns the memory system to its just-constructed state for
+// pooled reuse: caches and directory emptied (storage retained), stats
+// zeroed, bank queues idle, and the grid's mutable state cleared. The
+// configuration (geometry, latencies, protocol, hooks) survives.
+func (s *System) Reset() {
+	for _, c := range s.l1 {
+		c.Reset()
+	}
+	s.l2.Reset()
+	s.dir.Reset()
+	s.stats = Stats{}
+	for i := range s.bankFree {
+		s.bankFree[i] = 0
+	}
+	s.p.Grid.Reset()
+}
+
 // L1 exposes a core's L1 for tests and victim inspection.
 func (s *System) L1(core int) *cache.Cache { return s.l1[core] }
 

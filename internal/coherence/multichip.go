@@ -12,11 +12,14 @@ import (
 )
 
 // Memory is the interface both memory-system implementations satisfy; the
-// transactional engine programs against it.
+// transactional engine programs against it. Reset returns the whole
+// memory system to its just-constructed state (pooled reuse), unlike
+// ResetStats, which only zeroes counters between warmup and measurement.
 type Memory interface {
 	Access(req Request) AccessResult
 	Stats() Stats
 	ResetStats()
+	Reset()
 }
 
 var (
@@ -163,6 +166,18 @@ func (m *MultiChip) ResetStats() {
 	for _, c := range m.chips {
 		c.ResetStats()
 	}
+}
+
+// Reset returns the multiple-CMP system to its just-constructed state
+// for pooled reuse: every chip's caches and directory, the memory
+// directory, and the aggregate counters. The chips share one grid, so
+// resetting it repeatedly is harmless.
+func (m *MultiChip) Reset() {
+	for _, c := range m.chips {
+		c.Reset()
+	}
+	m.memDir.Reset()
+	m.stats = Stats{}
 }
 
 // Access resolves one memory access: on-chip first; when the chip lacks

@@ -293,6 +293,52 @@ func NewSystem(p Params) (*System, error) {
 	return s, nil
 }
 
+// Reset returns the machine to its just-constructed state under a new
+// seed so a sweep worker can reuse it across cells instead of rebuilding
+// engine, caches, directory and page tables per run. Everything mutable
+// is rewound — event queue, RNG stream, memory contents, coherence and
+// signature state, per-context hardware, hooks, stats, the physical page
+// allocator — while all backing storage is kept, so steady-state reuse
+// allocates (almost) nothing. Reset refuses a machine with a live thread
+// (a goroutine still parked on its wake channel): such a machine came
+// from a failed or truncated run and must be discarded, not reused.
+func (s *System) Reset(seed int64) error {
+	for _, t := range s.threads {
+		if !t.Done() {
+			return fmt.Errorf("core: Reset with live thread %s", t.Name)
+		}
+	}
+	s.P.Seed = seed
+	s.Engine.Reset(seed)
+	s.Mem.Reset()
+	s.Coh.Reset()
+	for _, row := range s.ctxs {
+		for _, ctx := range row {
+			ctx.Sig.Reset()
+			ctx.Summary = nil
+			ctx.Filter.Reset()
+			ctx.Cur = nil
+			if ctx.rwRead != nil {
+				clear(ctx.rwRead)
+				clear(ctx.rwWrite)
+			}
+			ctx.overflow = false
+		}
+	}
+	clear(s.threads)
+	s.threads = s.threads[:0]
+	s.stats = Stats{}
+	for i := range s.txLive {
+		s.txLive[i] = 0
+	}
+	s.readied = nil
+	s.runLimit, s.runLast = 0, 0
+	s.nextPhysPage = 1
+	s.OnOuterCommit, s.PreemptCheck, s.OnPreempt, s.OnThreadDone = nil, nil, nil, nil
+	s.Tracer, s.Sink, s.Met, s.Check, s.Fault = nil, nil, nil, nil, nil
+	return nil
+}
+
 // Ctx returns a hardware context.
 func (s *System) Ctx(core, thread int) *Context { return s.ctxs[core][thread] }
 

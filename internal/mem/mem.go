@@ -76,6 +76,13 @@ func (m *Memory) CopyPage(src, dst addr.PAddr) {
 	}
 }
 
+// Reset forgets every block and page while keeping the underlying
+// storage for pooled reuse; a Reset memory reads all-zero everywhere,
+// exactly like a fresh NewMemory.
+func (m *Memory) Reset() {
+	m.blocks.Reset()
+}
+
 // ForEachBlock calls fn for every touched block, in the deterministic
 // slot order of the underlying page table. The invariant checker uses it
 // to seed its shadow copy.

@@ -103,6 +103,18 @@ func (g *Grid) EnableContention(occupancy sim.Cycle) {
 // Contended reports whether the occupancy model is on.
 func (g *Grid) Contended() bool { return g.contended }
 
+// Reset clears the grid's mutable state — router queues and any installed
+// perturbation — for pooled reuse. The precomputed latency tables are
+// immutable and survive; whether contention modeling is enabled is part
+// of the grid's configuration and survives too (the queues restart
+// empty, as on a fresh EnableContention).
+func (g *Grid) Reset() {
+	for i := range g.routerFree {
+		g.routerFree[i] = 0
+	}
+	g.perturb = nil
+}
+
 // SetPerturb installs (or, with nil, removes) a latency perturbation: fn
 // receives each computed message latency and returns the latency to
 // charge instead. The fault injector uses it to add hop delay and jitter;

@@ -96,7 +96,9 @@ func (t *Table[T]) ensure(page uint64) *slot[T] {
 		}
 		if s.page == 0 {
 			s.page = page + 1
-			s.data = new([addr.BlocksPerPage]T)
+			if s.data == nil { // a Reset slot keeps its zeroed page array
+				s.data = new([addr.BlocksPerPage]T)
+			}
 			t.pages++
 			return s
 		}
@@ -191,6 +193,19 @@ func (t *Table[T]) Clear() {
 		}
 	}
 	t.blocks = 0
+}
+
+// Reset empties the table entirely — blocks and page identities — while
+// keeping the slot and per-page arrays for pooled reuse. Unlike Clear it
+// forgets which pages were mapped, so a reused table behaves exactly
+// like a fresh one (a fresh insertion history yields a fresh probe
+// order) without reallocating page storage.
+func (t *Table[T]) Reset() {
+	t.Clear()
+	for i := range t.slots {
+		t.slots[i].page = 0
+	}
+	t.pages = 0
 }
 
 // Clone returns a deep copy of the table.

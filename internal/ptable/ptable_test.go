@@ -125,6 +125,48 @@ func TestGrowthKeepsEverything(t *testing.T) {
 	}
 }
 
+// TestResetKeepsPageStorage: Reset must empty the table (every block
+// reads as absent/zero) while keeping the per-slot page arrays, so a
+// pooled System refilling the same pages allocates nothing.
+func TestResetKeepsPageStorage(t *testing.T) {
+	var tab Table[uint64]
+	const pages = 32
+	addrs := make([]addr.PAddr, 0, pages)
+	for p := 0; p < pages; p++ {
+		a := addr.PAddr(p * addr.PageBytes)
+		v, _ := tab.GetOrCreate(a)
+		*v = uint64(p + 1)
+		addrs = append(addrs, a)
+	}
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", tab.Len())
+	}
+	visited := 0
+	tab.ForEach(func(addr.PAddr, *uint64) { visited++ })
+	if visited != 0 {
+		t.Fatalf("ForEach after Reset visited %d blocks, want 0", visited)
+	}
+	for _, a := range addrs {
+		if v := tab.Get(a); v != nil {
+			t.Fatalf("block %v survived Reset with value %d", a, *v)
+		}
+	}
+	// Refill: previously used slots must reuse their page arrays.
+	if n := testing.AllocsPerRun(10, func() {
+		tab.Reset()
+		for _, a := range addrs {
+			v, created := tab.GetOrCreate(a)
+			if !created {
+				t.Fatal("block pre-existing after Reset")
+			}
+			*v = 7
+		}
+	}); n != 0 {
+		t.Errorf("Reset+refill allocated %.1f/op, want 0", n)
+	}
+}
+
 // TestSteadyStateZeroAlloc: hits on existing blocks allocate nothing.
 func TestSteadyStateZeroAlloc(t *testing.T) {
 	var tab Table[uint64]

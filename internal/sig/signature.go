@@ -99,6 +99,12 @@ func (s *Signature) ClearAll() {
 // Empty reports whether both sets are empty.
 func (s *Signature) Empty() bool { return s.read.Empty() && s.write.Empty() }
 
+// Reset returns the signature to its just-constructed state: both sets
+// empty. It is the pooled-reuse entry point — signature hardware holds
+// no cross-transaction state beyond set contents, so a Reset signature
+// is indistinguishable from a fresh NewSignature of the same config.
+func (s *Signature) Reset() { s.ClearAll() }
+
 // Clone returns an independent copy; used to save a signature into a log
 // frame header on nested begin or context switch.
 func (s *Signature) Clone() *Signature {

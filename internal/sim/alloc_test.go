@@ -52,6 +52,54 @@ func TestWeakEveryZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestEngineResetZeroAlloc is the pooled-reuse guard: once an engine has
+// run a working set, Reset plus a fresh schedule/drain cycle must not
+// allocate — the event array and the RNG are reused in place, so a
+// pooled System pays no construction cost per cell.
+func TestEngineResetZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.Schedule(Cycle(i%13), fn)
+	}
+	e.Run()
+	e.Rand() // materialize the lazy RNG so Reset reseeds, not reallocates
+	if n := testing.AllocsPerRun(1000, func() {
+		e.Reset(7)
+		e.Schedule(3, fn)
+		e.Schedule(1, fn)
+		for e.Step() {
+		}
+	}); n != 0 {
+		t.Errorf("Reset+Schedule/Step allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestEngineResetMatchesFresh: a Reset(seed) engine must be
+// indistinguishable from NewEngine(seed) — clock and sequence rewound,
+// queue empty, and the RNG stream identical from the first draw.
+func TestEngineResetMatchesFresh(t *testing.T) {
+	used := NewEngine(99)
+	for i := 0; i < 40; i++ {
+		used.Schedule(Cycle(i%7), func() {})
+	}
+	used.Run()
+	used.Rand().Int63() // advance the RNG past its fresh state
+	used.Halt()
+	used.Reset(42)
+
+	fresh := NewEngine(42)
+	if used.Now() != 0 || used.Pending() != 0 || used.Halted() {
+		t.Fatalf("Reset left state behind: now=%d pending=%d halted=%v",
+			used.Now(), used.Pending(), used.Halted())
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := used.Rand().Int63(), fresh.Rand().Int63(); a != b {
+			t.Fatalf("RNG stream diverges at draw %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
 // TestHeapMatchesReferenceOrder drives the 4-ary heap against a sorted
 // reference on a large randomized schedule, including interleaved pops —
 // the determinism gate for the queue swap.

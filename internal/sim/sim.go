@@ -63,6 +63,22 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{seed: seed}
 }
 
+// Reset returns the engine to its just-constructed state with a new seed,
+// keeping the queue's backing array for reuse. The random source is
+// reseeded in place, so a Reset engine produces exactly the stream a
+// fresh NewEngine(seed) would — pooled reuse is indistinguishable from
+// cold construction. Reset allocates nothing.
+func (e *Engine) Reset(seed int64) {
+	clear(e.heap) // drop retained closures
+	e.heap = e.heap[:0]
+	e.now, e.seq, e.strong = 0, 0, 0
+	e.halted, e.lastWeak = false, false
+	e.seed = seed
+	if e.rng != nil {
+		e.rng.Seed(seed)
+	}
+}
+
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 

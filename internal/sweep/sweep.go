@@ -30,6 +30,17 @@ func Jobs(j int) int {
 // (share-nothing cells satisfy this trivially). With j <= 1 the cells run
 // serially on the calling goroutine, in index order.
 func Map[T any](n, j int, fn func(i int) T) []T {
+	return MapWorker(n, j, func(_, i int) T { return fn(i) })
+}
+
+// MapWorker is Map with the worker's identity passed to fn: worker is in
+// [0, effective-j) and stable for the goroutine evaluating that cell, so
+// fn can keep per-worker scratch state (a pooled simulation machine, a
+// reusable buffer) in a slice indexed by worker with no locking. Cell
+// results are still written in index order, so the aggregate output
+// stays bit-identical for every worker count; only state keyed by
+// worker may differ, and such state must never influence results.
+func MapWorker[T any](n, j int, fn func(worker, i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -40,7 +51,7 @@ func Map[T any](n, j int, fn func(i int) T) []T {
 	}
 	if j <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			out[i] = fn(0, i)
 		}
 		return out
 	}
@@ -48,16 +59,16 @@ func Map[T any](n, j int, fn func(i int) T) []T {
 	var wg sync.WaitGroup
 	for w := 0; w < j; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out

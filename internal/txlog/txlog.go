@@ -253,3 +253,11 @@ func (f *Filter) Clear() {
 		f.use[i] = 0
 	}
 }
+
+// Reset returns the filter to its just-constructed state for pooled
+// reuse: entries gone and the LRU clock rewound, so subsequent eviction
+// decisions replay exactly as on a fresh filter.
+func (f *Filter) Reset() {
+	f.Clear()
+	f.clk = 0
+}

@@ -42,6 +42,11 @@ trap 'rm -f "$tmp"' EXIT
 # iterations would make the regression gate fire on pure noise.
 go test -run xxx -bench 'BenchmarkFigure4' \
     -benchtime "$benchtime" -benchmem . >>"$tmp"
+# The end-to-end sweep cell under its three execution strategies
+# (cold construction, pooled Reset, cache hit) — benchdiff reports the
+# pooled/cold and cached/cold ratios from these cells.
+go test -run xxx -bench 'BenchmarkSweepCell' \
+    -benchtime "$benchtime" -benchmem . >>"$tmp"
 go test -run xxx -bench 'BenchmarkSignatureOps' \
     -benchtime 10000x -benchmem . >>"$tmp"
 go test -run xxx -bench 'BenchmarkEngine|BenchmarkMemory' \

@@ -22,5 +22,6 @@ go test -fuzz FuzzNoFalseNegatives -fuzztime "$fuzztime" -run xxx ./internal/sig
 go test -fuzz FuzzUnmarshalSignature -fuzztime "$fuzztime" -run xxx ./internal/sig
 go test -fuzz FuzzDecode -fuzztime "$fuzztime" -run xxx ./internal/trace
 go test -fuzz FuzzCatapult -fuzztime "$fuzztime" -run xxx ./internal/obs
+go test -fuzz FuzzFingerprint -fuzztime "$fuzztime" -run xxx .
 
 echo "check: OK"
