@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -54,30 +55,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		os.Exit(2)
 	}
-	b, err := load(*base)
+	os.Exit(run(os.Stdout, os.Stderr, *base, *neu, *maxRegress))
+}
+
+// run performs the comparison and returns the process exit code: 0 on a
+// clean gate, 1 on a regression or alloc-gate failure, 2 on bad inputs.
+func run(w, errw io.Writer, base, neu string, maxRegress float64) int {
+	b, err := load(base)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 2
 	}
-	n, err := load(*neu)
+	n, err := load(neu)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 2
 	}
 	baseBy := map[string]cell{}
 	for _, c := range b.Benchmarks {
 		baseBy[c.Name] = c
 	}
 
-	fmt.Printf("benchdiff: %s (%s) -> %s (%s)\n", *base, b.Rev, *neu, n.Rev)
-	fmt.Printf("%-34s %14s %14s %8s\n", "cell", "base ns/op", "new ns/op", "ratio")
+	fmt.Fprintf(w, "benchdiff: %s (%s) -> %s (%s)\n", base, b.Rev, neu, n.Rev)
+	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "cell", "base ns/op", "new ns/op", "ratio")
 	failed := false
 	var logSum float64
 	var logN int
 	for _, c := range n.Benchmarks {
 		bc, ok := baseBy[c.Name]
 		if !ok || bc.NsOp <= 0 {
-			fmt.Printf("%-34s %14s %14.0f %8s\n", c.Name, "-", c.NsOp, "new")
+			fmt.Fprintf(w, "%-34s %14s %14.0f %8s\n", c.Name, "-", c.NsOp, "new")
 			continue
 		}
 		ratio := c.NsOp / bc.NsOp
@@ -86,11 +93,11 @@ func main() {
 		// the gate there, and a "regression" in cache-hit latency is not a
 		// simulation regression. The cold and pooled cells stay guarded.
 		guarded := c.Name != "SweepCell/cached"
-		if guarded && ratio > 1+*maxRegress {
+		if guarded && ratio > 1+maxRegress {
 			mark = "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-34s %14.0f %14.0f %8.3f%s\n", c.Name, bc.NsOp, c.NsOp, ratio, mark)
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %8.3f%s\n", c.Name, bc.NsOp, c.NsOp, ratio, mark)
 		if strings.HasPrefix(c.Name, "Figure4/") {
 			logSum += math.Log(ratio)
 			logN++
@@ -98,7 +105,7 @@ func main() {
 	}
 	if logN > 0 {
 		geo := math.Exp(logSum / float64(logN))
-		fmt.Printf("\nFigure4 geomean ratio: %.3f (%.2fx %s)\n",
+		fmt.Fprintf(w, "\nFigure4 geomean ratio: %.3f (%.2fx %s)\n",
 			geo, math.Max(geo, 1/geo), map[bool]string{true: "slower", false: "faster"}[geo > 1])
 	}
 	// Sweep-strategy summary: how much the pooled fast path and the
@@ -109,24 +116,25 @@ func main() {
 	}
 	if cold, ok := newBy["SweepCell/cold"]; ok && cold.NsOp > 0 {
 		if p, ok := newBy["SweepCell/pooled"]; ok && p.NsOp > 0 {
-			fmt.Printf("SweepCell pooled/cold: %.3f (%.0f -> %.0f B/op)\n",
+			fmt.Fprintf(w, "SweepCell pooled/cold: %.3f (%.0f -> %.0f B/op)\n",
 				p.NsOp/cold.NsOp, cold.BytesOp, p.BytesOp)
 		}
 		if h, ok := newBy["SweepCell/cached"]; ok && h.NsOp > 0 {
-			fmt.Printf("SweepCell cached/cold: %.4f (%.0fx speedup on a cache hit)\n",
+			fmt.Fprintf(w, "SweepCell cached/cold: %.4f (%.0fx speedup on a cache hit)\n",
 				h.NsOp/cold.NsOp, cold.NsOp/h.NsOp)
 		}
 	}
 	// The zero-alloc gate: the event-engine hot path must not allocate.
 	for _, c := range n.Benchmarks {
 		if strings.HasPrefix(c.Name, "EngineSchedule") && c.AllocsOp != 0 {
-			fmt.Printf("ALLOC GATE: %s allocates %.1f/op, want 0\n", c.Name, c.AllocsOp)
+			fmt.Fprintf(w, "ALLOC GATE: %s allocates %.1f/op, want 0\n", c.Name, c.AllocsOp)
 			failed = true
 		}
 	}
 	if failed {
-		fmt.Println("benchdiff: FAIL")
-		os.Exit(1)
+		fmt.Fprintln(w, "benchdiff: FAIL")
+		return 1
 	}
-	fmt.Println("benchdiff: ok")
+	fmt.Fprintln(w, "benchdiff: ok")
+	return 0
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runGolden(t *testing.T, goldenName, neu string, maxRegress float64, wantCode int) string {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(&out, &errOut, filepath.Join("testdata", "base.json"),
+		filepath.Join("testdata", neu), maxRegress)
+	if code != wantCode {
+		t.Errorf("%s: exit code %d, want %d\nstderr: %s", neu, code, wantCode, errOut.Bytes())
+	}
+	path := filepath.Join("testdata", goldenName)
+	if *update {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, out.Bytes(), want)
+	}
+	return out.String()
+}
+
+// TestCleanGolden: a snapshot inside the gate passes, reports the
+// Figure-4 geomean, the sweep-strategy summary, and marks new cells.
+func TestCleanGolden(t *testing.T) {
+	out := runGolden(t, "clean.golden", "clean.json", 0.10, 0)
+	for _, want := range []string{
+		"Figure4 geomean ratio:",
+		"SweepCell pooled/cold:",
+		"SweepCell cached/cold:",
+		"Figure4/Raytrace/BS", // present only in the candidate
+		"benchdiff: ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("clean output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Error("clean snapshot flagged a regression")
+	}
+}
+
+// TestRegressedGolden: a guarded cell past -max-regress and a hot path
+// that allocates both fail the gate; the unguarded cached cell does not.
+func TestRegressedGolden(t *testing.T) {
+	out := runGolden(t, "regressed.golden", "regressed.json", 0.10, 1)
+	if !strings.Contains(out, "Figure4/BerkeleyDB/BS") || !strings.Contains(out, "REGRESSION") {
+		t.Error("25% regression on a guarded cell not flagged")
+	}
+	if !strings.Contains(out, "ALLOC GATE: EngineSchedule") {
+		t.Error("allocating hot path not flagged")
+	}
+	if !strings.Contains(out, "benchdiff: FAIL") {
+		t.Error("failing snapshot not marked FAIL")
+	}
+	// SweepCell/cached grew 4.5x but is exempt from the gate.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "SweepCell/cached") && strings.Contains(line, "REGRESSION") {
+			t.Error("unguarded cached cell flagged as regression")
+		}
+	}
+}
+
+// TestRegressionThreshold: the same snapshot passes when -max-regress
+// admits the slowdown (alloc gate aside, so compare against clean).
+func TestRegressionThreshold(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(&out, &errOut, filepath.Join("testdata", "base.json"),
+		filepath.Join("testdata", "clean.json"), 0.001)
+	if code != 1 {
+		t.Errorf("tight gate: exit %d, want 1 (Mp3d grew 2%%)", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Error("tight gate flagged nothing")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(&out, &errOut, "testdata/no-such.json", "testdata/clean.json", 0.1); code != 2 {
+		t.Errorf("missing base: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(&out, &errOut, filepath.Join("testdata", "base.json"), bad, 0.1); code != 2 {
+		t.Errorf("corrupt candidate: exit %d, want 2", code)
+	}
+}

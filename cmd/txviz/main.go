@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -59,7 +60,7 @@ func main() {
 // summarizeMetrics prints the last snapshot of a metrics CSV: one
 // "name value" line per column, in column order. The result cache's
 // memo.* counters show up here like any other registry metric.
-func summarizeMetrics(w *os.File, path string) error {
+func summarizeMetrics(w io.Writer, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -104,7 +105,7 @@ type conflictStat struct {
 
 func (c conflictStat) total() int { return c.nacks + c.summary + c.sticky }
 
-func summarize(w *os.File, doc *obs.CatapultTrace, top int) {
+func summarize(w io.Writer, doc *obs.CatapultTrace, top int) {
 	var txDur, abortDur, stallDur, walkRecords []float64
 	commits, aborts, unfinished := 0, 0, 0
 	causes := map[string]int{}
@@ -208,7 +209,7 @@ func summarize(w *os.File, doc *obs.CatapultTrace, top int) {
 }
 
 // printDist prints count / mean / p50 / p90 / p99 / max for a sample set.
-func printDist(w *os.File, label string, samples []float64) {
+func printDist(w io.Writer, label string, samples []float64) {
 	if len(samples) == 0 {
 		return
 	}

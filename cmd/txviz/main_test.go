@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"logtmse/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestSummarizeGolden(t *testing.T) {
+	buf, err := os.ReadFile(filepath.Join("testdata", "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.CatapultTrace
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	summarize(&out, &doc, 10)
+	checkGolden(t, "trace.golden", out.Bytes())
+
+	// -top truncates the conflict table deterministically.
+	out.Reset()
+	summarize(&out, &doc, 1)
+	checkGolden(t, "trace_top1.golden", out.Bytes())
+}
+
+func TestSummarizeMetricsGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := summarizeMetrics(&out, filepath.Join("testdata", "metrics.csv")); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden", out.Bytes())
+}
+
+func TestSummarizeMetricsErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := summarizeMetrics(&out, filepath.Join("testdata", "no-such.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarizeMetrics(&out, empty); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	ragged := filepath.Join(t.TempDir(), "ragged.csv")
+	if err := os.WriteFile(ragged, []byte("a,b\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarizeMetrics(&out, ragged); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+}

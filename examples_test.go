@@ -1,0 +1,52 @@
+package logtmse_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program and requires a
+// zero exit. The examples are the README's executable documentation;
+// this keeps them compiling and finishing against API changes.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no example programs found")
+	}
+	// Extra flags keep the slowest examples inside unit-test time; every
+	// other example must run with no arguments, exactly as documented.
+	extraArgs := map[string][]string{
+		"berkeleydb": {"-scale", "0.05"},
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			cmd.Args = append(cmd.Args, extraArgs[name]...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s printed nothing", name)
+			}
+		})
+	}
+}

@@ -459,8 +459,16 @@ func (s *System) gets(req Request, e *dirEntry, bank int, lat sim.Cycle) AccessR
 			s.l1[owner].SetState(a, cache.Shared)
 			e.sharers |= 1 << uint(owner)
 		default:
-			// Sticky owner had already evicted the block; the lazy
-			// cleanup happens now that the signature check passed.
+			// Sticky owner had already evicted the block. A passing
+			// check only proves compatibility (a read is granted
+			// against read-set membership), not that the block left
+			// the owner's signature — resolving the pointer now would
+			// let grant() hand out Exclusive and license a silent
+			// E->M store that never comes back for a conflict check.
+			// Keep the state sticky until membership is gone (§3.1).
+			if s.hooks.SignatureMember(owner, req) {
+				return s.grant(req, e, lat)
+			}
 		}
 		e.owner = -1
 	}

@@ -89,7 +89,23 @@ type System struct {
 	// Fault, if set, is consulted at the engine's perturbation points by
 	// the fault injector. Nil (the default) leaves behavior untouched.
 	Fault FaultHook
+	// Sabotage deliberately breaks engine semantics so the differential
+	// harness can prove it detects real bugs (cmd/difftest -sabotage).
+	// The zero value is a correct engine; never set outside tests.
+	Sabotage Sabotage
 }
+
+// Sabotage selects deliberate semantics bugs for differential-test
+// validation. Each knob models a classic implementation mistake.
+type Sabotage struct {
+	// SkipUndoRecord skips restoring the first (most recently logged)
+	// undo record of every aborted frame — a version-management bug
+	// that leaves one block holding uncommitted data after an abort.
+	SkipUndoRecord bool
+}
+
+// Active reports whether any sabotage knob is set.
+func (s Sabotage) Active() bool { return s.SkipUndoRecord }
 
 // FaultHook lets a fault injector perturb the engine at well-defined
 // points. Implementations must be deterministic functions of their own
@@ -336,6 +352,7 @@ func (s *System) Reset(seed int64) error {
 	s.nextPhysPage = 1
 	s.OnOuterCommit, s.PreemptCheck, s.OnPreempt, s.OnThreadDone = nil, nil, nil, nil
 	s.Tracer, s.Sink, s.Met, s.Check, s.Fault = nil, nil, nil, nil, nil
+	s.Sabotage = Sabotage{}
 	return nil
 }
 
@@ -879,15 +896,15 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 	ctx := t.ctx
 	pa := t.PT.Translate(r.va)
 
-	// Summary-signature check on every memory reference (§4.1): a hit
-	// means a conflict with a descheduled transaction. Stalling cannot
-	// resolve it, so a transactional requester traps and aborts; a
-	// non-transactional one backs off until the OS reschedules and
-	// commits the blocker.
-	if ctx.Summary != nil && ctx.Summary.Conflict(op, pa) {
-		s.summaryConflict(t, r, op, pa)
-		return
-	}
+	// The summary signature (§4.1) is checked when the response returns,
+	// below, not here: a summary entry lives from deschedule to outer
+	// commit, so it also covers transactions that are back on hardware
+	// (after reschedule or migration the directory may still route
+	// around their new context, and only the summary reaches them). If
+	// a live check — SMT sibling or coherence — sees the same conflict
+	// first, timestamp arbitration resolves it; aborting on the summary
+	// up front would turn every such reachable conflict into an
+	// unarbitrated abort and can livelock against a running thread.
 
 	// Same-core SMT check: conflicts with sibling thread contexts must
 	// be detected even on L1 hits (§2, multi-threaded cores).
@@ -915,13 +932,16 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 	}
 	s.endStall(t, pa.Block())
 
-	// Re-check the summary now that the response is back: a transaction
-	// may have been descheduled while this request was in flight, so the
-	// remote signature check saw the replacement context's signature and
-	// the pre-access check above ran before the new summary was
-	// installed. The paper's IPI-quiesced summary install (§4.1) makes
-	// the switch atomic with respect to conflict checks; re-validating
-	// at response time closes the same window here. The context's own
+	// Summary-signature check (§4.1), at response time: a hit on an
+	// access every live check granted means the conflicting transaction
+	// is unreachable through the coherence fabric — descheduled, or
+	// rescheduled somewhere the directory does not route to. Stalling
+	// cannot resolve that, so a transactional requester traps and
+	// aborts; a non-transactional one backs off until the OS commits
+	// the blocker. Checking after the response also closes the window
+	// where a transaction is descheduled while this request is in
+	// flight (the paper's IPI-quiesced summary install makes the switch
+	// atomic with respect to conflict checks). The context's own
 	// summary excludes this thread's saved footprint, so a rescheduled
 	// transaction never conflicts with itself.
 	if ctx.Summary != nil && ctx.Summary.Conflict(op, pa) {
@@ -1074,6 +1094,25 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 		// Non-transactional (or escaped) requesters never abort: they
 		// back off and retry until the conflicting transaction ends.
 		s.stats.NonTxRetries++
+		// One exception for liveness: an escaped access issued inside a
+		// transaction blocks while holding the enclosing transaction's
+		// isolation. Two transactions escaped into blocks aliased into
+		// each other's signatures then deadlock, with no timestamps to
+		// arbitrate (escaped requests carry none). Under the opt-in
+		// starvation escalation the enclosing transaction aborts and
+		// the whole escape re-executes on retry — escape actions are
+		// already documented to run once per attempt, not once per
+		// transaction.
+		if t.escaped && t.InTx() && s.P.StarvationRetryLimit > 0 {
+			t.stallRetries++
+			if t.stallRetries >= s.P.StarvationRetryLimit {
+				if s.Tracer != nil {
+					s.trace(t, "escaped-access starvation escalation after %d NACKed retries", t.stallRetries)
+				}
+				s.abort(t, obs.CauseStarvation)
+				return
+			}
+		}
 		s.scheduleRetry(t, retry, op)
 		return
 	}
@@ -1220,15 +1259,33 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 		// Original LogTM flattens nesting: any abort unwinds the whole
 		// transaction (no per-level signature save areas to restore).
 		levels = t.depth
+	} else if cause == obs.CauseStarvation {
+		// Starvation shedding exists to break conflict cycles; the
+		// blocks other transactions are NACKed on usually live in the
+		// outer frames' signatures, which a partial abort keeps. Shed
+		// the whole transaction or the cycle survives the abort.
+		levels = t.depth
 	} else if s.P.NestAbortEscalation > 0 && t.abortStreak >= s.P.NestAbortEscalation && t.depth > 1 {
-		levels = 2
-		t.abortStreak = 0
+		// Progressive escalation: each further streak of aborts unwinds
+		// one more level, reaching the outermost frame if the conflict
+		// persists. A fixed two-level unwind can cycle forever between
+		// inner depths while the contended outer footprint never
+		// releases.
+		levels = 1 + t.abortStreak/s.P.NestAbortEscalation
+		if levels > t.depth {
+			levels = t.depth
+		}
 	}
 	s.emit(obs.KindLogWalkStart, t, cause, t.depth, 0, 0, 0)
 	records := 0
 	lat := s.P.AbortBaseLat
 	for i := 0; i < levels && t.depth > 0; i++ {
+		restored := 0
 		frame, err := t.Log.Abort(func(rec txlog.UndoRecord) {
+			restored++
+			if s.Sabotage.SkipUndoRecord && restored == 1 {
+				return // deliberate bug: first record not rolled back
+			}
 			pa := t.PT.Translate(rec.VAddr)
 			old := rec.Old
 			s.Mem.WriteBlock(pa, &old)
@@ -1289,7 +1346,14 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 	t.pendingAbort = false
 	t.abortEpoch++
 	t.possibleCycle = false
-	t.abortStreak++
+	if t.depth == 0 {
+		// Fully unwound: the next attempt starts from scratch with a
+		// clean footprint, so the per-depth escalation streak restarts
+		// (consecAborts keeps growing the backoff window regardless).
+		t.abortStreak = 0
+	} else {
+		t.abortStreak++
+	}
 	t.consecAborts++
 	s.stats.Aborts++
 	t.Aborts++

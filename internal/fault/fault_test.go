@@ -1,0 +1,284 @@
+package fault
+
+import (
+	"testing"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/core"
+	"logtmse/internal/obs"
+	"logtmse/internal/osm"
+	"logtmse/internal/sig"
+	"logtmse/internal/sim"
+)
+
+// contended runs a small oversubscribed workload — six threads on a
+// 2-core x 2-SMT machine, all fetch-adding one counter — long enough
+// for every tick-driven fault to get hundreds of rolls. It returns the
+// finished system, the injector (nil when plan is inactive), and the
+// KindFaultInject events observed.
+func contended(t *testing.T, plan Plan, seed int64) (*core.System, *Injector, []obs.Event) {
+	t.Helper()
+	params := core.DefaultParams()
+	params.Seed = seed
+	params.Cores = 2
+	params.ThreadsPerCore = 2
+	params.GridW, params.GridH = 2, 1
+	params.Signature = sig.Config{Kind: sig.KindBitSelect, Bits: 256}
+	params.L1Bytes = 8 * 1024
+	params.L2Bytes = 256 * 1024
+	params.L2Banks = 4
+	params.StarvationRetryLimit = 200
+
+	var events []obs.Event
+	params.Sink = obs.FuncSink(func(e obs.Event) {
+		if e.Kind == obs.KindFaultInject {
+			events = append(events, e)
+		}
+	})
+
+	sys, err := core.NewSystem(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := osm.New(sys, 2_000)
+	sched.DeferInTxFactor = 0
+	proc := sched.NewProcess("faulttest")
+
+	const (
+		counterVA = addr.VAddr(0x10_0000)
+		spanVA    = addr.VAddr(0x20_0000)
+	)
+	body := func(ti int) func(*core.API) {
+		return func(a *core.API) {
+			for i := 0; i < 40; i++ {
+				a.Transaction(func() {
+					a.FetchAdd(counterVA, 1)
+					// Touch a sliding window of blocks so signatures
+					// have content and victim storms find lines.
+					_ = a.Load(spanVA + addr.VAddr((ti*40+i)%16)*addr.BlockBytes)
+					a.Compute(25)
+				})
+				a.Compute(5)
+			}
+		}
+	}
+	for ti := 0; ti < 6; ti++ {
+		sched.Spawn(proc, "t", body(ti))
+	}
+
+	var inj *Injector
+	if plan.Active() {
+		inj = New(plan, sys)
+		inj.BindOS(sched, proc)
+		inj.Arm()
+	}
+	end := sys.RunUntil(5_000_000)
+	if !sys.AllDone() {
+		t.Fatalf("workload stuck at cycle %d: %v", end, sys.Stuck())
+	}
+	return sys, inj, events
+}
+
+// TestEachClassFires: every fault class the plans can express actually
+// fires against a live workload — net and NACK delays, victim storms,
+// signature noise, injected aborts, forced deschedules, and page
+// relocations — and (except net-delay, which perturbs latency silently)
+// each one announces itself with a KindFaultInject event.
+func TestEachClassFires(t *testing.T) {
+	plan := Plan{
+		Seed:         3,
+		NetDelayPct:  30,
+		NackDelayPct: 30,
+		VictimPct:    50, VictimBurst: 4,
+		SigNoisePct: 40, SigNoiseBits: 3,
+		AbortPct:    20,
+		DeschedPct:  25,
+		RelocatePct: 20,
+		TickEvery:   200,
+	}
+	_, inj, events := contended(t, plan, 3)
+	st := inj.Stats()
+	for c := Class(0); c < classMax; c++ {
+		if st.Injected[c] == 0 {
+			t.Errorf("class %v never fired", c)
+		}
+	}
+	if st.ExtraCycles == 0 {
+		t.Error("delay faults added no cycles")
+	}
+	byClass := map[Class]int{}
+	for _, e := range events {
+		byClass[Class(e.Arg)]++
+	}
+	for c := ClassNackDelay; c < classMax; c++ {
+		if byClass[c] == 0 {
+			t.Errorf("class %v fired but emitted no KindFaultInject event", c)
+		}
+	}
+	// The counters and the event stream must agree where both exist
+	// (victim counts per evicted line, one event per line).
+	for c := ClassNackDelay; c < classMax; c++ {
+		if c == ClassSigNoise {
+			// One event per noise injection, counter per inserted bit.
+			continue
+		}
+		if uint64(byClass[c]) != st.Injected[c] {
+			t.Errorf("class %v: %d events vs %d counted", c, byClass[c], st.Injected[c])
+		}
+	}
+}
+
+// TestDeterministicPerSeed: same plan + same seed replays the identical
+// fault schedule and the identical execution; a different injector seed
+// produces a different schedule against the same workload.
+func TestDeterministicPerSeed(t *testing.T) {
+	plan, err := MixPlan("storm", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys1, inj1, ev1 := contended(t, plan, 5)
+	sys2, inj2, ev2 := contended(t, plan, 5)
+	if sys1.Stats() != sys2.Stats() {
+		t.Errorf("same plan+seed, different Stats:\n%+v\n%+v", sys1.Stats(), sys2.Stats())
+	}
+	if inj1.Stats() != inj2.Stats() {
+		t.Errorf("same plan+seed, different fault stats:\n%+v\n%+v", inj1.Stats(), inj2.Stats())
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("event streams differ in length: %d vs %d", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ev1[i], ev2[i])
+		}
+	}
+
+	plan.Seed = 8
+	_, inj3, _ := contended(t, plan, 5)
+	if inj3.Stats() == inj1.Stats() {
+		t.Error("different injector seeds produced identical fault schedules")
+	}
+}
+
+// TestZeroPlanIsNoOp: a run with an inactive plan is bit-identical to a
+// run with no injector constructed at all — the injector never touches
+// the engine's RNG or event stream.
+func TestZeroPlanIsNoOp(t *testing.T) {
+	if (Plan{}).Active() {
+		t.Fatal("zero plan reports Active")
+	}
+	bare, _, bareEv := contended(t, Plan{}, 11)
+	// Same but with an inactive injector explicitly constructed+armed.
+	sysB, injB, evB := func() (*core.System, *Injector, []obs.Event) {
+		// contended() skips New for inactive plans; build one by hand
+		// around a second identical run to prove New+Arm alone is inert.
+		params := core.DefaultParams()
+		params.Seed = 11
+		params.Cores = 2
+		params.ThreadsPerCore = 2
+		params.GridW, params.GridH = 2, 1
+		params.Signature = sig.Config{Kind: sig.KindBitSelect, Bits: 256}
+		params.L1Bytes = 8 * 1024
+		params.L2Bytes = 256 * 1024
+		params.L2Banks = 4
+		params.StarvationRetryLimit = 200
+		var events []obs.Event
+		params.Sink = obs.FuncSink(func(e obs.Event) {
+			if e.Kind == obs.KindFaultInject {
+				events = append(events, e)
+			}
+		})
+		sys, err := core.NewSystem(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := osm.New(sys, 2_000)
+		sched.DeferInTxFactor = 0
+		proc := sched.NewProcess("faulttest")
+		const (
+			counterVA = addr.VAddr(0x10_0000)
+			spanVA    = addr.VAddr(0x20_0000)
+		)
+		for ti := 0; ti < 6; ti++ {
+			tid := ti
+			sched.Spawn(proc, "t", func(a *core.API) {
+				for i := 0; i < 40; i++ {
+					a.Transaction(func() {
+						a.FetchAdd(counterVA, 1)
+						_ = a.Load(spanVA + addr.VAddr((tid*40+i)%16)*addr.BlockBytes)
+						a.Compute(25)
+					})
+					a.Compute(5)
+				}
+			})
+		}
+		inj := New(Plan{}, sys)
+		inj.BindOS(sched, proc)
+		inj.Arm()
+		sys.RunUntil(5_000_000)
+		return sys, inj, events
+	}()
+	if !sysB.AllDone() {
+		t.Fatal("instrumented run stuck")
+	}
+	if bare.Stats() != sysB.Stats() {
+		t.Errorf("inactive injector perturbed Stats:\n%+v\n%+v", bare.Stats(), sysB.Stats())
+	}
+	if bare.Engine.Now() != sysB.Engine.Now() {
+		t.Errorf("inactive injector changed run length: %d vs %d", bare.Engine.Now(), sysB.Engine.Now())
+	}
+	if len(bareEv) != 0 || len(evB) != 0 {
+		t.Errorf("inactive plan emitted fault events: %d/%d", len(bareEv), len(evB))
+	}
+	if injB.Stats() != (Stats{}) {
+		t.Errorf("inactive injector counted faults: %+v", injB.Stats())
+	}
+}
+
+func TestPlanDefaults(t *testing.T) {
+	p := Plan{}.withDefaults()
+	if p.NetDelayMax != 32 || p.NackDelayMax != 64 || p.TickEvery != 500 ||
+		p.VictimBurst != 4 || p.SigNoiseBits != 4 {
+		t.Errorf("unexpected defaults: %+v", p)
+	}
+	// Explicit values survive.
+	q := Plan{NetDelayMax: 7, TickEvery: sim.Cycle(9)}.withDefaults()
+	if q.NetDelayMax != 7 || q.TickEvery != 9 {
+		t.Errorf("withDefaults clobbered explicit values: %+v", q)
+	}
+}
+
+func TestMixPlans(t *testing.T) {
+	for _, name := range MixNames() {
+		p, err := MixPlan(name, 42)
+		if err != nil {
+			t.Fatalf("mix %q: %v", name, err)
+		}
+		if !p.Active() {
+			t.Errorf("mix %q is inactive", name)
+		}
+		if p.Seed != 42 {
+			t.Errorf("mix %q dropped the seed", name)
+		}
+	}
+	if _, err := MixPlan("no-such-mix", 1); err == nil {
+		t.Error("unknown mix name accepted")
+	}
+}
+
+func TestClassNamesAndByClass(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < classMax; c++ {
+		n := c.String()
+		if n == "" || seen[n] {
+			t.Fatalf("class %d has empty or duplicate name %q", c, n)
+		}
+		seen[n] = true
+	}
+	var s Stats
+	s.Injected[ClassVictim] = 3
+	got := s.ByClass()
+	if len(got) != 1 || got["victim"] != 3 {
+		t.Errorf("ByClass = %v, want map[victim:3]", got)
+	}
+}

@@ -358,6 +358,21 @@ func (s *Scheduler) RelocatePage(p *Process, va addr.VAddr) error {
 				s.sys.Check.SigCovers(t.ID, "page-relocation reinsert", ctx.Sig, er, ew)
 			}
 		} else if t.InTx() {
+			// Descheduled mid-transaction: the signature ScheduleOn
+			// will restore lives in t.SavedSig (the summary keeps its
+			// own clone, updated below), and nested frames' save areas
+			// ride in the log. Leaving either under the old physical
+			// address would blind conflict detection after reschedule.
+			if t.SavedSig != nil {
+				r, w := t.SavedSig.RelocatePage(oldBase, newBase)
+				s.stats.SigBlocksMoved += uint64(r + w)
+			}
+			t.Log.ForEachFrame(func(f *txlog.Frame) {
+				if f.SavedSig != nil {
+					fr, fw := f.SavedSig.RelocatePage(oldBase, newBase)
+					s.stats.SigBlocksMoved += uint64(fr + fw)
+				}
+			})
 			t.RelocatePage(oldBase, newBase)
 		}
 	}

@@ -1,0 +1,169 @@
+package progen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GenConfig tunes the generator. DeriveGenConfig fills one from a seed.
+type GenConfig struct {
+	// Threads, TxPerThread and OpsPerTx bound the program shape (each
+	// thread draws its own counts up to the bounds).
+	Threads     int
+	TxPerThread int
+	OpsPerTx    int
+	// Shared and Priv size the address universe.
+	Shared int
+	Priv   int
+	// Skew concentrates shared-slot picks on hot slots (1 = uniform;
+	// larger = hotter), controlling conflict density.
+	Skew float64
+	// NestPct is the per-op chance (0..100) of a nested transaction,
+	// halved at each extra depth level; MaxDepth caps total tx depth.
+	NestPct  int
+	MaxDepth int
+	// OpenPct is the chance a nested transaction is open-nested.
+	OpenPct int
+	// EscapePct and ComputePct are per-op chances of escape actions and
+	// compute delays; PrivPct of private (non-shared) memory ops.
+	EscapePct  int
+	ComputePct int
+	PrivPct    int
+	// Commutative restricts shared writes to fetch-adds and private
+	// stores to constants, making final memory independent of commit
+	// order (the cross-config metamorphic mode).
+	Commutative bool
+}
+
+// DeriveGenConfig derives a varied but deterministic generator
+// configuration from a campaign seed. Even seeds produce commutative
+// programs (enabling the cross-config final-memory oracle), odd seeds
+// unrestricted ones.
+func DeriveGenConfig(seed int64) GenConfig {
+	r := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	return GenConfig{
+		Threads:     2 + r.Intn(5),  // 2..6
+		TxPerThread: 1 + r.Intn(4),  // 1..4
+		OpsPerTx:    2 + r.Intn(7),  // 2..8
+		Shared:      4 + r.Intn(21), // 4..24
+		Priv:        2 + r.Intn(3),  // 2..4
+		Skew:        1.0 + 2.0*r.Float64(),
+		NestPct:     10 + r.Intn(15),
+		MaxDepth:    2 + r.Intn(2), // 2..3
+		OpenPct:     20,
+		EscapePct:   6,
+		ComputePct:  18,
+		PrivPct:     15,
+		Commutative: seed%2 == 0,
+	}
+}
+
+// Generate builds a random program from the seed. The same (seed, gc)
+// always yields the identical program, and the result passes Validate.
+func Generate(seed int64, gc GenConfig) *Program {
+	r := rand.New(rand.NewSource(seed))
+	p := &Program{
+		Seed:        seed,
+		Shared:      gc.Shared,
+		Priv:        gc.Priv,
+		Commutative: gc.Commutative,
+	}
+	for t := 0; t < gc.Threads; t++ {
+		var ops []Op
+		txs := 1 + r.Intn(gc.TxPerThread)
+		for x := 0; x < txs; x++ {
+			// Occasional non-transactional private work between
+			// transactions.
+			for r.Intn(100) < 35 {
+				ops = append(ops, p.genPrivOp(r, gc))
+			}
+			ops = append(ops, Op{Kind: OpTx, Sub: p.genTxBody(r, gc, 1, false)})
+		}
+		for r.Intn(100) < 25 {
+			ops = append(ops, p.genPrivOp(r, gc))
+		}
+		p.Threads = append(p.Threads, ThreadProg{Ops: ops})
+	}
+	return p
+}
+
+// genPrivOp draws one non-transactional (private-only) op.
+func (p *Program) genPrivOp(r *rand.Rand, gc GenConfig) Op {
+	switch r.Intn(3) {
+	case 0:
+		return Op{Kind: OpLoadPriv, Slot: r.Intn(gc.Priv)}
+	case 1:
+		return Op{Kind: OpStorePriv, Slot: r.Intn(gc.Priv), Val: uint64(r.Intn(1 << 16))}
+	default:
+		return Op{Kind: OpCompute, Cycles: 10 + r.Intn(120)}
+	}
+}
+
+// genTxBody draws a transaction body at the given depth. Open bodies
+// are restricted to computes and scratch stores (see the package docs).
+func (p *Program) genTxBody(r *rand.Rand, gc GenConfig, depth int, open bool) []Op {
+	n := 1 + r.Intn(gc.OpsPerTx)
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		if open {
+			if r.Intn(100) < 40 {
+				ops = append(ops, Op{Kind: OpCompute, Cycles: 5 + r.Intn(60)})
+			} else {
+				ops = append(ops, Op{Kind: OpScratch, Slot: r.Intn(gc.Priv), Val: uint64(r.Intn(1 << 16))})
+			}
+			continue
+		}
+		nestPct := gc.NestPct >> uint(depth-1)
+		switch {
+		case depth < gc.MaxDepth && r.Intn(100) < nestPct:
+			sub := Op{Kind: OpTx, Open: r.Intn(100) < gc.OpenPct}
+			sub.Sub = p.genTxBody(r, gc, depth+1, sub.Open)
+			ops = append(ops, sub)
+		case r.Intn(100) < gc.EscapePct:
+			ops = append(ops, Op{Kind: OpEscape, Slot: r.Intn(gc.Priv), Val: uint64(r.Intn(1 << 16))})
+		case r.Intn(100) < gc.ComputePct:
+			ops = append(ops, Op{Kind: OpCompute, Cycles: 5 + r.Intn(100)})
+		case r.Intn(100) < gc.PrivPct:
+			ops = append(ops, p.genPrivOpInTx(r, gc))
+		default:
+			ops = append(ops, p.genSharedOp(r, gc))
+		}
+	}
+	return ops
+}
+
+func (p *Program) genPrivOpInTx(r *rand.Rand, gc GenConfig) Op {
+	if r.Intn(2) == 0 {
+		return Op{Kind: OpLoadPriv, Slot: r.Intn(gc.Priv)}
+	}
+	return Op{Kind: OpStorePriv, Slot: r.Intn(gc.Priv), Val: uint64(r.Intn(1 << 16))}
+}
+
+// genSharedOp draws a shared-memory op with zipf-skewed slot choice.
+func (p *Program) genSharedOp(r *rand.Rand, gc GenConfig) Op {
+	slot := zipfIdx(r, gc.Shared, gc.Skew)
+	val := uint64(1 + r.Intn(1<<12))
+	if gc.Commutative {
+		if r.Intn(2) == 0 {
+			return Op{Kind: OpLoad, Slot: slot}
+		}
+		return Op{Kind: OpFetchAdd, Slot: slot, Val: val}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Op{Kind: OpLoad, Slot: slot}
+	case 1:
+		return Op{Kind: OpStore, Slot: slot, Val: val}
+	default:
+		return Op{Kind: OpFetchAdd, Slot: slot, Val: val}
+	}
+}
+
+// zipfIdx draws an index in [0, n) skewed toward 0 (the hot slots).
+func zipfIdx(r *rand.Rand, n int, skew float64) int {
+	i := int(float64(n) * math.Pow(r.Float64(), skew))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

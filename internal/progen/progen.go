@@ -1,0 +1,303 @@
+// Package progen defines a replayable intermediate representation (IR)
+// for random transaction programs, a seeded deterministic generator for
+// them, and a delta-debugging shrinker. The IR is the contract of the
+// differential-testing subsystem (cmd/difftest): the same program is
+// executed by the full LogTM-SE simulator and by the sequential
+// reference model (internal/refmodel), and any divergence is a bug in
+// one of them.
+//
+// Programs are deliberately constrained so that "equivalent to some
+// serial execution" is a decidable oracle:
+//
+//   - Shared slots may only be touched inside transactions; outside a
+//     transaction a thread accesses only its own private slots. Every
+//     execution is then conflict-serializable in outermost-commit order,
+//     and the reference model replays exactly that order.
+//   - Escape actions read the thread's private slot and write its
+//     scratch slot. Escaped writes survive aborts by design (Nested
+//     LogTM semantics), so the scratch region is excluded from the
+//     final-memory comparison and escaped reads never feed the witness
+//     register.
+//   - Open-nested bodies contain only computes and scratch stores: an
+//     open commit's effects persist across an ancestor's abort-and-retry
+//     and would otherwise apply more than once relative to a serial
+//     execution.
+//   - In Commutative programs every shared-memory write is a fetch-add
+//     of a constant and every private store writes a constant, so the
+//     final memory is independent of commit order — the cross-config
+//     metamorphic oracle (perfect vs. Bloom signatures, faults vs. no
+//     faults, 4 vs. 16 cores) compares those memories byte for byte.
+//
+// Witness semantics: each thread carries a 64-bit register r seeded by
+// InitReg(tid). Every transactional shared load, fetch-add return value
+// and private load folds into r via Mix; non-commutative stores write
+// StoreVal(r, val). The value of r at each outermost commit is the
+// transaction's read-value witness: two executions that observe the
+// same values in the same committed transactions agree on every witness,
+// and any divergent read propagates to all later witnesses and stores.
+package progen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"os"
+)
+
+// OpKind enumerates IR operations.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	// OpLoad loads shared slot Slot and folds the value into r.
+	// Transactional only.
+	OpLoad OpKind = iota
+	// OpStore stores StoreVal(r, Val) to shared slot Slot. Transactional
+	// only; never generated in commutative programs.
+	OpStore
+	// OpFetchAdd atomically adds Val to shared slot Slot and folds the
+	// old value into r. Transactional only.
+	OpFetchAdd
+	// OpLoadPriv loads private slot Slot of the executing thread and
+	// folds the value into r. Legal anywhere.
+	OpLoadPriv
+	// OpStorePriv stores to private slot Slot: StoreVal(r, Val), or the
+	// constant Val in commutative programs. Legal anywhere.
+	OpStorePriv
+	// OpScratch transactionally stores Val to the thread's scratch slot
+	// Slot. Scratch is excluded from the final-memory comparison, so the
+	// op is legal in open-nested bodies.
+	OpScratch
+	// OpCompute burns Cycles cycles (reference model: no-op).
+	OpCompute
+	// OpEscape runs an escape action: load private slot Slot and store
+	// Val to scratch slot Slot, both outside conflict detection and
+	// version management. Neither access feeds r.
+	OpEscape
+	// OpTx runs Sub as a transaction: outermost at the top level of a
+	// thread, closed- or open-nested inside another OpTx.
+	OpTx
+	opKindMax
+)
+
+var opKindNames = [...]string{
+	OpLoad:      "load",
+	OpStore:     "store",
+	OpFetchAdd:  "fetchadd",
+	OpLoadPriv:  "load-priv",
+	OpStorePriv: "store-priv",
+	OpScratch:   "scratch",
+	OpCompute:   "compute",
+	OpEscape:    "escape",
+	OpTx:        "tx",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one IR operation. Fields are kind-specific; see the OpKind docs.
+type Op struct {
+	Kind   OpKind `json:"k"`
+	Slot   int    `json:"s,omitempty"`
+	Val    uint64 `json:"v,omitempty"`
+	Cycles int    `json:"c,omitempty"`
+	Open   bool   `json:"open,omitempty"` // OpTx: open-nested commit
+	Sub    []Op   `json:"sub,omitempty"`  // OpTx body
+}
+
+// ThreadProg is one thread's straight-line program: a sequence of ops
+// whose top level interleaves non-transactional private work and OpTx
+// transactions.
+type ThreadProg struct {
+	Ops []Op `json:"ops"`
+}
+
+// Program is a complete transaction program over a small address
+// universe: Shared slots visible to every thread, and Priv private plus
+// scratch slots per thread.
+type Program struct {
+	Seed        int64        `json:"seed"`
+	Shared      int          `json:"shared"`
+	Priv        int          `json:"priv"`
+	Commutative bool         `json:"commutative,omitempty"`
+	Threads     []ThreadProg `json:"threads"`
+}
+
+// --- witness register semantics (shared by both executors) -------------------
+
+// InitReg returns thread tid's initial witness-register value.
+func InitReg(tid int) uint64 {
+	// splitmix64 of tid+1, so thread 0 does not start at 0.
+	z := uint64(tid) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Mix folds an observed memory value into the witness register.
+func Mix(r, v uint64) uint64 {
+	return bits.RotateLeft64(r^v, 17) * 0x100000001B3
+}
+
+// StoreVal derives the value a non-commutative store writes.
+func StoreVal(r, val uint64) uint64 { return r ^ val }
+
+// --- structural helpers -------------------------------------------------------
+
+// CountOps returns the total operation count of the program (every op,
+// including OpTx nodes themselves) — the repro-size metric the shrinker
+// minimizes.
+func (p *Program) CountOps() int {
+	n := 0
+	for _, t := range p.Threads {
+		n += countOps(t.Ops)
+	}
+	return n
+}
+
+func countOps(ops []Op) int {
+	n := 0
+	for _, op := range ops {
+		n++
+		if op.Kind == OpTx {
+			n += countOps(op.Sub)
+		}
+	}
+	return n
+}
+
+// CountTxs returns the number of outermost transactions per thread.
+func (p *Program) CountTxs() []int {
+	out := make([]int, len(p.Threads))
+	for i, t := range p.Threads {
+		for _, op := range t.Ops {
+			if op.Kind == OpTx {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// TotalTxs returns the total outermost-transaction count.
+func (p *Program) TotalTxs() int {
+	n := 0
+	for _, c := range p.CountTxs() {
+		n += c
+	}
+	return n
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	q := *p
+	q.Threads = make([]ThreadProg, len(p.Threads))
+	for i, t := range p.Threads {
+		q.Threads[i].Ops = cloneOps(t.Ops)
+	}
+	return &q
+}
+
+func cloneOps(ops []Op) []Op {
+	if ops == nil {
+		return nil
+	}
+	out := make([]Op, len(ops))
+	for i, op := range ops {
+		out[i] = op
+		out[i].Sub = cloneOps(op.Sub)
+	}
+	return out
+}
+
+// Validate checks the structural invariants the oracles depend on. A
+// program that fails validation has undefined differential semantics and
+// must be rejected before execution.
+func (p *Program) Validate() error {
+	if p.Shared <= 0 || p.Priv <= 0 {
+		return fmt.Errorf("progen: universe must have shared and private slots (got %d/%d)", p.Shared, p.Priv)
+	}
+	if len(p.Threads) == 0 {
+		return fmt.Errorf("progen: no threads")
+	}
+	for ti, t := range p.Threads {
+		if err := p.validateOps(t.Ops, false, false); err != nil {
+			return fmt.Errorf("progen: thread %d: %w", ti, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateOps(ops []Op, inTx, inOpen bool) error {
+	for i, op := range ops {
+		switch op.Kind {
+		case OpLoad, OpStore, OpFetchAdd:
+			if !inTx {
+				return fmt.Errorf("op %d: %v outside a transaction", i, op.Kind)
+			}
+			if inOpen {
+				return fmt.Errorf("op %d: %v inside an open-nested body", i, op.Kind)
+			}
+			if op.Kind == OpStore && p.Commutative {
+				return fmt.Errorf("op %d: shared store in a commutative program", i)
+			}
+			if op.Slot < 0 || op.Slot >= p.Shared {
+				return fmt.Errorf("op %d: shared slot %d out of range [0,%d)", i, op.Slot, p.Shared)
+			}
+		case OpLoadPriv, OpStorePriv, OpEscape, OpScratch:
+			if op.Slot < 0 || op.Slot >= p.Priv {
+				return fmt.Errorf("op %d: private slot %d out of range [0,%d)", i, op.Slot, p.Priv)
+			}
+			if inOpen && (op.Kind == OpLoadPriv || op.Kind == OpStorePriv) {
+				return fmt.Errorf("op %d: %v inside an open-nested body", i, op.Kind)
+			}
+		case OpCompute:
+			if op.Cycles < 0 {
+				return fmt.Errorf("op %d: negative compute", i)
+			}
+		case OpTx:
+			if op.Open && !inTx {
+				return fmt.Errorf("op %d: open transaction at the top level", i)
+			}
+			if err := p.validateOps(op.Sub, true, inOpen || op.Open); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("op %d: unknown kind %d", i, uint8(op.Kind))
+		}
+	}
+	return nil
+}
+
+// --- serialization ------------------------------------------------------------
+
+// Marshal encodes the program as deterministic JSON (struct field order,
+// no timestamps), the repro format cmd/difftest writes and replays.
+func (p *Program) Marshal() ([]byte, error) {
+	return json.MarshalIndent(p, "", " ")
+}
+
+// Unmarshal decodes and validates a program.
+func Unmarshal(buf []byte) (*Program, error) {
+	var p Program
+	if err := json.Unmarshal(buf, &p); err != nil {
+		return nil, fmt.Errorf("progen: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads a program from a repro file.
+func Load(path string) (*Program, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(buf)
+}

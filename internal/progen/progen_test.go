@@ -1,0 +1,223 @@
+package progen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := Generate(seed, DeriveGenConfig(seed))
+		b := Generate(seed, DeriveGenConfig(seed))
+		aj, err := a.Marshal()
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		bj, err := b.Marshal()
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+func TestGenerateValidAndNonTrivial(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := Generate(seed, DeriveGenConfig(seed))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: generated program invalid: %v", seed, err)
+		}
+		if p.TotalTxs() == 0 {
+			t.Fatalf("seed %d: no transactions", seed)
+		}
+		if len(p.Threads) < 2 {
+			t.Fatalf("seed %d: %d threads, want >= 2", seed, len(p.Threads))
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(1, DeriveGenConfig(1)).Marshal()
+	b, _ := Generate(2, DeriveGenConfig(2)).Marshal()
+	if bytes.Equal(a, b) {
+		t.Fatal("seeds 1 and 2 generated identical programs")
+	}
+}
+
+// Even seeds derive commutative configs: the cross-config oracle
+// compares final memories across commit orders only for those.
+func TestDeriveGenConfigCommutativeParity(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		gc := DeriveGenConfig(seed)
+		if want := seed%2 == 0; gc.Commutative != want {
+			t.Fatalf("seed %d: Commutative=%v, want %v", seed, gc.Commutative, want)
+		}
+		p := Generate(seed, gc)
+		if p.Commutative != gc.Commutative {
+			t.Fatalf("seed %d: program does not record its commutativity", seed)
+		}
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	p := Generate(11, DeriveGenConfig(11))
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("marshal->unmarshal->marshal is not a fixed point")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := Generate(13, DeriveGenConfig(13))
+	q := p.Clone()
+	orig, _ := p.Marshal()
+	// Mutate the clone all the way down; the original must not move.
+	var scribble func(ops []Op)
+	scribble = func(ops []Op) {
+		for i := range ops {
+			ops[i].Val ^= 0xdead
+			scribble(ops[i].Sub)
+		}
+	}
+	for i := range q.Threads {
+		scribble(q.Threads[i].Ops)
+	}
+	after, _ := p.Marshal()
+	if !bytes.Equal(orig, after) {
+		t.Fatal("mutating a clone changed the original program")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := func() *Program {
+		return &Program{Seed: 1, Shared: 4, Priv: 2, Threads: []ThreadProg{{}}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+	}{
+		{"shared load outside tx", func(p *Program) {
+			p.Threads[0].Ops = []Op{{Kind: OpLoad, Slot: 0}}
+		}},
+		{"shared store outside tx", func(p *Program) {
+			p.Threads[0].Ops = []Op{{Kind: OpStore, Slot: 0}}
+		}},
+		{"store in commutative program", func(p *Program) {
+			p.Commutative = true
+			p.Threads[0].Ops = []Op{{Kind: OpTx, Sub: []Op{{Kind: OpStore, Slot: 0}}}}
+		}},
+		{"shared slot out of range", func(p *Program) {
+			p.Threads[0].Ops = []Op{{Kind: OpTx, Sub: []Op{{Kind: OpLoad, Slot: p.Shared}}}}
+		}},
+		{"priv slot out of range", func(p *Program) {
+			p.Threads[0].Ops = []Op{{Kind: OpStorePriv, Slot: p.Priv}}
+		}},
+		{"negative slot", func(p *Program) {
+			p.Threads[0].Ops = []Op{{Kind: OpLoadPriv, Slot: -1}}
+		}},
+		{"shared op in open-nested body", func(p *Program) {
+			p.Threads[0].Ops = []Op{{Kind: OpTx, Sub: []Op{
+				{Kind: OpTx, Open: true, Sub: []Op{{Kind: OpLoad, Slot: 0}}},
+			}}}
+		}},
+		{"priv store in open-nested body", func(p *Program) {
+			p.Threads[0].Ops = []Op{{Kind: OpTx, Sub: []Op{
+				{Kind: OpTx, Open: true, Sub: []Op{{Kind: OpStorePriv, Slot: 0}}},
+			}}}
+		}},
+		{"open tx at top level", func(p *Program) {
+			p.Threads[0].Ops = []Op{{Kind: OpTx, Open: true, Sub: []Op{{Kind: OpCompute, Cycles: 1}}}}
+		}},
+	}
+	for _, tc := range cases {
+		p := base()
+		tc.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an illegal program", tc.name)
+		}
+	}
+	// Sanity: the unmutated base is legal.
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base program rejected: %v", err)
+	}
+}
+
+func TestShrinkPreservesPredicate(t *testing.T) {
+	p := Generate(42, DeriveGenConfig(42))
+	// Predicate: some thread still fetch-adds shared slot 0.
+	var touches0 func(ops []Op) bool
+	touches0 = func(ops []Op) bool {
+		for _, op := range ops {
+			if op.Kind == OpFetchAdd && op.Slot == 0 {
+				return true
+			}
+			if touches0(op.Sub) {
+				return true
+			}
+		}
+		return false
+	}
+	pred := func(q *Program) bool {
+		for _, th := range q.Threads {
+			if touches0(th.Ops) {
+				return true
+			}
+		}
+		return false
+	}
+	if !pred(p) {
+		t.Skip("seed 42 never fetch-adds slot 0; predicate vacuous")
+	}
+	min := Shrink(p, pred, 500)
+	if !pred(min) {
+		t.Fatal("shrunk program no longer satisfies the predicate")
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk program invalid: %v", err)
+	}
+	if min.CountOps() > p.CountOps() {
+		t.Fatalf("shrink grew the program: %d -> %d ops", p.CountOps(), min.CountOps())
+	}
+}
+
+func TestShrinkDeterministic(t *testing.T) {
+	p := Generate(9, DeriveGenConfig(9))
+	pred := func(q *Program) bool { return q.TotalTxs() >= 2 }
+	if !pred(p) {
+		t.Skip("seed 9 has < 2 transactions")
+	}
+	a, _ := Shrink(p, pred, 400).Marshal()
+	b, _ := Shrink(p, pred, 400).Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two shrinks of the same program differ")
+	}
+}
+
+func TestWitnessHelpers(t *testing.T) {
+	if InitReg(0) == InitReg(1) {
+		t.Fatal("InitReg collides for threads 0 and 1")
+	}
+	r := InitReg(0)
+	if Mix(r, 5) == r {
+		t.Fatal("Mix(r, 5) is a fixed point")
+	}
+	if Mix(r, 5) == Mix(r, 6) {
+		t.Fatal("Mix does not separate adjacent values")
+	}
+	if StoreVal(r, 7) != r^7 {
+		t.Fatal("StoreVal contract changed")
+	}
+}

@@ -1,0 +1,214 @@
+package progen
+
+// Shrink minimizes a failing program by delta debugging: it repeatedly
+// proposes structurally smaller candidates and keeps any candidate for
+// which pred still reports the failure, until a fixpoint (or maxChecks
+// predicate evaluations). pred must be a deterministic pure function of
+// the program — cmd/difftest re-runs the failing configuration and
+// reports whether the divergence reproduces.
+//
+// Reduction passes, largest first:
+//
+//  1. drop whole threads;
+//  2. drop chunks of top-level ops (binary-search chunk sizes);
+//  3. drop chunks of ops inside each transaction body, recursively;
+//  4. flatten a nested transaction into its parent's body;
+//  5. zero compute delays (keeps op count but simplifies the repro).
+//
+// The result always passes Validate: every pass removes or hoists whole
+// subtrees, which cannot create shared ops outside transactions.
+func Shrink(p *Program, pred func(*Program) bool, maxChecks int) *Program {
+	s := &shrinker{pred: pred, budget: maxChecks}
+	cur := p.Clone()
+	for {
+		next, improved := s.round(cur)
+		if !improved || s.budget <= 0 {
+			return next
+		}
+		cur = next
+	}
+}
+
+type shrinker struct {
+	pred   func(*Program) bool
+	budget int
+}
+
+// check spends one predicate evaluation; only validated candidates run.
+func (s *shrinker) check(p *Program) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	if p.Validate() != nil {
+		return false
+	}
+	return s.pred(p)
+}
+
+// round runs every pass once; improved reports whether anything shrank.
+func (s *shrinker) round(cur *Program) (*Program, bool) {
+	improved := false
+	for _, pass := range []func(*Program) (*Program, bool){
+		s.dropThreads,
+		s.dropOps,
+		s.flattenNests,
+		s.zeroComputes,
+	} {
+		next, ok := pass(cur)
+		if ok {
+			cur = next
+			improved = true
+		}
+	}
+	return cur, improved
+}
+
+// dropThreads tries removing each thread, last to first (later threads
+// are cheaper to drop without renumbering witnesses).
+func (s *shrinker) dropThreads(cur *Program) (*Program, bool) {
+	improved := false
+	for i := len(cur.Threads) - 1; i >= 0 && len(cur.Threads) > 1; i-- {
+		cand := cur.Clone()
+		cand.Threads = append(cand.Threads[:i], cand.Threads[i+1:]...)
+		if s.check(cand) {
+			cur = cand
+			improved = true
+		}
+	}
+	return cur, improved
+}
+
+// dropOps removes chunks of ops at every nesting level, halving the
+// chunk size until single ops are tried.
+func (s *shrinker) dropOps(cur *Program) (*Program, bool) {
+	improved := false
+	for ti := range cur.Threads {
+		next, ok := s.dropOpsAt(cur, ti, nil)
+		if ok {
+			cur = next
+			improved = true
+		}
+	}
+	return cur, improved
+}
+
+// dropOpsAt shrinks the op list addressed by (thread, path), where path
+// is a chain of OpTx indexes, then recurses into remaining OpTx bodies.
+func (s *shrinker) dropOpsAt(cur *Program, ti int, path []int) (*Program, bool) {
+	improved := false
+	for chunk := len(*opsAt(cur, ti, path)); chunk >= 1; chunk /= 2 {
+		for start := 0; ; {
+			ops := *opsAt(cur, ti, path)
+			if start >= len(ops) {
+				break
+			}
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			cand := cur.Clone()
+			cops := opsAt(cand, ti, path)
+			*cops = append((*cops)[:start], (*cops)[end:]...)
+			if s.check(cand) {
+				cur = cand
+				improved = true
+				// Do not advance: the next chunk shifted into place.
+			} else {
+				start = end
+			}
+		}
+	}
+	// Recurse into surviving transaction bodies.
+	for i := 0; i < len(*opsAt(cur, ti, path)); i++ {
+		if (*opsAt(cur, ti, path))[i].Kind != OpTx {
+			continue
+		}
+		next, ok := s.dropOpsAt(cur, ti, append(append([]int(nil), path...), i))
+		if ok {
+			cur = next
+			improved = true
+		}
+	}
+	return cur, improved
+}
+
+// flattenNests tries replacing each nested OpTx with its body ops
+// in-place (hoisting into the parent transaction keeps shared ops
+// transactional, so validation holds). Open-nested bodies hoist only if
+// the parent is not open — their ops are scratch/compute, legal in any
+// closed body.
+func (s *shrinker) flattenNests(cur *Program) (*Program, bool) {
+	improved := false
+	for ti := range cur.Threads {
+		next, ok := s.flattenAt(cur, ti, nil, false)
+		if ok {
+			cur = next
+			improved = true
+		}
+	}
+	return cur, improved
+}
+
+func (s *shrinker) flattenAt(cur *Program, ti int, path []int, inTx bool) (*Program, bool) {
+	improved := false
+	for i := 0; i < len(*opsAt(cur, ti, path)); i++ {
+		op := (*opsAt(cur, ti, path))[i]
+		if op.Kind != OpTx {
+			continue
+		}
+		if inTx {
+			cand := cur.Clone()
+			cops := opsAt(cand, ti, path)
+			hoisted := append(append((*cops)[:i:i], cloneOps(op.Sub)...), (*cops)[i+1:]...)
+			*cops = hoisted
+			if s.check(cand) {
+				cur = cand
+				improved = true
+				i--
+				continue
+			}
+		}
+		next, ok := s.flattenAt(cur, ti, append(append([]int(nil), path...), i), true)
+		if ok {
+			cur = next
+			improved = true
+		}
+	}
+	return cur, improved
+}
+
+// zeroComputes zeroes every compute delay in one shot if the failure
+// still reproduces without timing padding.
+func (s *shrinker) zeroComputes(cur *Program) (*Program, bool) {
+	cand := cur.Clone()
+	changed := false
+	for ti := range cand.Threads {
+		zeroComputeOps(cand.Threads[ti].Ops, &changed)
+	}
+	if !changed || !s.check(cand) {
+		return cur, false
+	}
+	return cand, true
+}
+
+func zeroComputeOps(ops []Op, changed *bool) {
+	for i := range ops {
+		if ops[i].Kind == OpCompute && ops[i].Cycles != 0 {
+			ops[i].Cycles = 0
+			*changed = true
+		}
+		if ops[i].Kind == OpTx {
+			zeroComputeOps(ops[i].Sub, changed)
+		}
+	}
+}
+
+// opsAt returns a pointer to the op list addressed by (thread, path).
+func opsAt(p *Program, ti int, path []int) *[]Op {
+	ops := &p.Threads[ti].Ops
+	for _, i := range path {
+		ops = &(*ops)[i].Sub
+	}
+	return ops
+}

@@ -1,0 +1,159 @@
+// Package refmodel executes a progen transaction program sequentially,
+// under one global lock, in a given outermost-commit order — the
+// independent model the differential harness (cmd/difftest) compares the
+// full LogTM-SE simulator against.
+//
+// A LogTM-SE execution is conflict-serializable in outermost-commit
+// order: eager conflict detection isolates a transaction's read and
+// write sets until its commit, so replaying the committed transactions
+// serially, in the commit order the simulator observed, must reproduce
+// every committed read value (the witness registers) and the final
+// memory. The model is deliberately trivial — a flat array per region,
+// no caches, no signatures, no logs — so that it shares no code and no
+// failure modes with the simulator.
+//
+// Scratch slots are tracked but excluded from comparison (escaped and
+// open-nested writes survive aborts by design, so their final values
+// depend on the abort schedule, not on transaction semantics).
+package refmodel
+
+import (
+	"fmt"
+
+	"logtmse/internal/progen"
+)
+
+// Result is the reference execution's outcome: the witness the
+// simulator's run must match.
+type Result struct {
+	// Shared holds the final shared-slot values.
+	Shared []uint64
+	// Priv holds the final private-slot values, per thread.
+	Priv [][]uint64
+	// TxReads holds each thread's witness-register value at every
+	// outermost commit, in program order — the per-transaction
+	// read-value witness.
+	TxReads [][]uint64
+	// Commits is the total outermost commit count.
+	Commits int
+}
+
+// threadCursor tracks one thread's progress through its top-level ops.
+type threadCursor struct {
+	ops []progen.Op
+	pos int
+	r   uint64
+}
+
+type executor struct {
+	p       *progen.Program
+	shared  []uint64
+	priv    [][]uint64
+	scratch [][]uint64
+	reads   [][]uint64
+}
+
+// Execute replays the program serially: order lists the thread id of
+// every outermost commit, in commit order. Between a thread's
+// transactions its non-transactional (private-only) ops execute lazily,
+// immediately before its next transaction — they touch only the
+// thread's own state, so any placement consistent with program order
+// yields the same result. Execute fails if the order does not cover the
+// program (wrong length, wrong per-thread counts, unknown thread).
+func Execute(p *progen.Program, order []int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ex := &executor{
+		p:       p,
+		shared:  make([]uint64, p.Shared),
+		priv:    make([][]uint64, len(p.Threads)),
+		scratch: make([][]uint64, len(p.Threads)),
+		reads:   make([][]uint64, len(p.Threads)),
+	}
+	cursors := make([]threadCursor, len(p.Threads))
+	for i, t := range p.Threads {
+		ex.priv[i] = make([]uint64, p.Priv)
+		ex.scratch[i] = make([]uint64, p.Priv)
+		cursors[i] = threadCursor{ops: t.Ops, r: progen.InitReg(i)}
+	}
+	for ci, tid := range order {
+		if tid < 0 || tid >= len(cursors) {
+			return nil, fmt.Errorf("refmodel: commit %d names unknown thread %d", ci, tid)
+		}
+		cur := &cursors[tid]
+		// Run the thread's pending non-transactional ops, then the
+		// transaction this commit corresponds to.
+		for cur.pos < len(cur.ops) && cur.ops[cur.pos].Kind != progen.OpTx {
+			ex.runOp(tid, &cur.r, cur.ops[cur.pos])
+			cur.pos++
+		}
+		if cur.pos >= len(cur.ops) {
+			return nil, fmt.Errorf("refmodel: commit %d: thread %d has no transaction left", ci, tid)
+		}
+		ex.runOps(tid, &cur.r, cur.ops[cur.pos].Sub)
+		ex.reads[tid] = append(ex.reads[tid], cur.r)
+		cur.pos++
+	}
+	// Trailing non-transactional ops after each thread's last commit.
+	for tid := range cursors {
+		cur := &cursors[tid]
+		for cur.pos < len(cur.ops) {
+			if cur.ops[cur.pos].Kind == progen.OpTx {
+				return nil, fmt.Errorf("refmodel: thread %d: transaction %d never committed in the observed order",
+					tid, len(ex.reads[tid]))
+			}
+			ex.runOp(tid, &cur.r, cur.ops[cur.pos])
+			cur.pos++
+		}
+	}
+	return &Result{
+		Shared:  ex.shared,
+		Priv:    ex.priv,
+		TxReads: ex.reads,
+		Commits: len(order),
+	}, nil
+}
+
+func (ex *executor) runOps(tid int, r *uint64, ops []progen.Op) {
+	for _, op := range ops {
+		ex.runOp(tid, r, op)
+	}
+}
+
+// runOp applies one op to the flat memory, mirroring the witness
+// semantics the simulator-side executor uses (progen.Mix / StoreVal).
+// Nested transactions execute inline: in a serial execution a closed
+// child is simply part of its parent, and an open child's body (scratch
+// and compute only) has no serializable effects.
+func (ex *executor) runOp(tid int, r *uint64, op progen.Op) {
+	switch op.Kind {
+	case progen.OpLoad:
+		*r = progen.Mix(*r, ex.shared[op.Slot])
+	case progen.OpStore:
+		ex.shared[op.Slot] = progen.StoreVal(*r, op.Val)
+	case progen.OpFetchAdd:
+		old := ex.shared[op.Slot]
+		ex.shared[op.Slot] = old + op.Val
+		*r = progen.Mix(*r, old)
+	case progen.OpLoadPriv:
+		*r = progen.Mix(*r, ex.priv[tid][op.Slot])
+	case progen.OpStorePriv:
+		if ex.p.Commutative {
+			ex.priv[tid][op.Slot] = op.Val
+		} else {
+			ex.priv[tid][op.Slot] = progen.StoreVal(*r, op.Val)
+		}
+	case progen.OpScratch:
+		ex.scratch[tid][op.Slot] = op.Val
+	case progen.OpCompute:
+		// Timing only; no architectural effect.
+	case progen.OpEscape:
+		// Escaped accesses read the private slot and write scratch;
+		// neither feeds the witness register, and scratch is excluded
+		// from comparison.
+		ex.scratch[tid][op.Slot] = op.Val
+	case progen.OpTx:
+		ex.runOps(tid, r, op.Sub)
+	}
+}

@@ -1,0 +1,199 @@
+package refmodel
+
+import (
+	"reflect"
+	"testing"
+
+	"logtmse/internal/progen"
+)
+
+// tx wraps ops in a closed outermost transaction.
+func tx(ops ...progen.Op) progen.Op {
+	return progen.Op{Kind: progen.OpTx, Sub: ops}
+}
+
+func prog(threads ...[]progen.Op) *progen.Program {
+	p := &progen.Program{Seed: 1, Shared: 4, Priv: 2}
+	for _, ops := range threads {
+		p.Threads = append(p.Threads, progen.ThreadProg{Ops: ops})
+	}
+	return p
+}
+
+func TestExecuteSerialOrderDependence(t *testing.T) {
+	// Two threads store distinct values to the same slot: the final
+	// value must be the later committer's, for either order.
+	p := prog(
+		[]progen.Op{tx(progen.Op{Kind: progen.OpStore, Slot: 0, Val: 100})},
+		[]progen.Op{tx(progen.Op{Kind: progen.OpStore, Slot: 0, Val: 200})},
+	)
+	r01, err := Execute(p, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := Execute(p, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want01 := progen.StoreVal(progen.InitReg(1), 200)
+	want10 := progen.StoreVal(progen.InitReg(0), 100)
+	if r01.Shared[0] != want01 {
+		t.Fatalf("order 0,1: slot0=%#x want %#x", r01.Shared[0], want01)
+	}
+	if r10.Shared[0] != want10 {
+		t.Fatalf("order 1,0: slot0=%#x want %#x", r10.Shared[0], want10)
+	}
+	if r01.Shared[0] == r10.Shared[0] {
+		t.Fatal("orders indistinguishable; test is vacuous")
+	}
+}
+
+func TestExecuteFetchAddCommutes(t *testing.T) {
+	p := prog(
+		[]progen.Op{tx(progen.Op{Kind: progen.OpFetchAdd, Slot: 1, Val: 3})},
+		[]progen.Op{tx(progen.Op{Kind: progen.OpFetchAdd, Slot: 1, Val: 5})},
+	)
+	p.Commutative = true
+	a, err := Execute(p, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(p, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Shared[1] != 8 || b.Shared[1] != 8 {
+		t.Fatalf("fetch-add sums differ: %d vs %d, want 8", a.Shared[1], b.Shared[1])
+	}
+	// Witnesses DO depend on order (the old value differs) — that is
+	// why only final memory is compared cross-config.
+	if reflect.DeepEqual(a.TxReads, b.TxReads) {
+		t.Fatal("witnesses identical across orders; expected order-dependent old values")
+	}
+}
+
+func TestExecuteWitnessFoldsLoads(t *testing.T) {
+	// One thread: store then load in separate transactions. The second
+	// witness must fold the loaded value into the register.
+	p := prog([]progen.Op{
+		tx(progen.Op{Kind: progen.OpFetchAdd, Slot: 2, Val: 9}),
+		tx(progen.Op{Kind: progen.OpLoad, Slot: 2}),
+	})
+	res, err := Execute(p, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := progen.InitReg(0)
+	r = progen.Mix(r, 0) // fetch-add returns the old value (0)
+	w1 := r
+	r = progen.Mix(r, 9) // load sees the added value
+	w2 := r
+	got := res.TxReads[0]
+	if len(got) != 2 || got[0] != w1 || got[1] != w2 {
+		t.Fatalf("witnesses %#x, want [%#x %#x]", got, w1, w2)
+	}
+}
+
+func TestExecuteNonTxOpsRunInProgramOrder(t *testing.T) {
+	// Private store before the transaction must be visible to a private
+	// load inside it.
+	p := prog([]progen.Op{
+		{Kind: progen.OpStorePriv, Slot: 0, Val: 7},
+		tx(progen.Op{Kind: progen.OpLoadPriv, Slot: 0}),
+	})
+	p.Commutative = true // private stores write the constant Val
+	res, err := Execute(p, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := progen.Mix(progen.InitReg(0), 7)
+	if res.TxReads[0][0] != want {
+		t.Fatalf("witness %#x, want %#x", res.TxReads[0][0], want)
+	}
+	if res.Priv[0][0] != 7 {
+		t.Fatalf("priv slot %d, want 7", res.Priv[0][0])
+	}
+}
+
+func TestExecuteTrailingPrivOpsApply(t *testing.T) {
+	p := prog([]progen.Op{
+		tx(progen.Op{Kind: progen.OpCompute, Cycles: 1}),
+		{Kind: progen.OpStorePriv, Slot: 1, Val: 42},
+	})
+	p.Commutative = true
+	res, err := Execute(p, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Priv[0][1] != 42 {
+		t.Fatalf("trailing private store lost: priv[0][1]=%d", res.Priv[0][1])
+	}
+}
+
+func TestExecuteScratchExcluded(t *testing.T) {
+	p := prog([]progen.Op{
+		tx(progen.Op{Kind: progen.OpScratch, Slot: 0, Val: 5}),
+	})
+	res, err := Execute(p, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scratch writes must not leak into the compared regions.
+	if res.Shared[0] != 0 || res.Priv[0][0] != 0 {
+		t.Fatal("scratch store leaked into shared or private memory")
+	}
+}
+
+func TestExecuteRejectsBadOrders(t *testing.T) {
+	p := prog(
+		[]progen.Op{tx(progen.Op{Kind: progen.OpCompute, Cycles: 1})},
+		[]progen.Op{tx(progen.Op{Kind: progen.OpCompute, Cycles: 1})},
+	)
+	cases := map[string][]int{
+		"unknown thread":        {0, 5},
+		"too many commits":      {0, 1, 0},
+		"missing commit":        {0},
+		"double-counted thread": {0, 0},
+	}
+	for name, order := range cases {
+		if _, err := Execute(p, order); err == nil {
+			t.Errorf("%s: Execute accepted order %v", name, order)
+		}
+	}
+	if _, err := Execute(p, []int{1, 0}); err != nil {
+		t.Fatalf("legal order rejected: %v", err)
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	p := progen.Generate(17, progen.DeriveGenConfig(17))
+	// Build a legal order: threads commit round-robin.
+	counts := p.CountTxs()
+	var order []int
+	remaining := make([]int, len(counts))
+	copy(remaining, counts)
+	for {
+		progress := false
+		for tid := range remaining {
+			if remaining[tid] > 0 {
+				order = append(order, tid)
+				remaining[tid]--
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	a, err := Execute(p, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(p, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two executions of the same order differ")
+	}
+}

@@ -15,6 +15,20 @@ fi
 go vet ./...
 go test -race ./...
 
+# Coverage gate: total statement coverage must stay within one point of
+# the committed baseline (scripts/coverage_baseline.txt). Raise the
+# baseline when coverage genuinely improves; never lower it to pass.
+covprofile=$(mktemp)
+trap 'rm -f "$covprofile"' EXIT
+go test -coverprofile "$covprofile" ./... > /dev/null
+total=$(go tool cover -func="$covprofile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+baseline=$(cat scripts/coverage_baseline.txt)
+echo "coverage: ${total}% (baseline ${baseline}%)"
+if ! awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t + 0 >= b - 1.0) }'; then
+    echo "coverage gate: total ${total}% fell more than 1 point below baseline ${baseline}%" >&2
+    exit 1
+fi
+
 # Fuzz smoke: each target gets a short randomized budget on top of its
 # checked-in seed corpus (go test -fuzz takes one target per invocation).
 fuzztime="${FUZZTIME:-10s}"
