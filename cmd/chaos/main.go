@@ -86,6 +86,12 @@ type config struct {
 	maxCycles sim.Cycle
 	watchdog  sim.Cycle
 	cache     *logtmse.ResultCache
+	// metrics, when set (-metrics-out), is shared by every run; the
+	// campaign then runs serially so the interval snapshots interleave
+	// deterministically.
+	metrics *logtmse.CoreMetrics
+	// camp, when set (-serve), receives live per-run telemetry.
+	camp *logtmse.Campaign
 }
 
 func main() {
@@ -109,6 +115,8 @@ func run() int {
 	jobs := flag.Int("j", 0, "parallel campaign runs (0 = GOMAXPROCS); the report is byte-identical for any -j")
 	useCache := flag.Bool("cache", false, "memoize harness-scenario results by fingerprint (the report is byte-identical either way)")
 	cacheDir := flag.String("cache-dir", "", "persist cached results in this directory across campaigns (implies -cache)")
+	metricsOut := flag.String("metrics-out", "", "write the interval metrics time series of the campaign's runs as CSV here (forces -j 1)")
+	serveAddr := flag.String("serve", "", "serve live /metrics and /progress on this address during the campaign")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here at exit")
 	flag.Parse()
@@ -157,6 +165,13 @@ func run() int {
 		watchdog:  sim.Cycle(*watchdog),
 		cache:     logtmse.CacheFromFlags(*useCache, *cacheDir),
 	}
+	if *metricsOut != "" {
+		// One registry shared by every run: serialize the campaign so
+		// the interval snapshots interleave deterministically. Runs with
+		// metrics attached bypass the result cache (see Cacheable).
+		cfg.metrics = logtmse.NewCoreMetrics(logtmse.NewRegistry())
+		*jobs = 1
+	}
 
 	rep := report{Campaign: campaign{
 		SeedBase: *seedBase, Seeds: *seeds, Mix: *mix,
@@ -169,12 +184,37 @@ func run() int {
 		rep.Campaign.Seeds = 1
 		rep.Campaign.SeedBase = *replay
 	}
+	if *serveAddr != "" {
+		cfg.camp = logtmse.NewCampaign("chaos", len(list))
+		if cfg.cache != nil {
+			cache := cfg.cache
+			cfg.camp.CacheStats = func() (hits, misses uint64) {
+				s := cache.Stats()
+				return s.Hits, s.Misses
+			}
+		}
+		bound, stop, err := logtmse.ServeCampaign(*serveAddr, cfg.camp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos: -serve:", err)
+			return 2
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "serving /metrics and /progress on http://%s\n", bound)
+	}
 	// Every campaign run is a share-nothing cell, so the sweep runner can
 	// fan them out across workers; results land in submission (seed-list)
 	// order, keeping the report byte-identical for any -j.
-	rep.Runs = sweep.Map(len(list), *jobs, func(i int) runRecord {
+	var begin, end func(i int)
+	if cfg.camp != nil {
+		begin, end = cfg.camp.Hooks()
+	}
+	rep.Runs = sweep.MapNotify(len(list), *jobs, begin, end, func(i int) runRecord {
 		seed := list[i]
-		return runSeed(mixFor(mixes, *seedBase, seed), seed, cfg)
+		rec := runSeed(mixFor(mixes, *seedBase, seed), seed, cfg)
+		if cfg.camp != nil && !rec.OK {
+			cfg.camp.FailCell()
+		}
+		return rec
 	})
 	if *verbose {
 		for _, rec := range rep.Runs {
@@ -189,6 +229,19 @@ func run() int {
 	rep.Summary = summarize(rep.Runs)
 	if cfg.cache != nil {
 		fmt.Fprintln(os.Stderr, logtmse.CacheSummary(cfg.cache))
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = cfg.metrics.Reg.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos: metrics-out:", err)
+			return 2
+		}
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -279,7 +332,7 @@ func runHarness(mix string, seed int64, cfg config) runRecord {
 		return rec
 	}
 	v, _ := logtmse.VariantByName("BS")
-	res, err := logtmse.RunOne(logtmse.RunConfig{
+	rc := logtmse.RunConfig{
 		Workload:  cfg.workload,
 		Variant:   v,
 		Scale:     cfg.scale,
@@ -288,7 +341,17 @@ func runHarness(mix string, seed int64, cfg config) runRecord {
 		Checks:    logtmse.AllChecks(cfg.watchdog),
 		Fault:     plan,
 		Cache:     cfg.cache,
-	}, seed)
+		Metrics:   cfg.metrics,
+	}
+	if cfg.camp != nil && cfg.cache == nil {
+		// Per-cause abort telemetry needs a sink, and a sink makes the
+		// cell uncacheable — attach it only on uncached campaigns.
+		rc.Sink = cfg.camp.CountAborts()
+	}
+	res, err := logtmse.RunOne(rc, seed)
+	if cfg.camp != nil {
+		cfg.camp.RecordRun(res.Stats.Commits, res.Stats.Aborts, res.Stats.Stalls)
+	}
 	rec.Cycles = uint64(res.Cycles)
 	rec.Faults = res.Faults
 	rec.Failures = res.CheckFailures
@@ -315,10 +378,16 @@ func runScheduler(mix string, seed int64, cfg config) runRecord {
 	p.L2Bytes = 128 * 1024
 	p.L2Banks = 4
 	p.Signature = sig.Config{Kind: sig.KindBitSelect, Bits: 256}
+	if cfg.camp != nil {
+		p.Sink = cfg.camp.CountAborts()
+	}
 	sys, err := core.NewSystem(p)
 	if err != nil {
 		rec.Error = err.Error()
 		return rec
+	}
+	if cfg.metrics != nil {
+		sys.AttachMetrics(cfg.metrics, 10_000)
 	}
 	chk := sys.AttachChecker(logtmse.AllChecks(cfg.watchdog))
 	sched := osm.New(sys, 1_500) // aggressive slices
@@ -354,6 +423,10 @@ func runScheduler(mix string, seed int64, cfg config) runRecord {
 	rec.Cycles = uint64(end)
 	rec.Faults = inj.Stats().ByClass()
 	rec.Failures = chk.Failures()
+	if cfg.camp != nil {
+		st := sys.Stats()
+		cfg.camp.RecordRun(st.Commits, st.Aborts, st.Stalls)
+	}
 	if !sys.AllDone() {
 		rec.Error = fmt.Sprintf("threads stuck: %v\n%s", sys.Stuck(), sys.Diagnose())
 		return rec

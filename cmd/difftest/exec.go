@@ -100,6 +100,13 @@ type runOpts struct {
 	// Trace, if set, receives the engine's per-event trace lines
 	// (difftest -repro file -trace debugging).
 	Trace core.TraceFunc
+	// Extra, if set, is teed into the lifecycle event stream alongside
+	// the commit-order sink (live campaign telemetry; -serve).
+	Extra obs.Sink
+	// Metrics, if set, is attached to every system for interval
+	// snapshots (-metrics-out). The registry is single-goroutine: the
+	// campaign must run serially when set.
+	Metrics *obs.CoreMetrics
 }
 
 // simOutcome is everything one simulator run exposes to the oracles.
@@ -159,10 +166,16 @@ func runSim(prog *progen.Program, cfg simConfig, seed int64, opts runOpts) (*sim
 				fmt.Sprintf("inject %v addr=%v arg=%d", fault.Class(e.Arg), e.Addr, e.Arg2))
 		}
 	})
+	if opts.Extra != nil {
+		params.Sink = obs.Tee(params.Sink, opts.Extra)
+	}
 
 	sys, err := core.NewSystem(params)
 	if err != nil {
 		return nil, fmt.Errorf("difftest: config %s: %w", cfg.Name, err)
+	}
+	if opts.Metrics != nil {
+		sys.AttachMetrics(opts.Metrics, 10_000)
 	}
 	sys.Sabotage = opts.Sabotage
 	sys.Tracer = opts.Trace

@@ -33,6 +33,8 @@ import (
 
 	"logtmse/internal/core"
 	"logtmse/internal/memo"
+	"logtmse/internal/obs"
+	"logtmse/internal/prof"
 	"logtmse/internal/progen"
 	"logtmse/internal/refmodel"
 	"logtmse/internal/sig"
@@ -47,6 +49,7 @@ type configRecord struct {
 	Cycles   uint64            `json:"cycles"`
 	Commits  int               `json:"commits"`
 	Aborts   uint64            `json:"aborts"`
+	Stalls   uint64            `json:"stalls,omitempty"`
 	FPStalls uint64            `json:"fp_stalls,omitempty"`
 	Faults   map[string]uint64 `json:"faults,omitempty"`
 	Error    string            `json:"error,omitempty"`
@@ -119,6 +122,8 @@ func run() int {
 	jobs := flag.Int("j", 0, "parallel seeds (0 = GOMAXPROCS); the report is byte-identical for any -j")
 	useCache := flag.Bool("cache", false, "memoize per-(seed,config) outcomes (the report is byte-identical either way)")
 	cacheDir := flag.String("cache-dir", "", "persist cached outcomes in this directory (implies -cache)")
+	metricsOut := flag.String("metrics-out", "", "write the interval metrics time series of the campaign's runs as CSV here (forces -j 1, disables -cache)")
+	serveAddr := flag.String("serve", "", "serve live /metrics and /progress on this address during the campaign")
 	flag.Parse()
 
 	cfgs := matrix()
@@ -147,6 +152,17 @@ func run() int {
 	if *useCache || *cacheDir != "" {
 		cache = memo.New(*cacheDir, 256<<20)
 	}
+	if *metricsOut != "" {
+		// One registry shared by every run: serialize the campaign and
+		// bypass the cache so every cell actually simulates and feeds
+		// the interval snapshots.
+		opts.Metrics = obs.NewCoreMetrics(obs.NewRegistry())
+		*jobs = 1
+		if cache != nil {
+			fmt.Fprintln(os.Stderr, "difftest: -metrics-out disables the result cache")
+			cache = nil
+		}
+	}
 
 	rep := report{Campaign: campaign{
 		SeedBase: *seedBase, Seeds: *seeds, Config: *configName,
@@ -171,8 +187,40 @@ func run() int {
 			rep.Campaign.Seeds = 1
 			rep.Campaign.SeedBase = *replay
 		}
-		rep.Runs = sweep.Map(len(list), *jobs, func(i int) seedRecord {
-			return runSeed(list[i], cfgs, opts, cache, *shrinkBudget)
+		var camp *prof.Campaign
+		var begin, end func(i int)
+		if *serveAddr != "" {
+			camp = prof.NewCampaign("difftest", len(list))
+			// Per-cause abort telemetry needs a sink on every run, and a
+			// cached run never fires it — attach only on uncached
+			// campaigns so the counts stay exact.
+			if cache == nil {
+				opts.Extra = camp.CountAborts()
+			}
+			bound, stop, err := prof.Serve(*serveAddr, camp)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "difftest: -serve:", err)
+				return 2
+			}
+			defer stop()
+			fmt.Fprintf(os.Stderr, "serving /metrics and /progress on http://%s\n", bound)
+			begin, end = camp.Hooks()
+		}
+		rep.Runs = sweep.MapNotify(len(list), *jobs, begin, end, func(i int) seedRecord {
+			rec := runSeed(list[i], cfgs, opts, cache, *shrinkBudget)
+			if camp != nil {
+				var commits, aborts, stalls uint64
+				for _, c := range rec.Configs {
+					commits += uint64(c.Commits)
+					aborts += c.Aborts
+					stalls += c.Stalls
+				}
+				camp.RecordRun(commits, aborts, stalls)
+				if !rec.OK {
+					camp.FailCell()
+				}
+			}
+			return rec
 		})
 	}
 	if *verbose {
@@ -204,6 +252,19 @@ func run() int {
 		}
 	} else {
 		os.Stdout.Write(buf)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = opts.Metrics.Reg.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "difftest: metrics-out:", err)
+			return 2
+		}
 	}
 
 	if *sabotage {
@@ -288,6 +349,7 @@ func diffProgram(prog *progen.Program, seed int64, cfgs []simConfig, opts runOpt
 		crec.Cycles = uint64(out.Cycles)
 		crec.Commits = len(out.Order)
 		crec.Aborts = out.Stats.Aborts
+		crec.Stalls = out.Stats.Stalls
 		crec.FPStalls = out.Stats.FalsePositiveStalls
 		crec.Faults = out.Faults
 		detail := oracleCheck(prog, cfg, out)
@@ -334,7 +396,9 @@ func runCfg(prog *progen.Program, cfg simConfig, seed int64, opts runOpts, cache
 		return nil, err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "difftest-v1|%s|%d|%v|%d|%d|", cfg.Name, seed, opts.Sabotage, opts.MaxCycles, opts.Watchdog)
+	// v2: core.Stats gained PossibleCycleAborts, which is serialized in
+	// the cached outcome.
+	fmt.Fprintf(h, "difftest-v2|%s|%d|%v|%d|%d|", cfg.Name, seed, opts.Sabotage, opts.MaxCycles, opts.Watchdog)
 	h.Write(pj)
 	key := "difftest-" + hex.EncodeToString(h.Sum(nil))
 	payload, _, err := cache.Do(key, func() ([]byte, error) {

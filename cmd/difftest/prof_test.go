@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"logtmse/internal/prof"
+	"logtmse/internal/progen"
+)
+
+// TestProfilerReconcilesAcrossMatrix runs progen-generated programs
+// through every matrix cell with a conflict-attribution profiler teed
+// into the event stream, and checks the attribution partition sums
+// exactly to the engine's own conflict totals in every cell — including
+// the OS cells, whose deschedules exercise summary signatures and
+// sticky carryover, and the fault cells, whose injected aborts must not
+// disturb the conflict-abort identity.
+func TestProfilerReconcilesAcrossMatrix(t *testing.T) {
+	cfgs := matrix()
+	opts := testOpts()
+	merged := prof.New()
+	for seed := int64(1); seed <= 8; seed++ {
+		prog := progen.Generate(seed, progen.DeriveGenConfig(seed))
+		for _, cfg := range cfgs {
+			p := prof.New()
+			cellOpts := opts
+			cellOpts.Extra = p
+			out, err := runSim(prog, cfg, seed, cellOpts)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cfg.Name, err)
+			}
+			if out.Err != "" {
+				t.Fatalf("seed %d %s: run failed: %s", seed, cfg.Name, out.Err)
+			}
+			st := out.Stats
+			if got := p.Attr.TotalNacks(); got != st.Stalls {
+				t.Errorf("seed %d %s: attributed NACKs %d != engine stalls %d",
+					seed, cfg.Name, got, st.Stalls)
+			}
+			if got := p.Attr.FalsePositives(); got != st.FalsePositiveStalls {
+				t.Errorf("seed %d %s: attributed false positives %d != engine %d",
+					seed, cfg.Name, got, st.FalsePositiveStalls)
+			}
+			if p.Attr.Summary != st.SummaryConflicts {
+				t.Errorf("seed %d %s: attributed summary hits %d != engine %d",
+					seed, cfg.Name, p.Attr.Summary, st.SummaryConflicts)
+			}
+			if p.ConflictAborts != st.PossibleCycleAborts {
+				t.Errorf("seed %d %s: conflict aborts %d != possible-cycle aborts %d",
+					seed, cfg.Name, p.ConflictAborts, st.PossibleCycleAborts)
+			}
+			if p.CycleAborts > p.ConflictAborts {
+				t.Errorf("seed %d %s: cycle aborts %d exceed conflict aborts %d",
+					seed, cfg.Name, p.CycleAborts, p.ConflictAborts)
+			}
+			merged.Merge(p)
+		}
+	}
+	// The sweep must actually have exercised the interesting machinery.
+	if merged.Attr.TotalNacks() == 0 {
+		t.Error("matrix sweep produced no NACKs at all")
+	}
+	if merged.Attr.FalsePositives() == 0 {
+		t.Error("matrix sweep produced no signature false positives (aliasing cells expected some)")
+	}
+}

@@ -27,6 +27,7 @@ func main() {
 	useCache := flag.Bool("cache", false, "memoize cell results by fingerprint (in-memory; output is byte-identical either way)")
 	cacheDir := flag.String("cache-dir", "", "persist cached cell results in this directory across invocations (implies -cache)")
 	cacheMetrics := flag.String("cache-metrics", "", "write the cache hit/miss/eviction counters as a metrics CSV here (summarize with txviz -metrics)")
+	serveAddr := flag.String("serve", "", "serve live /metrics and /progress on this address during the sweep")
 	flag.Parse()
 	cache := logtmse.CacheFromFlags(*useCache, *cacheDir)
 
@@ -44,6 +45,23 @@ func main() {
 	}
 
 	variants := logtmse.Figure4Variants()
+	var camp *logtmse.Campaign
+	if *serveAddr != "" {
+		camp = logtmse.NewCampaign("figure4", len(sel)*len(variants)*len(seedList))
+		if cache != nil {
+			camp.CacheStats = func() (hits, misses uint64) {
+				s := cache.Stats()
+				return s.Hits, s.Misses
+			}
+		}
+		bound, stop, err := logtmse.ServeCampaign(*serveAddr, camp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure4: -serve: %v\n", err)
+			os.Exit(2)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "serving /metrics and /progress on http://%s\n", bound)
+	}
 	fmt.Println("Figure 4: Speedup normalized to locks (higher is better)")
 	fmt.Printf("scale=%.2f seeds=%d\n\n", *scale, *seeds)
 	header := fmt.Sprintf("%-12s", "Benchmark")
@@ -54,7 +72,7 @@ func main() {
 
 	for _, name := range sel {
 		params := logtmse.DefaultParams()
-		row, err := logtmse.Figure4Cached(name, *scale, seedList, &params, *threads, *jobs, cache)
+		row, err := logtmse.Figure4Observed(name, *scale, seedList, &params, *threads, *jobs, cache, camp)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure4: %v\n", err)
 			os.Exit(1)

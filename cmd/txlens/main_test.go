@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logtmse"
+)
+
+// runArgs invokes run() in-process with a fresh flag set (flags are
+// registered inside run, so each call needs its own CommandLine).
+func runArgs(t *testing.T, args ...string) int {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	defer func() { os.Args, flag.CommandLine = oldArgs, oldFlags }()
+	flag.CommandLine = flag.NewFlagSet("txlens", flag.ContinueOnError)
+	os.Args = append([]string{"txlens"}, args...)
+	return run()
+}
+
+// TestReportReconcilesAndIsDeterministic runs a small real campaign
+// twice at different -j and checks exit status, reconciliation (a
+// mismatch exits 1), report shape, and byte-identity.
+func TestReportReconcilesAndIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.txt"), filepath.Join(dir, "b.txt")
+	args := []string{"-workload", "BerkeleyDB", "-variant", "BS_64",
+		"-scale", "0.03", "-seeds", "2", "-top", "3"}
+	if code := runArgs(t, append(args, "-j", "1", "-out", a)...); code != 0 {
+		t.Fatalf("run -j1 exited %d", code)
+	}
+	if code := runArgs(t, append(args, "-j", "8", "-out", b)...); code != 0 {
+		t.Fatalf("run -j8 exited %d", code)
+	}
+	ba, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ba) != string(bb) {
+		t.Errorf("report differs between -j1 and -j8")
+	}
+	out := string(ba)
+	for _, want := range []string{
+		"=== BerkeleyDB / BS_64",
+		"engine: commits=",
+		"reconciled: true+alias+sticky=",
+		"signature-positive attribution",
+		"hottest blocks",
+		"blame graph",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	if code := runArgs(t, "-workload", "NoSuchBench"); code != 2 {
+		t.Errorf("unknown workload exited %d, want 2", code)
+	}
+	if code := runArgs(t, "-variant", "Lock"); code != 2 {
+		t.Errorf("Lock variant exited %d, want 2 (attribution needs transactions)", code)
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	ws, err := workloadList("all")
+	if err != nil || len(ws) != 5 {
+		t.Errorf("workloadList(all) = %v, %v", ws, err)
+	}
+	vs, err := variantList("all")
+	if err != nil || len(vs) == 0 {
+		t.Fatalf("variantList(all) = %v, %v", vs, err)
+	}
+	for _, v := range vs {
+		if v.Name == "Lock" {
+			t.Errorf("variantList(all) includes the Lock baseline")
+		}
+	}
+}
+
+func TestReconcileDetectsMismatch(t *testing.T) {
+	p := logtmse.NewProfiler()
+	s := &logtmse.Stats{}
+	if err := reconcile(p, s); err != nil {
+		t.Errorf("empty profiler vs empty stats: %v", err)
+	}
+	s.Stalls = 7
+	if err := reconcile(p, s); err == nil {
+		t.Error("lost NACKs not detected")
+	}
+}

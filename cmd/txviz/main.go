@@ -109,6 +109,7 @@ func summarize(w io.Writer, doc *obs.CatapultTrace, top int) {
 	var txDur, abortDur, stallDur, walkRecords []float64
 	commits, aborts, unfinished := 0, 0, 0
 	causes := map[string]int{}
+	coreCauses := map[int]map[string]int{}
 	conflicts := map[string]*conflictStat{}
 	stat := func(addr string) *conflictStat {
 		c := conflicts[addr]
@@ -133,6 +134,10 @@ func summarize(w io.Writer, doc *obs.CatapultTrace, top int) {
 			abortDur = append(abortDur, e.Dur)
 			if c := argStr(e.Args, "cause"); c != "" {
 				causes[c]++
+				if coreCauses[e.Pid] == nil {
+					coreCauses[e.Pid] = map[string]int{}
+				}
+				coreCauses[e.Pid][c]++
 			}
 		case e.Ph == "X" && e.Name == obs.NameTxOpen:
 			unfinished++
@@ -178,6 +183,7 @@ func summarize(w io.Writer, doc *obs.CatapultTrace, top int) {
 			fmt.Fprintf(w, " %s=%d", n, causes[n])
 		}
 		fmt.Fprintln(w)
+		printCoreCauses(w, names, coreCauses)
 	}
 	printDist(w, "tx duration (cycles)", txDur)
 	printDist(w, "aborted attempt duration", abortDur)
@@ -205,6 +211,34 @@ func summarize(w io.Writer, doc *obs.CatapultTrace, top int) {
 			fmt.Fprintf(w, "  %-14s %8d %8d %8d %8d %12.0f\n",
 				c.addr, c.total(), c.nacks, c.summary, c.sticky, c.stallCycles)
 		}
+	}
+}
+
+// printCoreCauses prints the abort-cause x core breakdown: one row per
+// core (the trace's pid), one column per cause, plus a total column.
+func printCoreCauses(w io.Writer, names []string, coreCauses map[int]map[string]int) {
+	if len(coreCauses) == 0 {
+		return
+	}
+	cores := make([]int, 0, len(coreCauses))
+	for c := range coreCauses {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	fmt.Fprintf(w, "aborts by core:\n")
+	fmt.Fprintf(w, "  %-6s", "core")
+	for _, n := range names {
+		fmt.Fprintf(w, " %10s", n)
+	}
+	fmt.Fprintf(w, " %10s\n", "total")
+	for _, core := range cores {
+		fmt.Fprintf(w, "  %-6d", core)
+		total := 0
+		for _, n := range names {
+			fmt.Fprintf(w, " %10d", coreCauses[core][n])
+			total += coreCauses[core][n]
+		}
+		fmt.Fprintf(w, " %10d\n", total)
 	}
 }
 

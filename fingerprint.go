@@ -21,16 +21,21 @@ import (
 // itself (the canonical encoding covers every field by name); the
 // version exists for behavior changes that leave the config schema
 // untouched. See DESIGN.md §9 for the policy.
-const FingerprintSchemaVersion = 1
+//
+// v2: Stats gained PossibleCycleAborts (the possible_cycle abort
+// counter), changing the cached gob payload.
+const FingerprintSchemaVersion = 2
 
 // Cacheable reports whether a cell's result may be served from (or
 // stored into) a result cache. Cells with an observer attached — a
-// Tracer, an event Sink, or a Metrics registry — are excluded: their
-// value is the event stream, which the cache does not store. Stats are
-// bit-identical with observers on or off, so excluding observed cells
-// costs nothing but re-simulation time.
+// Tracer, an event Sink, a Metrics registry, a Profiler or a
+// FlightRecorder — are excluded: their value is the event stream, which
+// the cache does not store. Stats are bit-identical with observers on
+// or off, so excluding observed cells costs nothing but re-simulation
+// time.
 func Cacheable(rc RunConfig) bool {
 	return rc.Tracer == nil && rc.Sink == nil && rc.Metrics == nil &&
+		rc.Prof == nil && rc.Flight == nil &&
 		(rc.Params == nil || rc.Params.Sink == nil)
 }
 

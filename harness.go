@@ -71,6 +71,17 @@ type RunConfig struct {
 	// the coherence protocol. Nil disables instrumentation; Stats are
 	// bit-identical either way for the same seed.
 	Sink Sink
+	// Prof, if set, attaches the conflict-attribution profiler: it is
+	// teed into the lifecycle event stream (engine and protocol) and
+	// accumulates per-address conflict heatmaps, Bloom false-positive
+	// attribution, blame graphs and wasted-work accounting
+	// (internal/prof). Attribution only observes: Stats stay
+	// bit-identical with a Profiler attached.
+	Prof *Profiler
+	// Flight, if set, records recent lifecycle events into bounded
+	// per-core rings; invariant-oracle failures, watchdog trips and
+	// hung runs dump them as a postmortem.
+	Flight *FlightRecorder
 	// Metrics, if set, is attached to the system: the engine's counters
 	// are bound into Metrics.Reg and its histograms are fed during the
 	// run. MetricsInterval controls periodic time-series snapshots in
@@ -173,6 +184,7 @@ func (a Aggregate) TotalStats() Stats {
 		t.Stalls += s.Stalls
 		t.FalsePositiveStalls += s.FalsePositiveStalls
 		t.NonTxRetries += s.NonTxRetries
+		t.PossibleCycleAborts += s.PossibleCycleAborts
 		t.SummaryConflicts += s.SummaryConflicts
 		t.SMTConflicts += s.SMTConflicts
 		t.WorkUnits += s.WorkUnits
@@ -259,8 +271,8 @@ func runOneCold(rc RunConfig, seed int64) (RunResult, error) {
 	p := *rc.Params
 	p.Seed = seed
 	p.Signature = rc.Variant.Sig
-	if rc.Sink != nil {
-		p.Sink = rc.Sink
+	if sink := effectiveSink(rc, p.Sink); sink != nil {
+		p.Sink = sink
 	}
 	poolable := poolableCell(rc)
 	var sys *core.System
@@ -295,6 +307,9 @@ func runOneCold(rc RunConfig, seed int64) (RunResult, error) {
 	var chk *Checker
 	if rc.Checks.Any() {
 		chk = sys.AttachChecker(rc.Checks)
+		if rc.Flight != nil {
+			chk.SetFlightDump(rc.Flight.DumpString)
+		}
 	}
 	var inj *Injector
 	if rc.Fault.Active() {
@@ -332,9 +347,14 @@ func runOneCold(rc RunConfig, seed int64) (RunResult, error) {
 	}
 	if !sys.AllDone() {
 		// A hung run fails with a full diagnosis — per-thread transaction
-		// state and the NACK wait-for graph — not just thread names.
+		// state and the NACK wait-for graph — not just thread names. With
+		// a flight recorder attached, the last events per core follow.
+		diag := sys.Diagnose()
+		if rc.Flight != nil {
+			diag += "\n" + rc.Flight.DumpString()
+		}
 		return res, fmt.Errorf("logtmse: %s/%s seed %d: threads stuck: %v\n%s",
-			rc.Workload, rc.Variant.Name, seed, sys.Stuck(), sys.Diagnose())
+			rc.Workload, rc.Variant.Name, seed, sys.Stuck(), diag)
 	}
 	if err := inst.Verify(sys); err != nil {
 		return res, fmt.Errorf("logtmse: %s/%s seed %d: %w",
@@ -376,7 +396,7 @@ func Run(rc RunConfig) (Aggregate, error) {
 	rc = rc.withDefaults()
 	agg := Aggregate{Workload: rc.Workload, Variant: rc.Variant}
 	jobs := rc.Jobs
-	if rc.Tracer != nil || rc.Sink != nil || rc.Metrics != nil {
+	if rc.Tracer != nil || rc.Sink != nil || rc.Metrics != nil || rc.Prof != nil || rc.Flight != nil {
 		// Observers are shared across seeds; keep their event streams
 		// serial and in seed order.
 		jobs = 1
@@ -423,6 +443,14 @@ func Figure4(workloadName string, scale float64, seeds []int64, params *Params, 
 // simulating. Submission order, and therefore the row, is byte-identical
 // with or without a cache.
 func Figure4Cached(workloadName string, scale float64, seeds []int64, params *Params, threads, jobs int, cache *ResultCache) (Figure4Row, error) {
+	return Figure4Observed(workloadName, scale, seeds, params, threads, jobs, cache, nil)
+}
+
+// Figure4Observed is Figure4Cached with live campaign telemetry: each
+// cell reports its in-flight/done transitions and headline counters to
+// camp while the row computes (nil camp behaves exactly like
+// Figure4Cached — telemetry observes scheduling, never results).
+func Figure4Observed(workloadName string, scale float64, seeds []int64, params *Params, threads, jobs int, cache *ResultCache, camp *Campaign) (Figure4Row, error) {
 	row := Figure4Row{
 		Workload: workloadName,
 		Speedup:  make(map[string]float64),
@@ -432,14 +460,24 @@ func Figure4Cached(workloadName string, scale float64, seeds []int64, params *Pa
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3}
 	}
+	var begin, end func(i int)
+	if camp != nil {
+		begin, end = camp.Hooks()
+	}
 	variants := Figure4Variants()
-	outs := sweep.Map(len(variants)*len(seeds), jobs, func(i int) seedOut {
+	outs := sweep.MapNotify(len(variants)*len(seeds), jobs, begin, end, func(i int) seedOut {
 		rc := RunConfig{
 			Workload: workloadName, Variant: variants[i/len(seeds)],
 			Scale: scale, Seeds: seeds, Params: params, Threads: threads,
 			Cache: cache,
 		}
 		r, err := RunOne(rc.withDefaults(), seeds[i%len(seeds)])
+		if camp != nil {
+			camp.RecordRun(r.Stats.Commits, r.Stats.Aborts, r.Stats.Stalls)
+			if err != nil {
+				camp.FailCell()
+			}
+		}
 		return seedOut{r: r, err: err}
 	})
 	// variants[0] is Lock: the baseline aggregate is assembled once here

@@ -102,6 +102,12 @@ type Nacker struct {
 	// context (original LogTM's conservative overflow rule) rather than
 	// a signature or R/W-bit match.
 	Overflow bool
+	// Sticky is set when the NACKer's L1 no longer caches the block at
+	// check time: its conflict-detection state outlived cache residency
+	// (a sticky owner, a victimized or relocated transactional block) —
+	// the decoupling the paper's §3.1/§4.2 design pays for. The protocol
+	// sets it; the engine's own same-core (SMT) checks never do.
+	Sticky bool
 }
 
 // Hooks is implemented by the transactional engine; the protocol calls
@@ -445,6 +451,9 @@ func (s *System) gets(req Request, e *dirEntry, bank int, lat sim.Cycle) AccessR
 		lat += s.p.Grid.Latency(s.p.Grid.BankNode(bank), s.p.Grid.CoreNode(owner)) +
 			s.p.CheckLat + s.p.Grid.CoreToCore(owner, req.Core)
 		if nackers := s.hooks.SignatureCheck(owner, req); len(nackers) > 0 {
+			if s.l1[owner].Peek(a) == cache.Invalid {
+				markSticky(nackers)
+			}
 			s.stats.NACKs++
 			return AccessResult{Latency: lat, NACK: true, Nackers: nackers}
 		}
@@ -681,10 +690,25 @@ func (s *System) allCores(int) []int {
 func (s *System) checkCores(cores []int, req Request) []Nacker {
 	nackers := s.nackBuf[:0]
 	for _, c := range cores {
-		nackers = append(nackers, s.hooks.SignatureCheck(c, req)...)
+		ns := s.hooks.SignatureCheck(c, req)
+		if len(ns) > 0 && s.l1[c].Peek(req.Addr) == cache.Invalid {
+			// The core's signature NACKed a block it no longer caches:
+			// sticky/victimized carryover. Peek is side-effect-free, so
+			// the classification never perturbs protocol state.
+			markSticky(ns)
+		}
+		nackers = append(nackers, ns...)
 	}
 	s.nackBuf = nackers
 	return nackers
+}
+
+// markSticky flags every NACKer of one core's check as a sticky
+// (signature-outlived-cache) conflict.
+func markSticky(ns []Nacker) {
+	for i := range ns {
+		ns[i].Sticky = true
+	}
 }
 
 // anySignatureMember reports whether any core other than the requesting

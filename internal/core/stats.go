@@ -32,6 +32,11 @@ type Stats struct {
 	FPEpisodes    uint64
 	// NonTxRetries counts NACKs received by non-transactional requesters.
 	NonTxRetries uint64
+	// PossibleCycleAborts counts aborts taken by the ResolveStallAbort
+	// policy's possible_cycle rule: NACKed by an older transaction while
+	// the requester had itself NACKed an older one (LogTM's conservative
+	// deadlock-avoidance trigger). A subset of Aborts.
+	PossibleCycleAborts uint64
 	// SummaryConflicts counts memory references that hit the summary
 	// signature (conflicts with descheduled transactions).
 	SummaryConflicts uint64

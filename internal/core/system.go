@@ -178,6 +178,7 @@ func (s *System) AttachMetrics(m *obs.CoreMetrics, every sim.Cycle) {
 	reg.CounterFunc("tx.aborts", func() uint64 { return s.stats.Aborts })
 	reg.CounterFunc("tx.stalls", func() uint64 { return s.stats.Stalls })
 	reg.CounterFunc("tx.stall_episodes", func() uint64 { return s.stats.StallEpisodes })
+	reg.CounterFunc("tx.possible_cycle_aborts", func() uint64 { return s.stats.PossibleCycleAborts })
 	reg.CounterFunc("tx.fp_episodes", func() uint64 { return s.stats.FPEpisodes })
 	reg.CounterFunc("tx.summary_conflicts", func() uint64 { return s.stats.SummaryConflicts })
 	reg.CounterFunc("tx.smt_conflicts", func() uint64 { return s.stats.SMTConflicts })
@@ -1137,12 +1138,16 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 	allFalse := true
 	allOverflow := len(nackers) > 0
 	olderNacker := false
+	anySticky := false
 	for _, n := range nackers {
 		if !n.FalsePositive {
 			allFalse = false
 		}
 		if !n.Overflow {
 			allOverflow = false
+		}
+		if n.Sticky {
+			anySticky = true
 		}
 		if n.Timestamp != 0 && n.Timestamp < t.ts {
 			olderNacker = true
@@ -1159,7 +1164,20 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 	}
 	if s.Sink != nil {
 		pa := t.PT.Translate(r.va).Block()
-		s.emit(obs.KindNack, t, obs.CauseNone, t.depth, pa, uint64(len(nackers)), 0)
+		flags := nackFlags(allFalse, anySticky, allOverflow, op)
+		s.emit(obs.KindNack, t, obs.CauseNone, t.depth, pa, uint64(len(nackers)), flags)
+		// One who-blocks-whom edge per NACKer, resolved to the blocking
+		// software thread the same way waitingOn is.
+		for _, n := range nackers {
+			blocker := obs.EdgeNoTID
+			if n.Core >= 0 && n.Core < len(s.ctxs) && n.Thread >= 0 && n.Thread < s.P.ThreadsPerCore {
+				if o := s.ctxs[n.Core][n.Thread].Cur; o != nil {
+					blocker = uint64(o.ID)
+				}
+			}
+			s.emit(obs.KindConflictEdge, t, obs.CauseNone, t.depth, pa, blocker,
+				nackFlags(n.FalsePositive, n.Sticky, n.Overflow, op)|obs.EdgeBlocker(n.Core, n.Thread))
+		}
 		if !r.retrying {
 			s.emit(obs.KindStallStart, t, obs.CauseNone, t.depth, pa, uint64(len(nackers)), 0)
 		}
@@ -1183,6 +1201,7 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 		}
 	default: // ResolveStallAbort, LogTM's possible_cycle rule
 		if olderNacker && t.possibleCycle {
+			s.stats.PossibleCycleAborts++
 			s.abort(t, cause)
 			return
 		}
@@ -1201,6 +1220,25 @@ func (s *System) resolveNACK(t *Thread, r request, op sig.Op, nackers []coherenc
 		}
 	}
 	s.scheduleRetry(t, retry, op)
+}
+
+// nackFlags packs the attribution classification bits of a NACK (or of
+// one NACKer, for conflict edges) into an event Arg2.
+func nackFlags(falsePos, sticky, overflow bool, op sig.Op) uint64 {
+	var f uint64
+	if falsePos {
+		f |= obs.NackAllFalse
+	}
+	if sticky {
+		f |= obs.NackSticky
+	}
+	if overflow {
+		f |= obs.NackAllOverflow
+	}
+	if op == sig.Write {
+		f |= obs.NackWrite
+	}
+	return f
 }
 
 // scheduleRetry re-issues a NACKed request after the backoff delay. The

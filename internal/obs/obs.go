@@ -39,6 +39,11 @@ const (
 	KindTxAbort
 	// KindNack is one NACKed coherence request by a transactional
 	// requester; Addr is the conflicting block and Arg the NACKer count.
+	// Arg2 packs the attribution classification of the NACK (see the
+	// NackFlag constants): whether every NACKer matched only by
+	// signature aliasing, whether any NACKer's signature outlived its
+	// cache residency (sticky carryover), whether every NACKer was an
+	// overflowed context, and whether the request was a write.
 	KindNack
 	// KindStallStart opens a stall episode: the first NACK of a memory
 	// operation. Addr is the conflicting block, Arg the NACKer count.
@@ -64,8 +69,53 @@ const (
 	// the fault class (internal/fault.Class) and Addr the block involved,
 	// when the fault has one.
 	KindFaultInject
+	// KindConflictEdge is one who-blocks-whom edge of a NACK: the engine
+	// emits one per NACKer, immediately after the KindNack event of the
+	// same request (same Cycle, same TID). Addr is the conflicting
+	// block, Arg the blocking transaction's software thread id
+	// (EdgeNoTID when the blocker's context is unresolvable), and Arg2
+	// packs the per-NACKer classification plus the blocker's hardware
+	// context (see the NackFlag constants and EdgeBlocker).
+	KindConflictEdge
 	kindMax
 )
+
+// NackFlag bits carried in Arg2 of KindNack (request-level, aggregated
+// over all NACKers) and KindConflictEdge (per-NACKer) events.
+const (
+	// NackAllFalse: the request's NACK was pure signature aliasing —
+	// every NACKer matched by signature but none by exact set.
+	// On a KindConflictEdge the bit is per-NACKer: this blocker's match
+	// was a false positive.
+	NackAllFalse uint64 = 1 << 0
+	// NackSticky: a NACKer's signature matched a block its L1 no longer
+	// caches — isolation state outliving cache residency, the sticky-
+	// set/victimized-block carryover of §3.1/§4.2. On KindNack the bit
+	// is set when ANY NACKer was sticky; on KindConflictEdge it is
+	// per-NACKer.
+	NackSticky uint64 = 1 << 1
+	// NackAllOverflow: every NACKer was an overflowed CDCacheBits
+	// context (per-NACKer on a KindConflictEdge).
+	NackAllOverflow uint64 = 1 << 2
+	// NackWrite: the NACKed request was a write (GETM/upgrade).
+	NackWrite uint64 = 1 << 3
+)
+
+// EdgeNoTID is the Arg value of a KindConflictEdge whose blocking
+// context could not be resolved to a software thread.
+const EdgeNoTID = ^uint64(0)
+
+// EdgeBlocker packs a blocker's hardware context into the high bits of
+// a KindConflictEdge Arg2; DecodeEdgeBlocker recovers it.
+func EdgeBlocker(core, thread int) uint64 {
+	return uint64(uint16(core))<<16 | uint64(uint16(thread))<<32
+}
+
+// DecodeEdgeBlocker unpacks the blocking core and thread context from a
+// KindConflictEdge Arg2.
+func DecodeEdgeBlocker(arg2 uint64) (core, thread int) {
+	return int(int16(arg2 >> 16)), int(int16(arg2 >> 32))
+}
 
 var kindNames = [...]string{
 	KindTxBegin:         "tx-begin",
@@ -79,6 +129,7 @@ var kindNames = [...]string{
 	KindSummaryConflict: "summary-conflict",
 	KindStickyForward:   "sticky-forward",
 	KindFaultInject:     "fault-inject",
+	KindConflictEdge:    "conflict-edge",
 }
 
 func (k Kind) String() string {

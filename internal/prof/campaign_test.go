@@ -1,0 +1,114 @@
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"logtmse/internal/obs"
+)
+
+func TestCampaignCountersAndMetrics(t *testing.T) {
+	c := NewCampaign("unit", 4)
+	begin, end := c.Hooks()
+	begin(0)
+	begin(1)
+	c.RecordRun(100, 10, 50)
+	end(0)
+	c.RecordRun(200, 5, 25)
+	c.FailCell()
+	end(1)
+	c.CacheStats = func() (uint64, uint64) { return 3, 1 }
+	sink := c.CountAborts()
+	sink.Emit(obs.Event{Kind: obs.KindTxAbort, Cause: obs.CauseConflict})
+	sink.Emit(obs.Event{Kind: obs.KindTxAbort, Cause: obs.CauseConflict})
+	sink.Emit(obs.Event{Kind: obs.KindTxAbort, Cause: obs.CauseStarvation})
+	sink.Emit(obs.Event{Kind: obs.KindTxCommit}) // ignored
+
+	var sb strings.Builder
+	c.WriteMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"logtmse_cells_total 4",
+		"logtmse_cells_done 2",
+		"logtmse_cells_cached 3",
+		"logtmse_cells_in_flight 0",
+		"logtmse_cells_failed 1",
+		"logtmse_commits_total 300",
+		"logtmse_aborts_total 15",
+		"logtmse_stalls_total 75",
+		`logtmse_aborts_by_cause_total{cause="conflict"} 2`,
+		`logtmse_aborts_by_cause_total{cause="starvation"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Every sample line is preceded by HELP/TYPE comments (well-formed
+	// exposition shape: no naked samples).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	seenType := map[string]bool{}
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# TYPE ") {
+			seenType[strings.Fields(ln)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		name := ln
+		if i := strings.IndexAny(ln, "{ "); i >= 0 {
+			name = ln[:i]
+		}
+		if !seenType[name] {
+			t.Errorf("sample %q has no preceding TYPE declaration", ln)
+		}
+	}
+}
+
+func TestCampaignProgressEndpoints(t *testing.T) {
+	c := NewCampaign("serve", 2)
+	c.StartCell()
+	c.RecordRun(7, 3, 9)
+	c.DoneCell()
+	c.AddAbortCause(obs.CauseConflict)
+
+	bound, stop, err := Serve("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer stop()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + bound + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return body
+	}
+
+	var p progress
+	if err := json.Unmarshal(get("/progress"), &p); err != nil {
+		t.Fatalf("progress JSON: %v", err)
+	}
+	if p.Name != "serve" || p.Total != 2 || p.Done != 1 || p.InFlight != 0 ||
+		p.Commits != 7 || p.Aborts != 3 || p.Stalls != 9 {
+		t.Errorf("progress = %+v", p)
+	}
+	if p.AbortCauses["conflict"] != 1 {
+		t.Errorf("abort causes = %v", p.AbortCauses)
+	}
+	if m := string(get("/metrics")); !strings.Contains(m, "logtmse_commits_total 7") {
+		t.Errorf("/metrics missing commit total:\n%s", m)
+	}
+}

@@ -1,0 +1,620 @@
+// Package prof is the conflict-attribution layer of the simulator: a
+// set of obs.Sink implementations that turn the raw lifecycle event
+// stream into explanations — which addresses cause NACKs, stalls and
+// aborts (per-block and per-page heatmaps, split by requester,
+// responder and transaction phase), which signature positives are real
+// conflicts versus Bloom aliases versus sticky-set carryover versus
+// summary-signature hits, who blocks whom over time (blame graphs,
+// detected deadlock cycles, critical-path stall chains), and how much
+// work each abort cause throws away.
+//
+// Like every obs sink, attribution only observes: it adds no latency,
+// draws no randomness and schedules nothing, so Stats stay
+// bit-identical with a Profiler attached, and the steady-state Emit
+// path allocates nothing (guarded by tests). Every accumulated counter
+// reconciles exactly against the engine's own Stats:
+//
+//	True + Alias + Sticky          == Stats.Stalls
+//	Alias + Sticky                 == Stats.FalsePositiveStalls
+//	Summary                        == Stats.SummaryConflicts
+//	ConflictAborts (+overflow)     == Stats.PossibleCycleAborts (ResolveStallAbort)
+//	CycleAborts                    <= Stats.PossibleCycleAborts (the rule is conservative)
+//
+// The classification partitions every NACK of a transactional
+// requester: a NACK where at least one NACKer matched the exact
+// read/write sets is a true conflict; a NACK where every NACKer matched
+// only by signature is a Bloom alias, unless some NACKer's signature
+// matched a block its L1 no longer cached, in which case the stall is
+// sticky-set carryover — the cost of decoupling conflict detection from
+// the caches. Summary-signature hits are counted separately (they are
+// not stalls; the requester traps or backs off).
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/obs"
+	"logtmse/internal/sim"
+)
+
+// Attribution partitions signature-positive conflict checks.
+type Attribution struct {
+	// True: at least one NACKer had a real exact-set conflict.
+	True uint64
+	// Alias: every NACKer matched by signature aliasing alone.
+	Alias uint64
+	// Sticky: pure aliasing where some NACKer's signature had outlived
+	// its cache residency (sticky-set / victimized-block carryover).
+	Sticky uint64
+	// Summary: hits on a descheduled transaction's summary signature.
+	Summary uint64
+}
+
+// BlockStat accumulates conflict activity on one cache block.
+type BlockStat struct {
+	// Nacks counts NACKs of transactional requesters on the block;
+	// True/Alias/Sticky partition them (see Attribution).
+	Nacks, True, Alias, Sticky uint64
+	// OuterNacks/NestedNacks split Nacks by the requester's transaction
+	// phase (outermost frame vs. a nested one).
+	OuterNacks, NestedNacks uint64
+	// ReadNacks/WriteNacks split Nacks by request type.
+	ReadNacks, WriteNacks uint64
+	// Summary counts summary-signature hits on the block.
+	Summary uint64
+	// StickyForwards counts directory forwards to a sticky owner.
+	StickyForwards uint64
+	// StallCycles sums stall-episode durations whose episode last
+	// NACKed on this block.
+	StallCycles uint64
+	// Aborts counts conflict-resolution aborts whose aborting thread
+	// last NACKed on this block.
+	Aborts uint64
+	// ByRequester / ByResponder count NACKs per requesting core and per
+	// NACK-producing (responder) core.
+	ByRequester map[int]uint64
+	ByResponder map[int]uint64
+}
+
+// Edge is one who-blocks-whom pair of software threads.
+type Edge struct {
+	From, To int // From waits on To
+}
+
+// WasteStat accounts work discarded by aborts of one cause.
+type WasteStat struct {
+	Aborts uint64
+	// Cycles discarded: outermost-begin to abort, summed over outermost
+	// aborts (mirrors the engine's AbortedTxCycles histogram).
+	Cycles uint64
+	// Records is the number of undo-log records walked back.
+	Records uint64
+}
+
+// tidState is the per-software-thread live state of the attribution.
+type tidState struct {
+	waiting     []int // blocker tids of the most recent NACK
+	stalling    bool
+	inTx        bool
+	beginCycle  sim.Cycle
+	lastBlock   addr.PAddr
+	hasBlock    bool
+	chainDepth  int
+	chainCycles uint64
+}
+
+// Profiler is an obs.Sink that accumulates conflict attribution. It
+// must be driven from a single goroutine (the simulation's), like every
+// sink; merge per-cell Profilers with Merge for parallel sweeps.
+type Profiler struct {
+	Attr Attribution
+
+	blocks map[addr.PAddr]*BlockStat
+	edges  map[Edge]uint64
+
+	// Wasted indexes discarded-work accounting by abort cause.
+	Wasted [8]WasteStat
+
+	// ConflictAborts counts aborts with cause conflict or overflow —
+	// under ResolveStallAbort, exactly the possible_cycle rule firing.
+	ConflictAborts uint64
+	// CycleAborts counts ConflictAborts where the aborting thread sat
+	// on a cycle of the blame graph at abort time: the conservative
+	// possible_cycle triggers that a precise detector would also have
+	// taken. CycleAborts <= the engine's Stats.PossibleCycleAborts.
+	CycleAborts uint64
+
+	// MaxChainDepth is the deepest observed transitive stall chain (a
+	// stalled thread waiting on a stalled thread waiting on ...);
+	// MaxChainCycles is the largest transitively accumulated stall time
+	// along such a chain — the critical-path cost of a convoy.
+	MaxChainDepth  int
+	MaxChainCycles uint64
+
+	// Events counts every event seen (diagnostics).
+	Events uint64
+
+	tids []tidState
+
+	// DFS scratch (epoch-tagged visited marks; no per-abort clearing).
+	epoch    uint64
+	seen     []uint64
+	dfsStack []int
+}
+
+// New returns an empty Profiler.
+func New() *Profiler {
+	return &Profiler{
+		blocks: make(map[addr.PAddr]*BlockStat),
+		edges:  make(map[Edge]uint64),
+	}
+}
+
+// tid returns the per-thread state, growing the table on first sight.
+func (p *Profiler) tid(id int) *tidState {
+	if id >= len(p.tids) {
+		grown := make([]tidState, id+1)
+		copy(grown, p.tids)
+		p.tids = grown
+		if len(p.seen) < len(p.tids) {
+			s := make([]uint64, id+1)
+			copy(s, p.seen)
+			p.seen = s
+		}
+	}
+	return &p.tids[id]
+}
+
+// block returns the per-block accumulator, creating it on first sight.
+func (p *Profiler) block(a addr.PAddr) *BlockStat {
+	b := p.blocks[a]
+	if b == nil {
+		b = &BlockStat{
+			ByRequester: make(map[int]uint64),
+			ByResponder: make(map[int]uint64),
+		}
+		p.blocks[a] = b
+	}
+	return b
+}
+
+// Emit consumes one lifecycle event. Steady-state calls allocate
+// nothing: per-thread state lives in a grown-once table and per-block
+// accumulators are created on first touch only.
+func (p *Profiler) Emit(e obs.Event) {
+	p.Events++
+	switch e.Kind {
+	case obs.KindTxBegin:
+		if e.TID < 0 {
+			return
+		}
+		t := p.tid(e.TID)
+		if e.Depth == 1 {
+			t.beginCycle = e.Cycle
+			t.inTx = true
+		}
+	case obs.KindNack:
+		p.onNack(e)
+	case obs.KindConflictEdge:
+		p.onEdge(e)
+	case obs.KindStallStart:
+		if e.TID < 0 {
+			return
+		}
+		t := p.tid(e.TID)
+		t.stalling = true
+		// Chain depth: one more than the deepest currently stalling
+		// blocker (the edges of this NACK were just recorded).
+		depth := 1
+		for _, b := range t.waiting {
+			if b < len(p.tids) && p.tids[b].stalling && p.tids[b].chainDepth+1 > depth {
+				depth = p.tids[b].chainDepth + 1
+			}
+		}
+		t.chainDepth = depth
+		if depth > p.MaxChainDepth {
+			p.MaxChainDepth = depth
+		}
+	case obs.KindStallEnd:
+		if e.TID < 0 {
+			return
+		}
+		t := p.tid(e.TID)
+		if t.hasBlock {
+			p.block(t.lastBlock).StallCycles += e.Arg
+		}
+		// Critical-path accumulation: this episode's cycles plus the
+		// largest transitive stall time among blockers still stalling.
+		cc := e.Arg
+		var worst uint64
+		for _, b := range t.waiting {
+			if b < len(p.tids) && p.tids[b].stalling && p.tids[b].chainCycles > worst {
+				worst = p.tids[b].chainCycles
+			}
+		}
+		cc += worst
+		if cc > t.chainCycles {
+			t.chainCycles = cc
+		}
+		if t.chainCycles > p.MaxChainCycles {
+			p.MaxChainCycles = t.chainCycles
+		}
+		t.stalling = false
+		t.chainDepth = 0
+		// The wait set is NOT cleared here: the engine closes the stall
+		// episode before emitting the abort event, and the cycle check
+		// at abort needs the edges of the thread's final NACK. A fresh
+		// NACK, a commit or the abort itself resets them.
+	case obs.KindTxCommit:
+		if e.TID < 0 || e.Depth != 1 {
+			return
+		}
+		t := p.tid(e.TID)
+		t.inTx = false
+		t.stalling = false
+		t.chainDepth = 0
+		t.chainCycles = 0
+		t.waiting = t.waiting[:0]
+		t.hasBlock = false
+	case obs.KindTxAbort:
+		p.onAbort(e)
+	case obs.KindSummaryConflict:
+		p.Attr.Summary++
+		p.block(e.Addr).Summary++
+	case obs.KindStickyForward:
+		p.block(e.Addr).StickyForwards++
+	}
+}
+
+func (p *Profiler) onNack(e obs.Event) {
+	b := p.block(e.Addr)
+	b.Nacks++
+	switch {
+	case e.Arg2&obs.NackAllFalse == 0:
+		p.Attr.True++
+		b.True++
+	case e.Arg2&obs.NackSticky != 0:
+		p.Attr.Sticky++
+		b.Sticky++
+	default:
+		p.Attr.Alias++
+		b.Alias++
+	}
+	if e.Depth > 1 {
+		b.NestedNacks++
+	} else {
+		b.OuterNacks++
+	}
+	if e.Arg2&obs.NackWrite != 0 {
+		b.WriteNacks++
+	} else {
+		b.ReadNacks++
+	}
+	if e.Core >= 0 {
+		b.ByRequester[e.Core]++
+	}
+	if e.TID >= 0 {
+		t := p.tid(e.TID)
+		t.lastBlock, t.hasBlock = e.Addr, true
+		// A fresh NACK replaces the previous wait set; the edges of
+		// this request follow immediately in the stream.
+		t.waiting = t.waiting[:0]
+	}
+}
+
+func (p *Profiler) onEdge(e obs.Event) {
+	respCore, _ := obs.DecodeEdgeBlocker(e.Arg2)
+	if respCore >= 0 {
+		p.block(e.Addr).ByResponder[respCore]++
+	}
+	if e.TID < 0 || e.Arg == obs.EdgeNoTID {
+		return
+	}
+	blocker := int(e.Arg)
+	p.edges[Edge{From: e.TID, To: blocker}]++
+	t := p.tid(e.TID)
+	t.waiting = append(t.waiting, blocker)
+	p.tid(blocker) // ensure the DFS can index it
+}
+
+func (p *Profiler) onAbort(e obs.Event) {
+	if int(e.Cause) < len(p.Wasted) {
+		w := &p.Wasted[e.Cause]
+		w.Aborts++
+		w.Records += e.Arg
+	}
+	if e.TID < 0 {
+		return
+	}
+	t := p.tid(e.TID)
+	if e.Cause == obs.CauseConflict || e.Cause == obs.CauseOverflow {
+		p.ConflictAborts++
+		if p.inCycle(e.TID) {
+			p.CycleAborts++
+		}
+		if t.hasBlock {
+			p.block(t.lastBlock).Aborts++
+		}
+	}
+	if e.Depth == 0 {
+		// Outermost abort: the whole attempt since begin is wasted.
+		if t.inTx && int(e.Cause) < len(p.Wasted) {
+			p.Wasted[e.Cause].Cycles += uint64(e.Cycle - t.beginCycle)
+		}
+		t.inTx = false
+		t.hasBlock = false
+		t.chainCycles = 0
+	}
+	t.stalling = false
+	t.chainDepth = 0
+	t.waiting = t.waiting[:0]
+}
+
+// inCycle reports whether tid can reach itself over the current blame
+// edges (the waiting sets). Iterative DFS with epoch-tagged visit marks:
+// no allocation in steady state.
+func (p *Profiler) inCycle(tid int) bool {
+	p.epoch++
+	st := p.dfsStack[:0]
+	st = append(st, p.tids[tid].waiting...)
+	for len(st) > 0 {
+		n := st[len(st)-1]
+		st = st[:len(st)-1]
+		if n == tid {
+			p.dfsStack = st[:0]
+			return true
+		}
+		if n < 0 || n >= len(p.tids) || p.seen[n] == p.epoch {
+			continue
+		}
+		p.seen[n] = p.epoch
+		st = append(st, p.tids[n].waiting...)
+	}
+	p.dfsStack = st[:0]
+	return false
+}
+
+// WaitingOn exposes the current blame edges of one thread (tests).
+func (p *Profiler) WaitingOn(tid int) []int {
+	if tid < 0 || tid >= len(p.tids) {
+		return nil
+	}
+	return p.tids[tid].waiting
+}
+
+// Blocks returns the per-block accumulators keyed by block address.
+func (p *Profiler) Blocks() map[addr.PAddr]*BlockStat { return p.blocks }
+
+// Edges returns the cumulative who-blocks-whom edge counts.
+func (p *Profiler) Edges() map[Edge]uint64 { return p.edges }
+
+// Merge folds another Profiler's accumulated totals into p (used to
+// combine per-cell profilers of a parallel sweep; the result is
+// independent of merge order for every counter, and maxima take the
+// max).
+func (p *Profiler) Merge(o *Profiler) {
+	p.Attr.True += o.Attr.True
+	p.Attr.Alias += o.Attr.Alias
+	p.Attr.Sticky += o.Attr.Sticky
+	p.Attr.Summary += o.Attr.Summary
+	for a, ob := range o.blocks {
+		b := p.block(a)
+		b.Nacks += ob.Nacks
+		b.True += ob.True
+		b.Alias += ob.Alias
+		b.Sticky += ob.Sticky
+		b.OuterNacks += ob.OuterNacks
+		b.NestedNacks += ob.NestedNacks
+		b.ReadNacks += ob.ReadNacks
+		b.WriteNacks += ob.WriteNacks
+		b.Summary += ob.Summary
+		b.StickyForwards += ob.StickyForwards
+		b.StallCycles += ob.StallCycles
+		b.Aborts += ob.Aborts
+		for c, n := range ob.ByRequester {
+			b.ByRequester[c] += n
+		}
+		for c, n := range ob.ByResponder {
+			b.ByResponder[c] += n
+		}
+	}
+	for e, n := range o.edges {
+		p.edges[e] += n
+	}
+	for i := range p.Wasted {
+		p.Wasted[i].Aborts += o.Wasted[i].Aborts
+		p.Wasted[i].Cycles += o.Wasted[i].Cycles
+		p.Wasted[i].Records += o.Wasted[i].Records
+	}
+	p.ConflictAborts += o.ConflictAborts
+	p.CycleAborts += o.CycleAborts
+	if o.MaxChainDepth > p.MaxChainDepth {
+		p.MaxChainDepth = o.MaxChainDepth
+	}
+	if o.MaxChainCycles > p.MaxChainCycles {
+		p.MaxChainCycles = o.MaxChainCycles
+	}
+	p.Events += o.Events
+}
+
+// TotalNacks returns the attributed NACK total (== engine Stalls).
+func (a Attribution) TotalNacks() uint64 { return a.True + a.Alias + a.Sticky }
+
+// FalsePositives returns the pure-aliasing total (== engine
+// FalsePositiveStalls).
+func (a Attribution) FalsePositives() uint64 { return a.Alias + a.Sticky }
+
+// --- report -------------------------------------------------------------------
+
+// pct formats n as a percentage of total.
+func pct(n, total uint64) string {
+	if total == 0 {
+		return "    -"
+	}
+	return fmt.Sprintf("%4.1f%%", 100*float64(n)/float64(total))
+}
+
+// Report writes the deterministic attribution report: the signature-
+// positive partition, the hottest blocks and pages, the heaviest blame
+// edges, wasted-work accounting and stall-chain extremes. top bounds
+// each table (<= 0 means 10).
+func (p *Profiler) Report(w io.Writer, top int) {
+	if top <= 0 {
+		top = 10
+	}
+	total := p.Attr.TotalNacks()
+	fmt.Fprintf(w, "signature-positive attribution (NACKs of transactional requesters)\n")
+	fmt.Fprintf(w, "  true conflicts      %10d  %s\n", p.Attr.True, pct(p.Attr.True, total))
+	fmt.Fprintf(w, "  bloom aliases       %10d  %s\n", p.Attr.Alias, pct(p.Attr.Alias, total))
+	fmt.Fprintf(w, "  sticky carryover    %10d  %s\n", p.Attr.Sticky, pct(p.Attr.Sticky, total))
+	fmt.Fprintf(w, "  total               %10d\n", total)
+	fmt.Fprintf(w, "  summary-sig hits    %10d  (separate: trap/backoff, not stalls)\n", p.Attr.Summary)
+
+	p.reportBlocks(w, top)
+	p.reportPages(w, top)
+	p.reportEdges(w, top)
+	p.reportWaste(w)
+	fmt.Fprintf(w, "stall chains\n")
+	fmt.Fprintf(w, "  max chain depth     %10d threads\n", p.MaxChainDepth)
+	fmt.Fprintf(w, "  max chain cycles    %10d\n", p.MaxChainCycles)
+}
+
+// sortedBlocks returns block addresses by descending NACK count
+// (address ascending on ties: deterministic).
+func (p *Profiler) sortedBlocks() []addr.PAddr {
+	keys := make([]addr.PAddr, 0, len(p.blocks))
+	for a := range p.blocks {
+		keys = append(keys, a)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		bi, bj := p.blocks[keys[i]], p.blocks[keys[j]]
+		hi, hj := bi.Nacks+bi.Summary+bi.StickyForwards, bj.Nacks+bj.Summary+bj.StickyForwards
+		if hi != hj {
+			return hi > hj
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+func coreSplit(m map[int]uint64) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	cores := make([]int, 0, len(m))
+	for c := range m {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	s := ""
+	for i, c := range cores {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("c%d:%d", c, m[c])
+	}
+	return s
+}
+
+func (p *Profiler) reportBlocks(w io.Writer, top int) {
+	keys := p.sortedBlocks()
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "hottest blocks (nacks true/alias/sticky, phase outer/nested, r/w, stall cycles, aborts)\n")
+	for i, a := range keys {
+		if i >= top {
+			fmt.Fprintf(w, "  ... %d more blocks\n", len(keys)-top)
+			break
+		}
+		b := p.blocks[a]
+		fmt.Fprintf(w, "  %-14v nacks=%-7d t/a/s=%d/%d/%d outer/nested=%d/%d r/w=%d/%d summary=%d stickyfwd=%d stall=%d aborts=%d\n",
+			a, b.Nacks, b.True, b.Alias, b.Sticky, b.OuterNacks, b.NestedNacks,
+			b.ReadNacks, b.WriteNacks, b.Summary, b.StickyForwards, b.StallCycles, b.Aborts)
+		fmt.Fprintf(w, "                 requesters: %s\n", coreSplit(b.ByRequester))
+		fmt.Fprintf(w, "                 responders: %s\n", coreSplit(b.ByResponder))
+	}
+}
+
+func (p *Profiler) reportPages(w io.Writer, top int) {
+	if len(p.blocks) == 0 {
+		return
+	}
+	type pageStat struct {
+		nacks, stall uint64
+		blocks       int
+	}
+	pages := make(map[addr.PAddr]*pageStat)
+	for a, b := range p.blocks {
+		pg := pages[a.Page()]
+		if pg == nil {
+			pg = &pageStat{}
+			pages[a.Page()] = pg
+		}
+		pg.nacks += b.Nacks
+		pg.stall += b.StallCycles
+		pg.blocks++
+	}
+	keys := make([]addr.PAddr, 0, len(pages))
+	for a := range pages {
+		keys = append(keys, a)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if pages[keys[i]].nacks != pages[keys[j]].nacks {
+			return pages[keys[i]].nacks > pages[keys[j]].nacks
+		}
+		return keys[i] < keys[j]
+	})
+	fmt.Fprintf(w, "hottest pages\n")
+	for i, a := range keys {
+		if i >= top {
+			fmt.Fprintf(w, "  ... %d more pages\n", len(keys)-top)
+			break
+		}
+		pg := pages[a]
+		fmt.Fprintf(w, "  %-14v nacks=%-8d stall=%-10d conflicting-blocks=%d\n", a, pg.nacks, pg.stall, pg.blocks)
+	}
+}
+
+func (p *Profiler) reportEdges(w io.Writer, top int) {
+	if len(p.edges) == 0 {
+		return
+	}
+	keys := make([]Edge, 0, len(p.edges))
+	for e := range p.edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if p.edges[keys[i]] != p.edges[keys[j]] {
+			return p.edges[keys[i]] > p.edges[keys[j]]
+		}
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	fmt.Fprintf(w, "blame graph (who waits on whom; %d edges)\n", len(keys))
+	for i, e := range keys {
+		if i >= top {
+			fmt.Fprintf(w, "  ... %d more edges\n", len(keys)-top)
+			break
+		}
+		fmt.Fprintf(w, "  tid %3d -> tid %3d  %d nacks\n", e.From, e.To, p.edges[e])
+	}
+	fmt.Fprintf(w, "  conflict aborts %d, on a detected blame cycle %d\n", p.ConflictAborts, p.CycleAborts)
+}
+
+func (p *Profiler) reportWaste(w io.Writer) {
+	fmt.Fprintf(w, "wasted work by abort cause\n")
+	for c := obs.CauseConflict; int(c) < len(p.Wasted); c++ {
+		ws := p.Wasted[c]
+		if ws.Aborts == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-11s aborts=%-7d cycles=%-12d undo-records=%d\n",
+			obs.AbortCause(c), ws.Aborts, ws.Cycles, ws.Records)
+	}
+}

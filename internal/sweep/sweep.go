@@ -74,6 +74,24 @@ func MapWorker[T any](n, j int, fn func(worker, i int) T) []T {
 	return out
 }
 
+// MapNotify is Map with begin/end hooks around each cell, for live
+// campaign telemetry: begin(i) fires just before cell i starts, end(i)
+// just after it finishes, on the worker's goroutine. The hooks must be
+// safe for concurrent calls and must never influence results — they
+// observe scheduling, which (unlike results) depends on j.
+func MapNotify[T any](n, j int, begin, end func(i int), fn func(i int) T) []T {
+	return MapWorker(n, j, func(_, i int) T {
+		if begin != nil {
+			begin(i)
+		}
+		v := fn(i)
+		if end != nil {
+			end(i)
+		}
+		return v
+	})
+}
+
 // Each is Map for cells that produce no value.
 func Each(n, j int, fn func(i int)) {
 	Map(n, j, func(i int) struct{} {
