@@ -1,6 +1,7 @@
 package logtmse
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -96,16 +97,16 @@ func TestCachedRunIdentity(t *testing.T) {
 // then warm) must match the row computed with no cache at all.
 func TestFigure4CachedIdentity(t *testing.T) {
 	seeds := []int64{1, 2}
-	plain, err := Figure4("Cholesky", testScale, seeds, nil, 0, 2)
+	plain, err := Figure4(context.Background(), "Cholesky", testScale, seeds, nil, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cache := NewResultCache(t.TempDir(), 0)
-	coldRow, err := Figure4Cached("Cholesky", testScale, seeds, nil, 0, 2, cache)
+	coldRow, err := Figure4Cached(context.Background(), "Cholesky", testScale, seeds, nil, 0, 2, cache)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmRow, err := Figure4Cached("Cholesky", testScale, seeds, nil, 0, 2, cache)
+	warmRow, err := Figure4Cached(context.Background(), "Cholesky", testScale, seeds, nil, 0, 2, cache)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFigure4CachedIdentity(t *testing.T) {
 func TestFigure4SharesLockBaseline(t *testing.T) {
 	cache := NewResultCache("", 0)
 	seeds := []int64{3}
-	if _, err := Figure4Cached("Radiosity", testScale, seeds, nil, 0, 1, cache); err != nil {
+	if _, err := Figure4Cached(context.Background(), "Radiosity", testScale, seeds, nil, 0, 1, cache); err != nil {
 		t.Fatal(err)
 	}
 	s := cache.Stats()

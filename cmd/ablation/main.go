@@ -5,9 +5,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"logtmse"
 	"logtmse/internal/sig"
@@ -17,6 +21,8 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	scale := flag.Float64("scale", 0.5, "input scale (1.0 = paper inputs)")
 	seeds := flag.Int("seeds", 3, "seeds per cell")
 	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); output is identical for any -j")
@@ -36,11 +42,11 @@ func main() {
 		dirP := logtmse.DefaultParams()
 		snpP := logtmse.DefaultParams()
 		snpP.Protocol = logtmse.ProtocolSnoop
-		dir, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &dirP, Jobs: *jobs, Cache: cache})
+		dir, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &dirP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
-		snp, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &snpP, Jobs: *jobs, Cache: cache})
+		snp, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &snpP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -62,7 +68,7 @@ func main() {
 	sigWLs := []string{"Raytrace", "Radiosity", "BerkeleyDB"}
 	bases := make(map[string]logtmse.Aggregate, len(sigWLs))
 	for _, name := range sigWLs {
-		base, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Jobs: *jobs, Cache: cache})
+		base, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -80,15 +86,18 @@ func main() {
 				agg logtmse.Aggregate
 				err error
 			}
-			row := sweep.Map(len(sizes), *jobs, func(i int) cell {
+			row, err := sweep.Map(ctx, len(sizes), *jobs, func(i int) cell {
 				v := logtmse.Variant{
 					Name: fmt.Sprintf("%s_%d", k.label, sizes[i]),
 					Mode: workload.TM,
 					Sig:  sig.Config{Kind: k.kind, Bits: sizes[i]},
 				}
-				agg, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: v, Scale: *scale, Seeds: seedList, Cache: cache})
+				agg, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: name, Variant: v, Scale: *scale, Seeds: seedList, Cache: cache})
 				return cell{agg: agg, err: err}
 			})
+			if err != nil {
+				fatal(err)
+			}
 			for i := range sizes {
 				if row[i].err != nil {
 					fatal(row[i].err)
@@ -106,11 +115,11 @@ func main() {
 		fourP.Chips = 4
 		fourP.GridW, fourP.GridH = 2, 2
 		fourP.InterChipLat = 50
-		one, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &oneP, Jobs: *jobs, Cache: cache})
+		one, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &oneP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
-		four, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &fourP, Jobs: *jobs, Cache: cache})
+		four, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &fourP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -130,7 +139,7 @@ func main() {
 	} {
 		p := logtmse.DefaultParams()
 		pol.set(&p)
-		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs, Cache: cache})
+		agg, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: "BerkeleyDB", Variant: perfect, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -144,7 +153,7 @@ func main() {
 		p.SigBackupCopies = backups
 		v := logtmse.Variant{Name: "BS", Mode: workload.TM,
 			Sig: sig.Config{Kind: sig.KindBitSelect, Bits: 2048}}
-		agg, err := logtmse.Run(logtmse.RunConfig{Workload: "NestedMicro", Variant: v, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs, Cache: cache})
+		agg, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: "NestedMicro", Variant: v, Scale: *scale, Seeds: seedList, Params: &p, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -157,11 +166,11 @@ func main() {
 		seP := logtmse.DefaultParams()
 		origP := logtmse.DefaultParams()
 		origP.CD = logtmse.CDCacheBits
-		se, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &seP, Jobs: *jobs, Cache: cache})
+		se, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &seP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
-		orig, err := logtmse.Run(logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &origP, Jobs: *jobs, Cache: cache})
+		orig, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: w.Name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &origP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -175,11 +184,11 @@ func main() {
 		offP := logtmse.DefaultParams()
 		onP := logtmse.DefaultParams()
 		onP.ModelContention = true
-		off, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &offP, Jobs: *jobs, Cache: cache})
+		off, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &offP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
-		on, err := logtmse.Run(logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &onP, Jobs: *jobs, Cache: cache})
+		on, err := logtmse.RunContext(ctx, logtmse.RunConfig{Workload: name, Variant: perfect, Scale: *scale, Seeds: seedList, Params: &onP, Jobs: *jobs, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -199,5 +208,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "ablation: %v\n", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130) // interrupted, not failed
+	}
 	os.Exit(1)
 }

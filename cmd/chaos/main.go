@@ -24,12 +24,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"logtmse"
 	"logtmse/internal/addr"
@@ -101,6 +105,8 @@ func main() {
 // run carries main's body and returns the exit code, so that deferred
 // profile writers fire before the process exits.
 func run() int {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	seeds := flag.Int("seeds", 24, "number of campaign seeds to run")
 	seedBase := flag.Int64("seed-base", 1, "first seed")
 	mix := flag.String("mix", "all", "fault mix: all | "+joinMixes())
@@ -208,7 +214,7 @@ func run() int {
 	if cfg.camp != nil {
 		begin, end = cfg.camp.Hooks()
 	}
-	rep.Runs = sweep.MapNotify(len(list), *jobs, begin, end, func(i int) runRecord {
+	runs, err := sweep.MapNotify(ctx, len(list), *jobs, begin, end, func(i int) runRecord {
 		seed := list[i]
 		rec := runSeed(mixFor(mixes, *seedBase, seed), seed, cfg)
 		if cfg.camp != nil && !rec.OK {
@@ -216,6 +222,14 @@ func run() int {
 		}
 		return rec
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		if errors.Is(err, context.Canceled) {
+			return 130
+		}
+		return 1
+	}
+	rep.Runs = runs
 	if *verbose {
 		for _, rec := range rep.Runs {
 			status := "ok"

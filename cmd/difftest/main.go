@@ -24,12 +24,16 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"logtmse/internal/core"
 	"logtmse/internal/memo"
@@ -107,6 +111,8 @@ func main() {
 }
 
 func run() int {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	seeds := flag.Int("seeds", 24, "number of campaign seeds")
 	seedBase := flag.Int64("seed-base", 1, "first seed")
 	configName := flag.String("config", "all", "matrix cell to run (default: the full matrix)")
@@ -206,7 +212,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "serving /metrics and /progress on http://%s\n", bound)
 			begin, end = camp.Hooks()
 		}
-		rep.Runs = sweep.MapNotify(len(list), *jobs, begin, end, func(i int) seedRecord {
+		runs, err := sweep.MapNotify(ctx, len(list), *jobs, begin, end, func(i int) seedRecord {
 			rec := runSeed(list[i], cfgs, opts, cache, *shrinkBudget)
 			if camp != nil {
 				var commits, aborts, stalls uint64
@@ -222,6 +228,14 @@ func run() int {
 			}
 			return rec
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "difftest:", err)
+			if errors.Is(err, context.Canceled) {
+				return 130
+			}
+			return 1
+		}
+		rep.Runs = runs
 	}
 	if *verbose {
 		for _, rec := range rep.Runs {

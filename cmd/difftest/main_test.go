@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -108,9 +109,12 @@ func TestParallelByteIdentity(t *testing.T) {
 	opts := testOpts()
 	seeds := campaignSeeds(1, 12)
 	runAll := func(jobs int) []byte {
-		runs := sweep.Map(len(seeds), jobs, func(i int) seedRecord {
+		runs, err := sweep.Map(context.Background(), len(seeds), jobs, func(i int) seedRecord {
 			return runSeed(seeds[i], cfgs, opts, nil, 300)
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		buf, err := json.Marshal(runs)
 		if err != nil {
 			t.Fatal(err)

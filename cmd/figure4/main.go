@@ -8,17 +8,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"logtmse"
 	"logtmse/internal/obs"
-	"logtmse/internal/stats"
 )
 
 func main() {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	scale := flag.Float64("scale", 1.0, "input scale relative to the paper's (1.0 = Table 2 inputs)")
 	seeds := flag.Int("seeds", 3, "number of pseudo-random perturbations per cell (95% CIs)")
 	threads := flag.Int("threads", 0, "worker threads (0 = all 32 contexts)")
@@ -62,31 +67,18 @@ func main() {
 		defer stop()
 		fmt.Fprintf(os.Stderr, "serving /metrics and /progress on http://%s\n", bound)
 	}
-	fmt.Println("Figure 4: Speedup normalized to locks (higher is better)")
-	fmt.Printf("scale=%.2f seeds=%d\n\n", *scale, *seeds)
-	header := fmt.Sprintf("%-12s", "Benchmark")
-	for _, v := range variants {
-		header += fmt.Sprintf("%10s", v.Name)
-	}
-	fmt.Println(header)
-
+	logtmse.WriteFigure4Header(os.Stdout, *scale, *seeds)
 	for _, name := range sel {
 		params := logtmse.DefaultParams()
-		row, err := logtmse.Figure4Observed(name, *scale, seedList, &params, *threads, *jobs, cache, camp)
+		row, err := logtmse.Figure4Observed(ctx, name, *scale, seedList, &params, *threads, *jobs, cache, camp)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure4: %v\n", err)
+			if errors.Is(err, context.Canceled) {
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
-		line := fmt.Sprintf("%-12s", name)
-		for _, v := range variants {
-			line += fmt.Sprintf("%7.2f±%-4.2f", row.Speedup[v.Name], row.CI[v.Name])
-		}
-		fmt.Println(line)
-		// ASCII bars.
-		for _, v := range variants {
-			fmt.Printf("    %-8s |%s\n", v.Name, stats.Bar(row.Speedup[v.Name], 2.0, 48))
-		}
-		fmt.Println()
+		logtmse.WriteFigure4Row(os.Stdout, row)
 	}
 	if cache != nil {
 		fmt.Fprintln(os.Stderr, logtmse.CacheSummary(cache))

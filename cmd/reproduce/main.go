@@ -6,10 +6,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"logtmse"
 	"logtmse/internal/sig"
@@ -24,6 +28,8 @@ type cellResult struct {
 }
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	scale := flag.Float64("scale", 0.25, "input scale (1.0 = paper inputs)")
 	seeds := flag.Int("seeds", 3, "seeds for Figure 4 confidence intervals")
 	out := flag.String("out", "", "write the markdown report here (default stdout)")
@@ -55,12 +61,15 @@ func main() {
 	workloads := logtmse.Workloads()
 	// Table 2 and Result 4 read the same Perfect-signature seed-1 cells,
 	// so run them once, in parallel, and report from both tables below.
-	perfectCells := sweep.Map(len(workloads), *jobs, func(i int) cellResult {
+	perfectCells, err := sweep.Map(ctx, len(workloads), *jobs, func(i int) cellResult {
 		r, err := logtmse.RunOne(logtmse.RunConfig{
 			Workload: workloads[i].Name, Variant: perfect, Scale: *scale, Cache: cache,
 		}, 1)
 		return cellResult{r: r, err: err}
 	})
+	if err != nil {
+		fatal(err)
+	}
 	for i, w := range workloads {
 		if perfectCells[i].err != nil {
 			fatal(perfectCells[i].err)
@@ -85,7 +94,7 @@ func main() {
 	fmt.Fprintln(&b)
 	for _, w := range workloads {
 		params := logtmse.DefaultParams()
-		row, err := logtmse.Figure4Cached(w.Name, *scale, seedList, &params, 0, *jobs, cache)
+		row, err := logtmse.Figure4Cached(ctx, w.Name, *scale, seedList, &params, 0, *jobs, cache)
 		if err != nil {
 			fatal(err)
 		}
@@ -114,7 +123,7 @@ func main() {
 		{"DBS_64", sig.Config{Kind: sig.KindDoubleBitSelect, Bits: 64}},
 	}
 	table3WLs := []string{"Raytrace", "BerkeleyDB"}
-	table3 := sweep.Map(len(table3WLs)*len(cells), *jobs, func(i int) cellResult {
+	table3, err := sweep.Map(ctx, len(table3WLs)*len(cells), *jobs, func(i int) cellResult {
 		wl, c := table3WLs[i/len(cells)], cells[i%len(cells)]
 		r, err := logtmse.RunOne(logtmse.RunConfig{
 			Workload: wl,
@@ -124,6 +133,9 @@ func main() {
 		}, 1)
 		return cellResult{r: r, err: err}
 	})
+	if err != nil {
+		fatal(err)
+	}
 	for wi, wl := range table3WLs {
 		fmt.Fprintf(&b, "### %s\n\n| Signature | Txns | Aborts | Stalls | FalsePos%% |\n|---|---|---|---|---|\n", wl)
 		for ci, c := range cells {
@@ -166,5 +178,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

@@ -4,15 +4,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"logtmse"
 	"logtmse/internal/sweep"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
 	seed := flag.Int64("seed", 1, "perturbation seed")
 	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); output is identical for any -j")
@@ -31,12 +37,19 @@ func main() {
 		err error
 	}
 	workloads := logtmse.Workloads()
-	rows := sweep.Map(len(workloads), *jobs, func(i int) cell {
+	rows, err := sweep.Map(ctx, len(workloads), *jobs, func(i int) cell {
 		res, err := logtmse.RunOne(logtmse.RunConfig{
 			Workload: workloads[i].Name, Variant: v, Scale: *scale, Cache: cache,
 		}, *seed)
 		return cell{res: res, err: err}
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "table2: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
+		os.Exit(1)
+	}
 	for i, w := range workloads {
 		if rows[i].err != nil {
 			fmt.Fprintf(os.Stderr, "table2: %v\n", rows[i].err)

@@ -5,9 +5,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"logtmse"
 	"logtmse/internal/sig"
@@ -16,6 +20,8 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
 	seed := flag.Int64("seed", 1, "perturbation seed")
 	jobs := flag.Int("j", 0, "parallel simulation cells (0 = GOMAXPROCS); output is identical for any -j")
@@ -55,7 +61,7 @@ func main() {
 			res logtmse.RunResult
 			err error
 		}
-		rows := sweep.Map(len(cells), *jobs, func(i int) cell {
+		rows, err := sweep.Map(ctx, len(cells), *jobs, func(i int) cell {
 			res, err := logtmse.RunOne(logtmse.RunConfig{
 				Workload: bench,
 				Variant:  logtmse.Variant{Name: cells[i].label, Mode: workload.TM, Sig: cells[i].sc},
@@ -64,6 +70,13 @@ func main() {
 			}, *seed)
 			return cell{res: res, err: err}
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table3: %v\n", err)
+			if errors.Is(err, context.Canceled) {
+				os.Exit(130)
+			}
+			os.Exit(1)
+		}
 		for i, c := range cells {
 			if rows[i].err != nil {
 				fmt.Fprintf(os.Stderr, "table3: %v\n", rows[i].err)

@@ -20,11 +20,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"logtmse"
 	"logtmse/internal/sweep"
@@ -55,6 +59,8 @@ func main() {
 }
 
 func run() int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	workloadName := flag.String("workload", "BerkeleyDB", "benchmark (Table 2) or \"all\"")
 	variantName := flag.String("variant", "BS", "signature variant (Figure 4 TM bars) or \"all\"")
 	scale := flag.Float64("scale", 0.1, "input scale")
@@ -104,7 +110,7 @@ func run() int {
 	// results land in submission order, so the merge below — and the
 	// report — is byte-identical for any -j.
 	begin, end := camp.Hooks()
-	outs := sweep.MapNotify(len(cells), *jobs, begin, end, func(i int) cellOut {
+	outs, err := sweep.MapNotify(ctx, len(cells), *jobs, begin, end, func(i int) cellOut {
 		c := cells[i]
 		p := logtmse.NewProfiler()
 		res, err := logtmse.RunOne(logtmse.RunConfig{
@@ -126,6 +132,13 @@ func run() int {
 		}
 		return cellOut{res: res, prof: p, err: err}
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txlens:", err)
+		if errors.Is(err, context.Canceled) {
+			return 130
+		}
+		return 1
+	}
 
 	// Aggregate per (workload, variant): merge profilers and sum Stats
 	// in submission order.

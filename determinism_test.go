@@ -2,6 +2,7 @@ package logtmse
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 )
@@ -87,11 +88,11 @@ func TestRunParallelIdentity(t *testing.T) {
 // variants x seeds cell matrix of a Figure 4 row.
 func TestFigure4ParallelIdentity(t *testing.T) {
 	p := DefaultParams()
-	serial, err := Figure4("Mp3d", testScale, []int64{1, 2}, &p, 0, 1)
+	serial, err := Figure4(context.Background(), "Mp3d", testScale, []int64{1, 2}, &p, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Figure4("Mp3d", testScale, []int64{1, 2}, &p, 0, 8)
+	parallel, err := Figure4(context.Background(), "Mp3d", testScale, []int64{1, 2}, &p, 0, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

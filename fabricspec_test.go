@@ -1,0 +1,172 @@
+package logtmse
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"logtmse/internal/fabric"
+)
+
+// TestFigure4CellsMatchLocalEnumeration: the fabric's cell order is the
+// local MapNotify submission order, and every key is the cell's
+// fingerprint — the two facts that make distributed reports
+// byte-identical to local ones.
+func TestFigure4CellsMatchLocalEnumeration(t *testing.T) {
+	workloads := []string{"Cholesky", "Mp3d"}
+	seeds := []int64{1, 2}
+	cells, err := Figure4Cells(workloads, testScale, seeds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := Figure4Variants()
+	if len(cells) != len(workloads)*len(variants)*len(seeds) {
+		t.Fatalf("%d cells, want %d", len(cells), len(workloads)*len(variants)*len(seeds))
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+		var spec CellSpec
+		if err := json.Unmarshal(c.Spec, &spec); err != nil {
+			t.Fatal(err)
+		}
+		wantW := workloads[i/(len(variants)*len(seeds))]
+		wantV := variants[(i/len(seeds))%len(variants)].Name
+		wantS := seeds[i%len(seeds)]
+		if spec.Workload != wantW || spec.Variant != wantV || spec.Seed != wantS {
+			t.Fatalf("cell %d = %+v, want %s/%s seed %d (workload-major, then variant, then seed)",
+				i, spec, wantW, wantV, wantS)
+		}
+		rc, err := spec.runConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := Fingerprint(rc, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != c.Key {
+			t.Fatalf("cell %d key %.12s != fingerprint %.12s", i, c.Key, key)
+		}
+	}
+}
+
+// TestExecuteCellSkewGuard: a tampered spec (different scale under the
+// original key — the shape of a version-skewed worker) is refused, not
+// computed.
+func TestExecuteCellSkewGuard(t *testing.T) {
+	cells, err := Figure4Cells([]string{"Cholesky"}, testScale, []int64{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := ExecuteCell(nil)
+	c := cells[0]
+	var spec CellSpec
+	if err := json.Unmarshal(c.Spec, &spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale = spec.Scale * 2 // the cell this spec now describes is a different cell
+	tampered, _ := json.Marshal(spec)
+	c.Spec = tampered
+	if _, err := exec(context.Background(), c); err == nil {
+		t.Fatal("executor computed a cell whose spec no longer matches its key")
+	}
+}
+
+// TestFabricCampaignByteIdentical is the end-to-end acceptance at the
+// harness level: a Figure 4 campaign run through coordinator + HTTP
+// workers produces exactly the rows of a local Figure4Observed call.
+func TestFabricCampaignByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation campaign")
+	}
+	workloads := []string{"Cholesky"}
+	seeds := []int64{1, 2}
+
+	p := DefaultParams()
+	local, err := Figure4Observed(context.Background(), workloads[0], testScale, seeds, &p, 0, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cells, err := Figure4Cells(workloads, testScale, seeds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := ExecuteCell(nil)
+	co, err := fabric.NewCoordinator(cells, fabric.Options{
+		Name:     "it",
+		LeaseTTL: 30 * time.Second, // cells are real simulations
+		Inline:   func(c fabric.Cell) ([]byte, error) { return exec(context.Background(), c) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		w := &fabric.Worker{Base: srv.URL, Exec: exec}
+		go w.Run(ctx)
+	}
+	payloads, err := co.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Figure4RowsFromPayloads(workloads, seeds, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if !reflect.DeepEqual(rows[0], local) {
+		t.Fatalf("fabric row differs from local row:\nfabric: %+v\nlocal:  %+v", rows[0], local)
+	}
+}
+
+// TestRunOneTrapsPanickingObserver: a panicking Tracer fails its cell
+// with an error instead of killing the sweep around it.
+func TestRunOneTrapsPanickingObserver(t *testing.T) {
+	rc := RunConfig{
+		Workload: "Cholesky",
+		Variant:  mustVariant(t, "Perfect"),
+		Scale:    testScale,
+		Tracer:   func(cycle Cycle, thread, event string) { panic("observer bug") },
+	}
+	_, err := RunOne(rc, 1)
+	if err == nil {
+		t.Fatal("panicking tracer did not fail the cell")
+	}
+	if got := err.Error(); !contains(got, "cell panicked") || !contains(got, "observer bug") {
+		t.Fatalf("err = %v, want trapped panic naming the observer bug", err)
+	}
+}
+
+func mustVariant(t *testing.T, name string) Variant {
+	t.Helper()
+	v, ok := VariantByName(name)
+	if !ok {
+		t.Fatalf("variant %q missing", name)
+	}
+	return v
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,6 +1,7 @@
 package logtmse
 
 import (
+	"context"
 	"fmt"
 
 	"logtmse/internal/core"
@@ -230,7 +231,19 @@ func RunOne(rc RunConfig, seed int64) (RunResult, error) {
 			return runCached(rc, seed, key)
 		}
 	}
-	return runOneCold(rc, seed)
+	return runOneSafe(rc, seed)
+}
+
+// runOneSafe traps panics out of the simulation (a buggy Tracer or
+// Sink, a workload defect) into an error, so a panicking cell fails
+// that cell — not the whole campaign sweeping it.
+func runOneSafe(rc RunConfig, seed int64) (r RunResult, err error) {
+	err = sweep.Trap(func() error {
+		var e error
+		r, e = runOneCold(rc, seed)
+		return e
+	})
+	return r, err
 }
 
 // runCached serves one cell through the result cache: a hit decodes the
@@ -243,7 +256,9 @@ func runCached(rc RunConfig, seed int64, key string) (RunResult, error) {
 	ran := false
 	payload, _, err := rc.Cache.Do(key, func() ([]byte, error) {
 		ran = true
-		cold, coldErr = runOneCold(rc, seed)
+		// Trapped inside the Do closure so single-flight waiters on a
+		// panicking cell receive a real error, not a poisoned flight.
+		cold, coldErr = runOneSafe(rc, seed)
 		if coldErr != nil {
 			return nil, coldErr
 		}
@@ -393,6 +408,13 @@ type seedOut struct {
 // concurrently. Results are aggregated in seed-list order, so the
 // Aggregate is bit-identical for every worker count.
 func Run(rc RunConfig) (Aggregate, error) {
+	return RunContext(context.Background(), rc)
+}
+
+// RunContext is Run with cancellation: on ctx cancellation the sweep
+// stops claiming seeds (cells already simulating finish) and the
+// context's error is returned.
+func RunContext(ctx context.Context, rc RunConfig) (Aggregate, error) {
 	rc = rc.withDefaults()
 	agg := Aggregate{Workload: rc.Workload, Variant: rc.Variant}
 	jobs := rc.Jobs
@@ -401,10 +423,13 @@ func Run(rc RunConfig) (Aggregate, error) {
 		// serial and in seed order.
 		jobs = 1
 	}
-	outs := sweep.Map(len(rc.Seeds), jobs, func(i int) seedOut {
+	outs, err := sweep.Map(ctx, len(rc.Seeds), jobs, func(i int) seedOut {
 		r, err := RunOne(rc, rc.Seeds[i])
 		return seedOut{r: r, err: err}
 	})
+	if err != nil {
+		return agg, err
+	}
 	for _, o := range outs {
 		if o.err != nil {
 			return agg, o.err
@@ -430,8 +455,8 @@ type Figure4Row struct {
 // variants x seeds cell matrix (0 = GOMAXPROCS, 1 = serial); results are
 // reassembled in (variant, seed) submission order so the row is
 // bit-identical for every worker count.
-func Figure4(workloadName string, scale float64, seeds []int64, params *Params, threads, jobs int) (Figure4Row, error) {
-	return Figure4Cached(workloadName, scale, seeds, params, threads, jobs, nil)
+func Figure4(ctx context.Context, workloadName string, scale float64, seeds []int64, params *Params, threads, jobs int) (Figure4Row, error) {
+	return Figure4Cached(ctx, workloadName, scale, seeds, params, threads, jobs, nil)
 }
 
 // Figure4Cached is Figure4 with an optional result cache. The lock
@@ -442,21 +467,15 @@ func Figure4(workloadName string, scale float64, seeds []int64, params *Params, 
 // table just ran, a previous invocation's row) is served without
 // simulating. Submission order, and therefore the row, is byte-identical
 // with or without a cache.
-func Figure4Cached(workloadName string, scale float64, seeds []int64, params *Params, threads, jobs int, cache *ResultCache) (Figure4Row, error) {
-	return Figure4Observed(workloadName, scale, seeds, params, threads, jobs, cache, nil)
+func Figure4Cached(ctx context.Context, workloadName string, scale float64, seeds []int64, params *Params, threads, jobs int, cache *ResultCache) (Figure4Row, error) {
+	return Figure4Observed(ctx, workloadName, scale, seeds, params, threads, jobs, cache, nil)
 }
 
 // Figure4Observed is Figure4Cached with live campaign telemetry: each
 // cell reports its in-flight/done transitions and headline counters to
 // camp while the row computes (nil camp behaves exactly like
 // Figure4Cached — telemetry observes scheduling, never results).
-func Figure4Observed(workloadName string, scale float64, seeds []int64, params *Params, threads, jobs int, cache *ResultCache, camp *Campaign) (Figure4Row, error) {
-	row := Figure4Row{
-		Workload: workloadName,
-		Speedup:  make(map[string]float64),
-		CI:       make(map[string]float64),
-		Cells:    make(map[string]Aggregate),
-	}
+func Figure4Observed(ctx context.Context, workloadName string, scale float64, seeds []int64, params *Params, threads, jobs int, cache *ResultCache, camp *Campaign) (Figure4Row, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3}
 	}
@@ -465,7 +484,7 @@ func Figure4Observed(workloadName string, scale float64, seeds []int64, params *
 		begin, end = camp.Hooks()
 	}
 	variants := Figure4Variants()
-	outs := sweep.MapNotify(len(variants)*len(seeds), jobs, begin, end, func(i int) seedOut {
+	outs, err := sweep.MapNotify(ctx, len(variants)*len(seeds), jobs, begin, end, func(i int) seedOut {
 		rc := RunConfig{
 			Workload: workloadName, Variant: variants[i/len(seeds)],
 			Scale: scale, Seeds: seeds, Params: params, Threads: threads,
@@ -480,6 +499,24 @@ func Figure4Observed(workloadName string, scale float64, seeds []int64, params *
 		}
 		return seedOut{r: r, err: err}
 	})
+	if err != nil {
+		return Figure4Row{Workload: workloadName}, err
+	}
+	return figure4RowFromOuts(workloadName, seeds, outs)
+}
+
+// figure4RowFromOuts assembles one row from the (variant, seed)-ordered
+// cell outputs — the shared back half of Figure4Observed and the
+// fabric's Figure4RowsFromPayloads, which is what makes a distributed
+// campaign's report byte-identical to a local run's.
+func figure4RowFromOuts(workloadName string, seeds []int64, outs []seedOut) (Figure4Row, error) {
+	row := Figure4Row{
+		Workload: workloadName,
+		Speedup:  make(map[string]float64),
+		CI:       make(map[string]float64),
+		Cells:    make(map[string]Aggregate),
+	}
+	variants := Figure4Variants()
 	// variants[0] is Lock: the baseline aggregate is assembled once here
 	// and shared below — no per-variant re-run, and no special-casing
 	// beyond its position in the variant list.

@@ -1,6 +1,7 @@
 package logtmse
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -134,7 +135,7 @@ func TestFigure4RowSmall(t *testing.T) {
 		t.Skip("full row is slow")
 	}
 	p := DefaultParams()
-	row, err := Figure4("Mp3d", testScale, []int64{1, 2}, &p, 0, 0)
+	row, err := Figure4(context.Background(), "Mp3d", testScale, []int64{1, 2}, &p, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

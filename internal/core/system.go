@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
 
 	"logtmse/internal/addr"
 	"logtmse/internal/check"
@@ -53,6 +54,15 @@ type System struct {
 	mainWake chan struct{}
 	runLimit sim.Cycle
 	runLast  sim.Cycle
+
+	// threadPanic holds a panic recovered on a thread goroutine (a buggy
+	// workload closure, tracer, or sink firing on the engine owner's
+	// stack). The goroutine parks the value here, hands the engine back
+	// through mainWake, and drive re-raises it on Run's caller — the
+	// goroutine whose recover (sweep.Trap in the harness) can turn it
+	// into a per-cell error. Other thread goroutines stay parked on
+	// their wake channels; the wedged System must be discarded.
+	threadPanic *threadPanicInfo
 
 	nextPhysPage uint64
 
@@ -388,12 +398,29 @@ func (s *System) Spawn(name string, asid addr.ASID, pt *mem.PageTable, fn func(*
 	s.threads = append(s.threads, t)
 	api := &API{t: t, sys: s}
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// This goroutine owns the engine (user code only runs on
+				// the owner), so every other goroutine — including Run's
+				// caller — is parked. Record the panic and hand the
+				// engine back so drive can re-raise it there.
+				s.threadPanic = &threadPanicInfo{thread: t.Name, val: r, stack: debug.Stack()}
+				s.mainWake <- struct{}{}
+			}
+		}()
 		<-t.wake // the Start event hands us the engine
 		fn(api)
 		s.dispatch(t, request{kind: reqDone})
 		s.pumpExit(t)
 	}()
 	return t
+}
+
+// threadPanicInfo carries a panic from a thread goroutine to Run's caller.
+type threadPanicInfo struct {
+	thread string
+	val    any
+	stack  []byte
 }
 
 // Place binds a thread to a hardware context; the context must be idle.
@@ -486,6 +513,10 @@ func (s *System) drive(limit sim.Cycle) sim.Cycle {
 		if !s.stepBounded() {
 			break
 		}
+	}
+	if pi := s.threadPanic; pi != nil {
+		s.threadPanic = nil
+		panic(fmt.Sprintf("thread %s: %v\n%s", pi.thread, pi.val, pi.stack))
 	}
 	if e.Now() > limit {
 		e.ClampNow(limit)

@@ -1,0 +1,324 @@
+package fabric
+
+// The chaos harness: a multi-thousand-cell campaign driven through a
+// flaky in-process transport (dropped requests, lost responses,
+// duplicate deliveries, random delays) by workers that are killed
+// mid-cell on a seeded schedule, with the coordinator itself killed
+// mid-campaign and restarted on its journal. The acceptance bar is
+// absolute: the final report is byte-identical to the sequential
+// baseline, and the resumed coordinator recomputes zero journaled
+// cells.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"logtmse/internal/memo"
+)
+
+// flakyTransport wraps a RoundTripper with seeded misbehavior:
+//   - dropped requests (the server never sees them),
+//   - lost responses (the server processed the request, but the client
+//     gets an error — the natural source of duplicate deliveries, since
+//     the worker retries a POST that already landed),
+//   - duplicate sends (the request reaches the server twice),
+//   - jittered delays on every request.
+type flakyTransport struct {
+	base http.RoundTripper
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	drops, lostResponses, dupSends atomic.Uint64
+}
+
+func newFlakyTransport(base http.RoundTripper, seed int64) *flakyTransport {
+	return &flakyTransport{base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (f *flakyTransport) roll() (r float64, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64(), time.Duration(f.rng.Intn(2001)) * time.Microsecond
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r, delay := f.roll()
+	time.Sleep(delay)
+	switch {
+	case r < 0.03: // dropped before reaching the server
+		f.drops.Add(1)
+		return nil, fmt.Errorf("flaky: request dropped")
+	case r < 0.06: // duplicate delivery: the request hits the server twice
+		if req.GetBody != nil {
+			if body, err := req.GetBody(); err == nil {
+				dup := req.Clone(req.Context())
+				dup.Body = body
+				if resp, err := f.base.RoundTrip(dup); err == nil {
+					resp.Body.Close()
+					f.dupSends.Add(1)
+				}
+			}
+		}
+		return f.base.RoundTrip(req)
+	case r < 0.10: // server processes it; the response is lost in flight
+		resp, err := f.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		f.lostResponses.Add(1)
+		return nil, fmt.Errorf("flaky: response lost")
+	default:
+		return f.base.RoundTrip(req)
+	}
+}
+
+// chaosWorkerFleet runs `supervisors` goroutines, each of which spawns
+// a worker, kills it mid-cell after a seeded 3–9 cell budget, and
+// respawns it — forever, until ctx is cancelled or the campaign is
+// done. exec must be the pure per-cell function.
+func chaosWorkerFleet(ctx context.Context, t *testing.T, base string, client *http.Client, supervisors int, seed int64, exec func(Cell) []byte, kills *atomic.Uint64) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for s := 0; s < supervisors; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(s)))
+			life := 0
+			for ctx.Err() == nil {
+				life++
+				budget := int32(3 + rng.Intn(7)) // cells until this worker dies
+				preExec := rng.Intn(2) == 0      // die before or after computing
+				wctx, kill := context.WithCancel(ctx)
+				var left atomic.Int32
+				left.Store(budget)
+				w := &Worker{
+					Base:   base,
+					ID:     fmt.Sprintf("chaos-%d.%d", s, life),
+					Client: client,
+					Exec: func(_ context.Context, c Cell) ([]byte, error) {
+						if left.Add(-1) <= 0 {
+							// The kill: cancel this worker's context
+							// mid-cell. Its result (or the cell itself,
+							// if pre-exec) is abandoned and the lease
+							// left to expire.
+							kills.Add(1)
+							kill()
+							if preExec {
+								return nil, fmt.Errorf("killed pre-exec")
+							}
+						}
+						return exec(c), nil
+					},
+				}
+				err := w.Run(wctx)
+				kill()
+				if err == nil {
+					return // campaign done
+				}
+			}
+		}(s)
+	}
+	return &wg
+}
+
+// TestChaosCampaignSurvivesEverything is the tentpole acceptance test:
+// ≥5000 cells, flaky transport, seeded mid-cell worker kills, a
+// mid-campaign coordinator kill-and-resume — and a final report
+// byte-identical to the sequential baseline, with zero journaled cells
+// recomputed after resume.
+func TestChaosCampaignSurvivesEverything(t *testing.T) {
+	n := 5000
+	supervisors := 8
+	if testing.Short() {
+		n = 600
+		supervisors = 4
+	}
+	cells := testCells(n)
+	want := baseline(cells)
+	journalPath := filepath.Join(t.TempDir(), "campaign.journal")
+	opts := func() Options {
+		return Options{
+			Name:        "chaos",
+			LeaseTTL:    150 * time.Millisecond,
+			MaxAttempts: 6,
+			BackoffBase: time.Millisecond,
+			BackoffCap:  10 * time.Millisecond,
+			Seed:        1234,
+			JournalPath: journalPath,
+			Inline:      inlineExec,
+		}
+	}
+
+	// --- Phase 1: run under full chaos until at least half the
+	// campaign is done, then kill the coordinator (cancel + close, no
+	// graceful drain).
+	co1, err := NewCoordinator(cells, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(co1.Handler())
+	flaky1 := newFlakyTransport(http.DefaultTransport, 99)
+	client1 := &http.Client{Transport: flaky1, Timeout: 10 * time.Second}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { co1.Run(ctx1); close(runDone) }()
+	var kills1 atomic.Uint64
+	fleet1 := chaosWorkerFleet(ctx1, t, srv1.URL, client1, supervisors, 7000, execPayload, &kills1)
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		p := co1.Progress()
+		if p.CellsDone >= n/2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("phase 1 stalled: %+v", p)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	p1 := co1.Progress()
+	cancel1() // kill the coordinator mid-campaign
+	<-runDone
+	srv1.Close()
+	fleet1.Wait()
+	co1.Close()
+
+	// --- What the ledger holds is exactly what resume may reuse.
+	j, recs, err := OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	journaled := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		journaled[r.Key] = true
+	}
+	if len(journaled) < n/2 {
+		t.Fatalf("journal holds %d cells, expected at least the %d the coordinator saw done", len(journaled), n/2)
+	}
+	t.Logf("phase 1: %+v; journal holds %d cells; %d worker kills, %d drops, %d lost responses, %d duplicate sends",
+		p1, len(journaled), kills1.Load(), flaky1.drops.Load(), flaky1.lostResponses.Load(), flaky1.dupSends.Load())
+
+	// --- Phase 2: restart on the same journal under the same chaos. A
+	// journaled cell must never execute again — anywhere.
+	guard := func(c Cell) []byte {
+		if journaled[c.Key] {
+			t.Errorf("journaled cell %s re-executed after resume", shortKey(c.Key))
+		}
+		return execPayload(c)
+	}
+	o2 := opts()
+	o2.Inline = func(c Cell) ([]byte, error) { return guard(c), nil }
+	co2, err := NewCoordinator(cells, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co2.Close()
+	if p := co2.Progress(); p.Resumed != len(journaled) {
+		t.Fatalf("resumed %d cells, journal holds %d", p.Resumed, len(journaled))
+	}
+	srv2 := httptest.NewServer(co2.Handler())
+	defer srv2.Close()
+	flaky2 := newFlakyTransport(http.DefaultTransport, 100)
+	client2 := &http.Client{Transport: flaky2, Timeout: 10 * time.Second}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel2()
+	var kills2 atomic.Uint64
+	fleet2 := chaosWorkerFleet(ctx2, t, srv2.URL, client2, supervisors, 8000, guard, &kills2)
+
+	got, err := co2.Run(ctx2)
+	if err != nil {
+		t.Fatalf("phase 2: %v", err)
+	}
+	cancel2()
+	fleet2.Wait()
+
+	// --- The acceptance bar: byte-identical to the sequential
+	// baseline, in submission order, despite everything above.
+	assertPayloads(t, got, want)
+
+	// The chaos must actually have happened, or this test proves
+	// nothing: worker deaths → expiries; lost responses → duplicate
+	// deliveries.
+	p2 := co2.Progress()
+	t.Logf("phase 2: %+v; %d worker kills, %d drops, %d lost responses, %d duplicate sends",
+		p2, kills2.Load(), flaky2.drops.Load(), flaky2.lostResponses.Load(), flaky2.dupSends.Load())
+	if kills1.Load()+kills2.Load() == 0 {
+		t.Fatal("no worker was ever killed — chaos harness inert")
+	}
+	if p1.ExpiredLeases+p2.ExpiredLeases == 0 {
+		t.Fatal("no lease ever expired — kill-mid-cell path untested")
+	}
+	if p1.DuplicateResults+p2.DuplicateResults == 0 {
+		t.Fatal("no duplicate delivery ever observed — idempotency path untested")
+	}
+	if p2.CellsDone != n || p2.CellsFailed != 0 {
+		t.Fatalf("phase 2 progress = %+v, want all %d cells done", p2, n)
+	}
+}
+
+// TestChaosJournalLessCacheResume: the journal-less degradation path —
+// a killed coordinator with only a memo cache still resumes without
+// recomputing cached cells.
+func TestChaosJournalLessCacheResume(t *testing.T) {
+	n := 300
+	cells := testCells(n)
+	cache := memo.New("", 0)
+	o := Options{
+		Name:        "cache-resume",
+		LeaseTTL:    time.Second,
+		BackoffBase: time.Millisecond,
+		Inline:      inlineExec,
+		Cache:       cache,
+	}
+	co1, err := NewCoordinator(cells, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete 100 cells, then "crash".
+	for i := 0; i < 100; i++ {
+		g, st, _ := co1.Lease("w")
+		if st != LeaseCell {
+			t.Fatalf("lease %d: state %v", i, st)
+		}
+		if _, err := co1.Result(g.LeaseID, g.Cell.Key, execPayload(g.Cell)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	co1.Close()
+
+	o2 := o
+	o2.Inline = func(c Cell) ([]byte, error) {
+		if v, ok := cache.Get(c.Key); ok && bytes.Equal(v, execPayload(c)) {
+			t.Errorf("cached cell %s recomputed", shortKey(c.Key))
+		}
+		return execPayload(c), nil
+	}
+	o2.IdleInline = time.Millisecond
+	co2, err := NewCoordinator(cells, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co2.Close()
+	if p := co2.Progress(); p.CacheHits != 100 {
+		t.Fatalf("progress = %+v, want 100 cache hits", p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, err := co2.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPayloads(t, got, baseline(cells))
+}

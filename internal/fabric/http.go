@@ -1,0 +1,196 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Wire messages. Payloads ride as JSON []byte (base64); the framing is
+// deliberately boring — the robustness lives in the lease protocol, not
+// the encoding.
+
+type leaseReq struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResp struct {
+	Status      string `json:"status"` // "cell" | "wait" | "done"
+	LeaseID     string `json:"lease_id,omitempty"`
+	Cell        *Cell  `json:"cell,omitempty"`
+	TTLMillis   int64  `json:"ttl_ms,omitempty"`
+	RetryMillis int64  `json:"retry_ms,omitempty"`
+}
+
+type heartbeatReq struct {
+	LeaseID string `json:"lease_id"`
+}
+
+type heartbeatResp struct {
+	OK bool `json:"ok"`
+}
+
+type resultReq struct {
+	LeaseID string `json:"lease_id"`
+	Key     string `json:"key"`
+	Payload []byte `json:"payload"`
+}
+
+type resultResp struct {
+	OK        bool `json:"ok"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+type failReq struct {
+	LeaseID string `json:"lease_id"`
+	Key     string `json:"key"`
+	Error   string `json:"error"`
+}
+
+// maxBodyBytes bounds one request body (a cell result is a few KB; the
+// cap only exists so a confused client cannot balloon the coordinator).
+const maxBodyBytes = 1 << 28
+
+// Handler serves the coordinator protocol:
+//
+//	POST /lease      {worker}                → {status, lease_id, cell, ttl_ms | retry_ms}
+//	POST /heartbeat  {lease_id}              → {ok}
+//	POST /result     {lease_id, key, payload} → {ok, duplicate}   (idempotent)
+//	POST /fail       {lease_id, key, error}  → {ok}
+//	GET  /progress                           → Progress JSON
+//	GET  /metrics                            → Prometheus text exposition
+//	GET  /cache?key=K                        → raw payload | 404   (remote memo tier)
+//	PUT  /cache?key=K                        → 204
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseReq
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		g, state, retry := co.Lease(req.Worker)
+		switch state {
+		case LeaseCell:
+			writeJSON(w, leaseResp{Status: "cell", LeaseID: g.LeaseID, Cell: &g.Cell, TTLMillis: g.TTL.Milliseconds()})
+		case LeaseWait:
+			writeJSON(w, leaseResp{Status: "wait", RetryMillis: retry.Milliseconds()})
+		case LeaseDone:
+			writeJSON(w, leaseResp{Status: "done"})
+		}
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatReq
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, heartbeatResp{OK: co.Heartbeat(req.LeaseID)})
+	})
+	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
+		var req resultReq
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		dup, err := co.Result(req.LeaseID, req.Key, req.Payload)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resultResp{OK: true, Duplicate: dup})
+	})
+	mux.HandleFunc("/fail", func(w http.ResponseWriter, r *http.Request) {
+		var req failReq
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		co.Fail(req.LeaseID, req.Key, req.Error)
+		writeJSON(w, resultResp{OK: true})
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(co.Progress())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		co.WriteMetrics(w)
+	})
+	mux.HandleFunc("/cache", func(w http.ResponseWriter, r *http.Request) {
+		if co.opt.Cache == nil {
+			http.Error(w, "no cache configured", http.StatusNotFound)
+			return
+		}
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			http.Error(w, "missing key", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			if v, ok := co.opt.Cache.Get(key); ok {
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Write(v)
+				return
+			}
+			http.Error(w, "miss", http.StatusNotFound)
+		case http.MethodPut, http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			co.opt.Cache.Put(key, body)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+// WriteMetrics writes the campaign counters in Prometheus text format.
+func (co *Coordinator) WriteMetrics(w io.Writer) {
+	p := co.Progress()
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("fabric_cells_total", "cells in the campaign", p.CellsTotal)
+	gauge("fabric_cells_done", "cells completed", p.CellsDone)
+	gauge("fabric_cells_pending", "cells awaiting a lease", p.CellsPending)
+	gauge("fabric_cells_leased", "cells leased out right now", p.CellsLeased)
+	gauge("fabric_cells_quarantined", "cells past the attempt cap awaiting inline execution", p.CellsQuarantined)
+	gauge("fabric_cells_failed", "cells failed terminally", p.CellsFailed)
+	gauge("fabric_cells_resumed", "cells resumed from the journal", p.Resumed)
+	gauge("fabric_cells_cached", "cells served from the result cache", p.CacheHits)
+	counter("fabric_leases_granted_total", "leases granted", p.LeasesGranted)
+	counter("fabric_results_total", "results accepted", p.Results)
+	counter("fabric_duplicate_results_total", "duplicate results dropped", p.DuplicateResults)
+	counter("fabric_expired_leases_total", "leases expired and re-issued", p.ExpiredLeases)
+	counter("fabric_worker_failures_total", "worker-reported cell failures", p.WorkerFailures)
+	counter("fabric_inline_runs_total", "cells the coordinator ran inline", p.InlineRuns)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

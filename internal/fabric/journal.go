@@ -1,0 +1,172 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The journal is the coordinator's append-only completion ledger: one
+// record per finished cell, written before the cell is acknowledged as
+// done, so a coordinator killed at any instant can be restarted on the
+// same file and resume the campaign without recomputing a single
+// journaled cell.
+//
+// File format: a magic line, then framed records —
+//
+//	[u32 big-endian body length][u32 CRC-32 (IEEE) of body][body]
+//
+// where the body is the JSON encoding of Record. A crash mid-append
+// leaves a torn tail: a frame whose length field is absurd, whose body
+// is short, or whose CRC does not match. OpenJournal tolerates exactly
+// that — it keeps every intact record and truncates the file at the
+// first bad frame, which is also the right recovery for a torn tail
+// caused by a full disk. Records are never rewritten in place, so a
+// record that was ever readable stays readable.
+
+// journalMagic identifies (and versions) the file format.
+const journalMagic = "LTMJ1\n"
+
+// maxRecordLen bounds one record body; a length field beyond it is
+// corruption, not a record.
+const maxRecordLen = 1 << 26 // 64 MiB
+
+// Record is one journaled cell completion. Payload is the cell's
+// result, exactly as the worker (or inline executor) produced it.
+type Record struct {
+	Index   int    `json:"i"`
+	Key     string `json:"k"`
+	Payload []byte `json:"p"`
+}
+
+// Journal is an open, append-position ledger. Safe for concurrent
+// Append calls.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+	// Fsync, when set, fsyncs after every Append — full
+	// power-loss-safety at one fsync per completed cell (cells take
+	// seconds to simulate; the fsync is noise). Off, a machine crash
+	// may lose the last few records, which at-least-once execution
+	// simply recomputes.
+	Fsync bool
+}
+
+// OpenJournal opens (creating if needed) the ledger at path, returns
+// every intact record already in it, truncates any torn tail, and
+// leaves the file positioned for appending.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, good, err := scanJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if good == 0 {
+		// Empty or unrecognizable file: start a fresh ledger. (An
+		// unrecognizable file is overwritten only up to its magic — a
+		// journal from a future format version would fail here rather
+		// than be silently clobbered mid-campaign, because its records
+		// are unreadable and good stops at 0 only for a bad magic; to
+		// stay conservative, refuse non-empty files with a bad magic.)
+		st, err := f.Stat()
+		if err == nil && st.Size() > 0 {
+			f.Close()
+			return nil, nil, fmt.Errorf("fabric: %s exists but is not a journal (bad magic)", path)
+		}
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.WriteAt([]byte(journalMagic), 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		good = int64(len(journalMagic))
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f}, recs, nil
+}
+
+// scanJournal reads every intact record and reports the offset of the
+// first bad byte (0 if the magic itself is missing or wrong).
+func scanJournal(f *os.File) ([]Record, int64, error) {
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(buf) < len(journalMagic) || !bytes.Equal(buf[:len(journalMagic)], []byte(journalMagic)) {
+		return nil, 0, nil
+	}
+	var recs []Record
+	off := int64(len(journalMagic))
+	for {
+		rest := buf[off:]
+		if len(rest) < 8 {
+			break
+		}
+		n := binary.BigEndian.Uint32(rest[:4])
+		if n == 0 || n > maxRecordLen || int64(len(rest)) < 8+int64(n) {
+			break
+		}
+		body := rest[8 : 8+n]
+		if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(rest[4:8]) {
+			break
+		}
+		var r Record
+		if err := json.Unmarshal(body, &r); err != nil {
+			break
+		}
+		recs = append(recs, r)
+		off += 8 + int64(n)
+	}
+	return recs, off, nil
+}
+
+// Append writes one record. The frame goes out in a single Write, so a
+// crash tears at most the final record — exactly what OpenJournal
+// truncates away.
+func (j *Journal) Append(r Record) error {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxRecordLen {
+		return fmt.Errorf("fabric: journal record for %s is %d bytes (max %d)", r.Key, len(body), maxRecordLen)
+	}
+	frame := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	if j.Fsync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

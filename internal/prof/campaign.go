@@ -1,6 +1,7 @@
 package prof
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -178,7 +179,9 @@ func (c *Campaign) Handler() http.Handler {
 
 // Serve exposes the campaign on addr (e.g. ":9464" or "127.0.0.1:0")
 // until stop is called. It returns the bound address — with ":0" the
-// kernel picks a free port — so callers can log or scrape it.
+// kernel picks a free port — so callers can log or scrape it. stop
+// shuts down gracefully: in-flight scrapes get up to two seconds to
+// finish before connections are torn down.
 func Serve(addrStr string, c *Campaign) (bound string, stop func(), err error) {
 	ln, err := net.Listen("tcp", addrStr)
 	if err != nil {
@@ -186,5 +189,12 @@ func Serve(addrStr string, c *Campaign) (bound string, stop func(), err error) {
 	}
 	srv := &http.Server{Handler: c.Handler()}
 	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if srv.Shutdown(ctx) != nil {
+			srv.Close()
+		}
+	}
+	return ln.Addr().String(), stop, nil
 }
