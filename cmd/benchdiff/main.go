@@ -8,6 +8,7 @@
 //
 //	go run ./cmd/benchdiff -base BENCH_baseline.json -new BENCH_abc1234.json
 //	go run ./cmd/benchdiff -base BENCH_baseline.json -new BENCH_ci.json -max-regress 0.10
+//	go run ./cmd/benchdiff -base BENCH_baseline.json -new BENCH_ci.json -max-geomean 0.02
 package main
 
 import (
@@ -50,17 +51,18 @@ func main() {
 	base := flag.String("base", "BENCH_baseline.json", "baseline snapshot")
 	neu := flag.String("new", "", "candidate snapshot (required)")
 	maxRegress := flag.Float64("max-regress", 0.10, "fail when a guarded cell's ns/op grows by more than this fraction")
+	maxGeomean := flag.Float64("max-geomean", math.Inf(1), "fail when the Figure-4 geomean ratio grows by more than this fraction (per-cell noise averages out, so this gate can be much tighter than -max-regress)")
 	flag.Parse()
 	if *neu == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		os.Exit(2)
 	}
-	os.Exit(run(os.Stdout, os.Stderr, *base, *neu, *maxRegress))
+	os.Exit(run(os.Stdout, os.Stderr, *base, *neu, *maxRegress, *maxGeomean))
 }
 
 // run performs the comparison and returns the process exit code: 0 on a
 // clean gate, 1 on a regression or alloc-gate failure, 2 on bad inputs.
-func run(w, errw io.Writer, base, neu string, maxRegress float64) int {
+func run(w, errw io.Writer, base, neu string, maxRegress, maxGeomean float64) int {
 	b, err := load(base)
 	if err != nil {
 		fmt.Fprintln(errw, "benchdiff:", err)
@@ -107,6 +109,10 @@ func run(w, errw io.Writer, base, neu string, maxRegress float64) int {
 		geo := math.Exp(logSum / float64(logN))
 		fmt.Fprintf(w, "\nFigure4 geomean ratio: %.3f (%.2fx %s)\n",
 			geo, math.Max(geo, 1/geo), map[bool]string{true: "slower", false: "faster"}[geo > 1])
+		if geo > 1+maxGeomean {
+			fmt.Fprintf(w, "GEOMEAN GATE: ratio %.3f exceeds 1+%.2f\n", geo, maxGeomean)
+			failed = true
+		}
 	}
 	// Sweep-strategy summary: how much the pooled fast path and the
 	// result cache buy over cold construction, within this snapshot.

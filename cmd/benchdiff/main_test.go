@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +16,7 @@ func runGolden(t *testing.T, goldenName, neu string, maxRegress float64, wantCod
 	t.Helper()
 	var out, errOut bytes.Buffer
 	code := run(&out, &errOut, filepath.Join("testdata", "base.json"),
-		filepath.Join("testdata", neu), maxRegress)
+		filepath.Join("testdata", neu), maxRegress, math.Inf(1))
 	if code != wantCode {
 		t.Errorf("%s: exit code %d, want %d\nstderr: %s", neu, code, wantCode, errOut.Bytes())
 	}
@@ -82,7 +83,7 @@ func TestRegressedGolden(t *testing.T) {
 func TestRegressionThreshold(t *testing.T) {
 	var out, errOut bytes.Buffer
 	code := run(&out, &errOut, filepath.Join("testdata", "base.json"),
-		filepath.Join("testdata", "clean.json"), 0.001)
+		filepath.Join("testdata", "clean.json"), 0.001, math.Inf(1))
 	if code != 1 {
 		t.Errorf("tight gate: exit %d, want 1 (Mp3d grew 2%%)", code)
 	}
@@ -91,16 +92,43 @@ func TestRegressionThreshold(t *testing.T) {
 	}
 }
 
+// TestGeomeanGate: the Figure-4 geomean gate fires on a snapshot whose
+// average drift (1.118 in regressed.json) exceeds -max-geomean even
+// when the per-cell gate is loosened out of the way, stays quiet when
+// loosened itself, and never fires on an overall-faster snapshot
+// (clean.json, geomean 0.984).
+func TestGeomeanGate(t *testing.T) {
+	var out, errOut bytes.Buffer
+	base := filepath.Join("testdata", "base.json")
+	regressed := filepath.Join("testdata", "regressed.json")
+	code := run(&out, &errOut, base, regressed, 10.0, 0.02)
+	if code != 1 {
+		t.Errorf("tight geomean gate: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "GEOMEAN GATE:") {
+		t.Error("tight geomean gate flagged nothing")
+	}
+	out.Reset()
+	run(&out, &errOut, base, regressed, 10.0, 10.0)
+	if strings.Contains(out.String(), "GEOMEAN GATE:") {
+		t.Error("loose geomean gate fired")
+	}
+	out.Reset()
+	if code := run(&out, &errOut, base, filepath.Join("testdata", "clean.json"), 0.10, 0.02); code != 0 {
+		t.Errorf("faster snapshot under the geomean gate: exit %d, want 0", code)
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(&out, &errOut, "testdata/no-such.json", "testdata/clean.json", 0.1); code != 2 {
+	if code := run(&out, &errOut, "testdata/no-such.json", "testdata/clean.json", 0.1, math.Inf(1)); code != 2 {
 		t.Errorf("missing base: exit %d, want 2", code)
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if code := run(&out, &errOut, filepath.Join("testdata", "base.json"), bad, 0.1); code != 2 {
+	if code := run(&out, &errOut, filepath.Join("testdata", "base.json"), bad, 0.1, math.Inf(1)); code != 2 {
 		t.Errorf("corrupt candidate: exit %d, want 2", code)
 	}
 }

@@ -46,6 +46,7 @@ func run() int {
 	scale := flag.Float64("scale", 1.0, "input scale (1.0 = paper inputs)")
 	seed := flag.Int64("seed", 1, "random perturbation seed")
 	threads := flag.Int("threads", 0, "worker threads (0 = all contexts)")
+	compiled := flag.Bool("compiled", true, "run the compiled txvm workload tapes; -compiled=false runs the closure-based reference executor (identical Stats, slower)")
 	snoop := flag.Bool("snoop", false, "use the broadcast snooping protocol (§7) instead of the directory")
 	chips := flag.Int("chips", 1, "build a multiple-CMP system (§7) with this many chips")
 	trace := flag.Int("trace", 0, "print the first N transactional events")
@@ -139,6 +140,7 @@ func run() int {
 		Variant:         v,
 		Scale:           *scale,
 		Threads:         *threads,
+		Interpret:       !*compiled,
 		Params:          &params,
 		Tracer:          tracer,
 		Metrics:         metrics,

@@ -286,3 +286,55 @@ func TestTraceOutHasSlicePerCommit(t *testing.T) {
 		t.Errorf("timeline has %d tx slices for %d commits", slices, r.Stats.Commits)
 	}
 }
+
+// TestCompiledMatchesInterpreted pins the dual-executor contract: for
+// every workload, Figure-4 variant, and machine size, the compiled txvm
+// tapes must produce a run bit-identical to the closure-based reference
+// executor — same cycles, same work units, same value of every counter.
+// A diff means a tape's op or RNG-draw sequence diverged from its
+// workload body. Short mode trims to the default machine and three
+// variants (Lock exercises the spinlock engine, Perfect and BS_64 the
+// transactional paths with and without signature pressure).
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	small := DefaultParams()
+	small.Cores, small.GridW, small.GridH = 8, 4, 2
+	machines := []struct {
+		name string
+		p    Params
+	}{
+		{"c16", DefaultParams()},
+		{"c8", small},
+	}
+	workloads := []string{"BerkeleyDB", "Radiosity", "Raytrace", "Mp3d", "NestedMicro"}
+	shortVariants := map[string]bool{"Lock": true, "Perfect": true, "BS_64": true}
+	for _, m := range machines {
+		if testing.Short() && m.name != "c16" {
+			continue
+		}
+		for _, wname := range workloads {
+			for _, v := range Figure4Variants() {
+				if testing.Short() && !shortVariants[v.Name] {
+					continue
+				}
+				m, wname, v := m, wname, v
+				t.Run(m.name+"/"+wname+"/"+v.Name, func(t *testing.T) {
+					t.Parallel()
+					p := m.p
+					rc := RunConfig{Workload: wname, Variant: v, Scale: 0.02, Params: &p}
+					compiled, err := RunOne(rc, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rc.Interpret = true
+					interpreted, err := RunOne(rc, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(compiled, interpreted) {
+						t.Errorf("executors diverged:\ncompiled    %+v\ninterpreted %+v", compiled, interpreted)
+					}
+				})
+			}
+		}
+	}
+}

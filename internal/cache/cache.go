@@ -54,6 +54,7 @@ type line struct {
 // construct with New.
 type Cache struct {
 	sets    int
+	setMask uint64 // sets-1; sets is a power of two, so index by mask
 	ways    int
 	lines   []line // sets*ways, row-major
 	useClk  uint32
@@ -78,11 +79,12 @@ func New(totalBytes, ways, banks int) (*Cache, error) {
 		return nil, fmt.Errorf("cache: set count %d not a power of two", sets)
 	}
 	return &Cache{
-		sets:   sets,
-		ways:   ways,
-		lines:  make([]line, sets*ways),
-		banked: banks,
-		sizeB:  totalBytes,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		ways:    ways,
+		lines:   make([]line, sets*ways),
+		banked:  banks,
+		sizeB:   totalBytes,
 	}, nil
 }
 
@@ -108,14 +110,18 @@ func (c *Cache) SizeBytes() int { return c.sizeB }
 // per Table 1).
 func (c *Cache) Bank(a addr.PAddr) int { return int(a.BlockIndex() % uint64(c.banked)) }
 
-func (c *Cache) setOf(tag uint64) int { return int(tag % uint64(c.sets)) }
+// setOf indexes by mask: the set count is a power of two (enforced in
+// New), and find runs on every simulated memory reference, so this must
+// not pay a hardware divide.
+func (c *Cache) setOf(tag uint64) int { return int(tag & c.setMask) }
 
 func (c *Cache) find(a addr.PAddr) *line {
 	tag := a.BlockIndex()
 	base := c.setOf(tag) * c.ways
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.state != uint8(Invalid) && l.tag == tag {
+	set := c.lines[base : base+c.ways]
+	for i := range set {
+		l := &set[i]
+		if l.tag == tag && l.state != uint8(Invalid) {
 			return l
 		}
 	}

@@ -44,6 +44,29 @@ type System struct {
 	// recountTx refreshes it at every scheduling or depth transition.
 	txLive []int
 
+	// hot holds the conflict-scan state of every hardware context
+	// regrouped struct-of-arrays: one flat row (scheduled thread,
+	// timestamp, address space, in-transaction flag) per context,
+	// indexed core*ThreadsPerCore+thread. The coherence hooks run on
+	// every memory reference and previously chased Context → Thread
+	// pointers to read three scattered fields; a row packs them into
+	// one cache line (two rows per line at the default SMT width).
+	// recountTx refreshes the core's rows at every transition that can
+	// change them — begin, each commit/abort level, Place, Deschedule —
+	// with the timestamp updates ordered before the recount.
+	hot []ctxHot
+
+	// probe is a one-entry cache of the last signature probe prepared by
+	// probeFor. A coherence broadcast tests one address against every
+	// context's filters, and every filter in the machine is built from
+	// the same Params.Signature — one geometry — so the hash work can be
+	// done once per address and the per-context checks reduced to word
+	// loads (sig.TestProbe). Valid for exactly one physical address at a
+	// time; geometry never changes between Resets.
+	probe      sig.Probe
+	probeAddr  addr.PAddr
+	probeValid bool
+
 	// Engine-ownership handoff state (see pump): the event loop runs on
 	// whichever goroutine currently owns the engine — Run's caller or a
 	// resumed thread. readied names the thread whose response the event
@@ -317,7 +340,16 @@ func NewSystem(p Params) (*System, error) {
 		s.ctxs = append(s.ctxs, row)
 	}
 	s.txLive = make([]int, p.Cores)
+	s.hot = make([]ctxHot, p.Cores*p.ThreadsPerCore)
 	return s, nil
+}
+
+// ctxHot is one context's conflict-scan row (see System.hot).
+type ctxHot struct {
+	cur  *Thread
+	ts   uint64
+	asid addr.ASID
+	inTx bool
 }
 
 // Reset returns the machine to its just-constructed state under a new
@@ -358,6 +390,8 @@ func (s *System) Reset(seed int64) error {
 	for i := range s.txLive {
 		s.txLive[i] = 0
 	}
+	clear(s.hot)
+	s.probeValid = false
 	s.readied = nil
 	s.runLimit, s.runLast = 0, 0
 	s.nextPhysPage = 1
@@ -445,9 +479,15 @@ func (s *System) Place(t *Thread, core, thread int) error {
 // transition site calls it.
 func (s *System) recountTx(core int) {
 	n := 0
+	base := core * s.P.ThreadsPerCore
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
-		if o := s.ctxs[core][th].Cur; o != nil && o.InTx() {
+		o := s.ctxs[core][th].Cur
+		row := &s.hot[base+th]
+		if o != nil && o.InTx() {
+			row.cur, row.ts, row.asid, row.inTx = o, o.ts, o.ASID, true
 			n++
+		} else {
+			*row = ctxHot{cur: o}
 		}
 	}
 	s.txLive[core] = n
@@ -457,6 +497,19 @@ func (s *System) recountTx(core int) {
 func (s *System) Start(t *Thread) {
 	if t.ctx == nil {
 		panic("core: Start of unplaced thread " + t.Name)
+	}
+	if t.stepped {
+		if t.stepFn == nil {
+			panic("core: Start of stepped thread without a step function: " + t.Name)
+		}
+		// Run the tape up to its first request inline from the start
+		// event — the same slot where an interpreted thread, handed the
+		// engine by its start event, dispatches its first request.
+		s.Engine.Schedule(0, func() {
+			t.nowCache = s.Engine.Now()
+			t.stepFn(OpResult{})
+		})
+		return
 	}
 	s.Engine.Schedule(0, func() {
 		// Hand the engine to the thread: it runs its function up to the
@@ -701,10 +754,30 @@ func (s *System) handle(t *Thread, r request) {
 func (s *System) finish(t *Thread, resp response, lat sim.Cycle) {
 	t.finishResp = resp
 	if t.finishFn == nil {
-		t.finishFn = func() {
-			t.nowCache = s.Engine.Now()
-			t.respReady = true
-			s.readied = t
+		if t.stepped {
+			// Stepped thread: the completion event runs the tape's step
+			// continuation inline — no wake channel, no goroutine switch.
+			// Its next dispatch lands inside this event, the same slot in
+			// the Schedule sequence where an interpreted thread's next
+			// dispatch lands after being readied, so event order (and
+			// every engine RNG draw) is identical across the two paths.
+			t.finishFn = func() {
+				t.nowCache = s.Engine.Now()
+				if t.escapedOp {
+					// The escaped access's response is delivered: the
+					// escape action is over (interpreted Escape clears the
+					// flag via defer at this same point, abort included).
+					t.escaped, t.escapedOp = false, false
+				}
+				r := t.finishResp
+				t.stepFn(OpResult{Val: r.val, Abort: r.abort, ToDepth: r.toDepth, Depth: r.depth})
+			}
+		} else {
+			t.finishFn = func() {
+				t.nowCache = s.Engine.Now()
+				t.respReady = true
+				s.readied = t
+			}
 		}
 	}
 	s.Engine.Schedule(lat, t.finishFn)
@@ -730,8 +803,6 @@ func (s *System) barrier(t *Thread, b *Barrier) {
 func (s *System) begin(t *Thread, open bool) {
 	ctx := t.ctx
 	t.depth++
-	s.recountTx(ctx.Core)
-	var saved *sig.Signature
 	if t.depth == 1 {
 		s.stats.Begins++
 		if t.ts == 0 {
@@ -741,6 +812,9 @@ func (s *System) begin(t *Thread, open bool) {
 			t.ts = (uint64(s.Engine.Now())+1)<<8 | idx
 		}
 	}
+	// The timestamp is final before the recount so the hot row caches it.
+	s.recountTx(ctx.Core)
+	var saved *sig.Signature
 	lat := s.P.BeginLat
 	if t.depth > 1 {
 		s.stats.NestedBegins++
@@ -872,8 +946,8 @@ func (s *System) commit(t *Thread) {
 		s.stats.WriteSetMax = ws
 	}
 	t.depth = 0
-	s.recountTx(t.ctx.Core)
 	t.ts = 0
+	s.recountTx(t.ctx.Core)
 	t.possibleCycle = false
 	t.abortStreak = 0
 	t.consecAborts = 0
@@ -1070,23 +1144,25 @@ func (s *System) smtConflict(t *Thread, op sig.Op, pa addr.PAddr) (coherence.Nac
 	if live := s.txLive[ctx.Core]; live == 0 || (live == 1 && t.InTx()) {
 		return coherence.Nacker{}, false
 	}
+	base := ctx.Core * s.P.ThreadsPerCore
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
 		if th == ctx.Thread {
 			continue
 		}
-		sib := s.ctxs[ctx.Core][th]
-		o := sib.Cur
-		if o == nil || !o.InTx() || o.ASID != t.ASID {
+		row := &s.hot[base+th]
+		if !row.inTx || row.asid != t.ASID {
 			continue
 		}
+		sib := s.ctxs[ctx.Core][th]
 		if !s.ctxConflict(sib, op, pa) {
 			continue
 		}
-		if t.ts != 0 && t.ts < o.ts {
+		o := row.cur
+		if t.ts != 0 && t.ts < row.ts {
 			o.possibleCycle = true
 		}
 		return coherence.Nacker{
-			Core: ctx.Core, Thread: th, Timestamp: o.ts,
+			Core: ctx.Core, Thread: th, Timestamp: row.ts,
 			FalsePositive: !o.exactConflict(op, pa),
 			Overflow:      s.P.CD == CDCacheBits && sib.overflow,
 		}, true
@@ -1469,6 +1545,19 @@ func backoffWindow(base sim.Cycle, consecAborts int, capShift uint) sim.Cycle {
 
 // --- coherence.Hooks implementation ------------------------------------------
 
+// probeFor returns a's prepared signature probe, reusing the cached one
+// when the same address is tested back to back (the broadcast pattern:
+// one request, up to Contexts filter checks). All contexts share one
+// signature geometry, so any context's signature can prepare it.
+func (s *System) probeFor(a addr.PAddr) *sig.Probe {
+	if !s.probeValid || s.probeAddr != a {
+		s.probe = s.ctxs[0][0].Sig.PrepareProbe(a)
+		s.probeAddr = a
+		s.probeValid = true
+	}
+	return &s.probe
+}
+
 // ctxConflict applies the configured conflict-detection hardware: the
 // context's signature (LogTM-SE) or its R/W cache bits plus the
 // conservative overflow flag (original LogTM).
@@ -1486,7 +1575,7 @@ func (s *System) ctxConflict(ctx *Context, op sig.Op, a addr.PAddr) bool {
 		}
 		return ctx.rwRead[a] || ctx.rwWrite[a]
 	}
-	return ctx.Sig.Conflict(op, a)
+	return ctx.Sig.ConflictProbe(op, s.probeFor(a))
 }
 
 // SignatureCheck implements eager conflict detection at a target core: a
@@ -1498,25 +1587,27 @@ func (s *System) SignatureCheck(targetCore int, req coherence.Request) []coheren
 		return nil
 	}
 	ns := s.nackScratch[:0]
+	base := targetCore * s.P.ThreadsPerCore
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
 		if targetCore == req.Core && th == req.Thread {
 			continue
 		}
-		ctx := s.ctxs[targetCore][th]
-		o := ctx.Cur
-		if o == nil || !o.InTx() || o.ASID != req.ASID {
+		row := &s.hot[base+th]
+		if !row.inTx || row.asid != req.ASID {
 			continue
 		}
+		ctx := s.ctxs[targetCore][th]
 		if !s.ctxConflict(ctx, req.Op, req.Addr) {
 			continue
 		}
-		if req.Timestamp != 0 && req.Timestamp < o.ts {
+		o := row.cur
+		if req.Timestamp != 0 && req.Timestamp < row.ts {
 			// We are NACKing an older transaction: a deadlock cycle is
 			// now possible (LogTM's possible_cycle flag).
 			o.possibleCycle = true
 		}
 		ns = append(ns, coherence.Nacker{
-			Core: targetCore, Thread: th, Timestamp: o.ts,
+			Core: targetCore, Thread: th, Timestamp: row.ts,
 			FalsePositive: !o.exactConflict(req.Op, req.Addr),
 			Overflow:      s.P.CD == CDCacheBits && ctx.overflow,
 		})
@@ -1537,11 +1628,12 @@ func (s *System) MayBeInSignature(core int, a addr.PAddr) bool {
 		return false
 	}
 	hit := false
+	base := core * s.P.ThreadsPerCore
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
-		ctx := s.ctxs[core][th]
-		if ctx.Cur == nil || !ctx.Cur.InTx() {
+		if !s.hot[base+th].inTx {
 			continue
 		}
+		ctx := s.ctxs[core][th]
 		if s.P.CD == CDCacheBits {
 			b := a.Block()
 			if ctx.rwRead[b] || ctx.rwWrite[b] {
@@ -1552,7 +1644,7 @@ func (s *System) MayBeInSignature(core int, a addr.PAddr) bool {
 			}
 			continue
 		}
-		if ctx.Sig.Conflict(sig.Write, a) {
+		if ctx.Sig.ConflictProbe(sig.Write, s.probeFor(a)) {
 			hit = true
 		}
 	}
@@ -1571,15 +1663,16 @@ func (s *System) SignatureMember(core int, req coherence.Request) bool {
 	if s.txLive[core] == 0 {
 		return false
 	}
+	base := core * s.P.ThreadsPerCore
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
 		if core == req.Core && th == req.Thread {
 			continue
 		}
-		ctx := s.ctxs[core][th]
-		o := ctx.Cur
-		if o == nil || !o.InTx() || o.ASID != req.ASID {
+		row := &s.hot[base+th]
+		if !row.inTx || row.asid != req.ASID {
 			continue
 		}
+		ctx := s.ctxs[core][th]
 		if s.P.CD == CDCacheBits {
 			b := req.Addr.Block()
 			if ctx.overflow || ctx.rwRead[b] || ctx.rwWrite[b] {
@@ -1589,7 +1682,7 @@ func (s *System) SignatureMember(core int, req coherence.Request) bool {
 		}
 		// A write probe conflicts with both the read and write sets, so
 		// it is exactly set membership.
-		if ctx.Sig.Conflict(sig.Write, req.Addr) {
+		if ctx.Sig.ConflictProbe(sig.Write, s.probeFor(req.Addr)) {
 			return true
 		}
 	}
@@ -1602,12 +1695,13 @@ func (s *System) InExactSet(core int, a addr.PAddr) bool {
 	if s.txLive[core] == 0 {
 		return false
 	}
+	base := core * s.P.ThreadsPerCore
 	for th := 0; th < s.P.ThreadsPerCore; th++ {
-		o := s.ctxs[core][th].Cur
-		if o == nil || !o.InTx() {
+		row := &s.hot[base+th]
+		if !row.inTx {
 			continue
 		}
-		if o.exactConflict(sig.Write, a) {
+		if row.cur.exactConflict(sig.Write, a) {
 			return true
 		}
 	}

@@ -230,6 +230,10 @@ type Thread struct {
 	// aborts), as Nested LogTM's escape actions do for system calls,
 	// I/O and allocation inside transactions (used by BerkeleyDB, §6.2).
 	escaped bool
+	// escapedOp marks that the stepped request in flight raised escaped
+	// (IssueFetchAdd); delivery of its response clears both, mirroring
+	// the interpreted Escape's deferred clear.
+	escapedOp bool
 
 	// SavedSig holds the signature saved to the log when the OS
 	// descheduled this thread mid-transaction (§4.1).
@@ -249,8 +253,13 @@ type Thread struct {
 	parked    bool
 	pending   *request // request held while descheduled
 	nowCache  sim.Cycle
-	rngSeed   int64 // lazily seeds rng on first API.Rand call
+	rngSeed   int64 // lazily seeds rng on first Rand call
 	rng       *rand.Rand
+
+	// stepped-thread state (internal/txvm): stepFn consumes responses in
+	// place of a goroutine parked in pump.
+	stepped bool
+	stepFn  StepFunc
 
 	// Per-thread statistics.
 	Commits   uint64
@@ -398,14 +407,19 @@ func (a *API) Yield() {
 func (a *API) Now() sim.Cycle { return a.t.nowCache }
 
 // Rand returns the thread's deterministic random source.
-func (a *API) Rand() *rand.Rand {
+func (a *API) Rand() *rand.Rand { return a.t.Rand() }
+
+// Rand returns the thread's deterministic random source. The compiled
+// tape executor draws from it in exactly the order the interpreted
+// body would, so both paths consume one identical stream.
+func (t *Thread) Rand() *rand.Rand {
 	// Seeding a math/rand source fills a 607-word feedback register —
 	// expensive enough to dominate short runs — so the source is built
 	// on first use. The stream is identical to an eagerly seeded one.
-	if a.t.rng == nil {
-		a.t.rng = rand.New(rand.NewSource(a.t.rngSeed))
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(t.rngSeed))
 	}
-	return a.t.rng
+	return t.rng
 }
 
 // Thread returns the underlying thread (for identity and stats).

@@ -140,6 +140,21 @@ func (l *LockedMemory) WriteWord(a addr.PAddr, v uint64) {
 	l.mu.Unlock()
 }
 
+// tlbSize is the number of entries in the direct-mapped translation
+// cache in front of the page map. Translate runs on every simulated
+// memory reference, and the contexts of a machine interleave accesses
+// to many pages, so a one-entry MRU thrashes; 512 entries cover the
+// working set of every modeled workload while costing 8KiB per table.
+const tlbSize = 512
+
+// tlbEntry caches one translation. vtag holds vpn+1 so the zero value
+// means empty (physical page numbers start at 1, but custom allocators
+// may hand out 0, so the tag carries the valid bit instead).
+type tlbEntry struct {
+	vtag uint64
+	ppn  uint64
+}
+
 // PageTable maps one address space's virtual pages to physical pages.
 type PageTable struct {
 	ASID    addr.ASID
@@ -147,12 +162,9 @@ type PageTable struct {
 	nextPhy uint64            // simple bump allocator of physical pages
 	alloc   func() uint64     // overrideable physical page allocator
 
-	// One-entry MRU translation cache: accesses have strong page
-	// locality, so most Translate calls skip the map lookup. Relocate
-	// invalidates it.
-	mruVPN uint64
-	mruPPN uint64
-	mruSet bool
+	// Direct-mapped translation cache: most Translate calls skip the
+	// map lookup. Relocate invalidates the affected slot.
+	tlb [tlbSize]tlbEntry
 }
 
 // NewPageTable returns a page table for the given address space. Physical
@@ -175,15 +187,16 @@ func NewPageTable(asid addr.ASID, alloc func() uint64) *PageTable {
 // fresh physical page on first touch (demand allocation).
 func (pt *PageTable) Translate(v addr.VAddr) addr.PAddr {
 	vpn := v.PageIndex()
-	if pt.mruSet && vpn == pt.mruVPN {
-		return addr.PAddr(pt.mruPPN<<addr.PageShift | v.PageOffset())
+	e := &pt.tlb[vpn&(tlbSize-1)]
+	if e.vtag == vpn+1 {
+		return addr.PAddr(e.ppn<<addr.PageShift | v.PageOffset())
 	}
 	ppn, ok := pt.entries[vpn]
 	if !ok {
 		ppn = pt.alloc()
 		pt.entries[vpn] = ppn
 	}
-	pt.mruVPN, pt.mruPPN, pt.mruSet = vpn, ppn, true
+	e.vtag, e.ppn = vpn+1, ppn
 	return addr.PAddr(ppn<<addr.PageShift | v.PageOffset())
 }
 
@@ -209,7 +222,7 @@ func (pt *PageTable) Relocate(v addr.VAddr) (oldBase, newBase addr.PAddr, err er
 	}
 	np := pt.alloc()
 	pt.entries[vpn] = np
-	pt.mruSet = false
+	pt.tlb[vpn&(tlbSize-1)] = tlbEntry{}
 	return addr.PAddr(ppn << addr.PageShift), addr.PAddr(np << addr.PageShift), nil
 }
 

@@ -1,0 +1,224 @@
+package txvm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// opClass describes which operand fields an opcode uses, for validation
+// and disassembly.
+type opClass struct {
+	dst, src, src2, cnt, vec bool
+	jump                     bool
+	counter, barrier         bool
+	dispatch                 bool
+}
+
+var classes = [numCodes]opClass{
+	OpSet:  {dst: true},
+	OpMov:  {dst: true, src: true},
+	OpAddI: {dst: true, src: true},
+	OpAdd:  {dst: true, src: true, src2: true},
+	OpMulI: {dst: true, src: true},
+	OpDivI: {dst: true, src: true},
+	OpModI: {dst: true, src: true},
+	OpMinI: {dst: true, src: true},
+
+	OpJmp:  {jump: true},
+	OpJz:   {src: true, jump: true},
+	OpJnz:  {src: true, jump: true},
+	OpJltI: {src: true, jump: true},
+	OpJgeI: {src: true, jump: true},
+
+	OpRandInt:   {dst: true},
+	OpRandFlag:  {dst: true},
+	OpDrawCount: {dst: true},
+	OpZipf:      {dst: true},
+	OpZipfVec:   {vec: true, cnt: true},
+	OpSortVec:   {vec: true},
+	OpSeqVec:    {vec: true, src: true, cnt: true},
+
+	OpCounterAdd: {counter: true},
+
+	OpLoad:     {dst: true, dispatch: true},
+	OpStore:    {dispatch: true},
+	OpExchange: {dst: true, dispatch: true},
+	OpFetchAdd: {dst: true, dispatch: true},
+
+	OpForLoad:      {src: true, cnt: true, dispatch: true},
+	OpForStore:     {src: true, src2: true, cnt: true, dispatch: true},
+	OpForLoadV:     {vec: true, dispatch: true},
+	OpForFetchAddV: {vec: true, dispatch: true},
+
+	OpCompute:  {dispatch: true},
+	OpBegin:    {dispatch: true},
+	OpCommit:   {dispatch: true},
+	OpWorkUnit: {dispatch: true},
+	OpBarrier:  {barrier: true, dispatch: true},
+
+	OpLockAcq:    {dispatch: true},
+	OpLockRel:    {dispatch: true},
+	OpLockAcqVec: {vec: true, dispatch: true},
+	OpLockRelVec: {vec: true, dispatch: true},
+
+	OpDone: {dispatch: true},
+}
+
+func regOK(r uint8) bool { return r < NumRegs }
+
+// Validate decodes every instruction, checking operand registers,
+// vector indices, jump targets, and counter/barrier table references.
+// A Program that validates cannot index out of bounds at run time.
+func (p *Program) Validate() error {
+	bad := func(pc int, op *Instr, msg string) error {
+		return fmt.Errorf("txvm: %s: pc %d (%v): %s", p.Name, pc, op.Code, msg)
+	}
+	for pc := range p.Ops {
+		op := &p.Ops[pc]
+		if op.Code >= numCodes {
+			return bad(pc, op, "unknown opcode")
+		}
+		c := classes[op.Code]
+		if c.dst && !regOK(op.Dst) && op.Dst != NoReg {
+			return bad(pc, op, "bad dst register")
+		}
+		if c.dst && op.Dst == NoReg {
+			switch op.Code {
+			case OpLoad, OpExchange, OpFetchAdd: // result may be discarded
+			default:
+				return bad(pc, op, "missing dst register")
+			}
+		}
+		if c.src && !regOK(op.Src) {
+			return bad(pc, op, "bad src register")
+		}
+		if c.src2 && !regOK(op.Src2) {
+			return bad(pc, op, "bad src2 register")
+		}
+		if c.cnt && !regOK(op.Cnt) {
+			return bad(pc, op, "bad count register")
+		}
+		if c.vec && op.Vec >= NumVecs {
+			return bad(pc, op, "bad vector register")
+		}
+		if c.jump && (op.Tgt < 0 || int(op.Tgt) >= len(p.Ops)) {
+			return bad(pc, op, "jump target out of range")
+		}
+		if c.counter && (op.Aux < 0 || int(op.Aux) >= len(p.Counters)) {
+			return bad(pc, op, "counter index out of range")
+		}
+		if c.barrier && (op.Aux < 0 || int(op.Aux) >= len(p.Barriers)) {
+			return bad(pc, op, "barrier index out of range")
+		}
+		switch op.Code {
+		case OpDivI, OpModI:
+			if op.A == 0 {
+				return bad(pc, op, "division by zero immediate")
+			}
+		case OpRandInt:
+			if op.A <= 0 {
+				return bad(pc, op, "Intn bound must be positive")
+			}
+		case OpZipf, OpZipfVec:
+			if op.A <= 0 {
+				return bad(pc, op, "zipf range must be positive")
+			}
+		case OpSeqVec:
+			if op.Ring <= 0 {
+				return bad(pc, op, "seqv needs a positive ring")
+			}
+		case OpLoad, OpStore, OpExchange, OpFetchAdd, OpLockAcq, OpLockRel:
+			if op.Src != NoReg && !regOK(op.Src) {
+				return bad(pc, op, "bad index register")
+			}
+			if op.Src2 != NoReg && op.Src2 != 0 && !regOK(op.Src2) {
+				return bad(pc, op, "bad value register")
+			}
+		case OpForLoad, OpForStore:
+			if op.Ring < 0 {
+				return bad(pc, op, "negative ring")
+			}
+		}
+	}
+	if len(p.Ops) == 0 || p.Ops[len(p.Ops)-1].Code != OpDone {
+		return fmt.Errorf("txvm: %s: tape must end with done", p.Name)
+	}
+	return nil
+}
+
+// Disassemble renders the tape as one line per instruction, stable
+// across runs (golden-tested per workload).
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %s: %d ops, %d counters, %d barriers\n",
+		p.Name, len(p.Ops), len(p.Counters), len(p.Barriers))
+	for pc := range p.Ops {
+		op := &p.Ops[pc]
+		fmt.Fprintf(&sb, "%4d  %-9s%s\n", pc, op.Code.String(), operands(op))
+	}
+	return sb.String()
+}
+
+func reg(r uint8) string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+func operands(op *Instr) string {
+	var f []string
+	c := classes[op.Code]
+	if c.dst {
+		f = append(f, reg(op.Dst))
+	}
+	if c.src || ((c.dispatch || op.Code == OpLockAcq || op.Code == OpLockRel) && op.Src != NoReg && !c.vec) {
+		f = append(f, reg(op.Src))
+	}
+	if (c.src2 || op.Code == OpStore) && op.Src2 != NoReg {
+		f = append(f, reg(op.Src2))
+	}
+	if c.cnt {
+		f = append(f, "n="+reg(op.Cnt))
+	}
+	if c.vec {
+		f = append(f, fmt.Sprintf("v%d", op.Vec))
+	}
+	if c.jump {
+		f = append(f, fmt.Sprintf("->%d", op.Tgt))
+	}
+	if c.counter {
+		f = append(f, fmt.Sprintf("ctr%d", op.Aux))
+	}
+	if c.barrier {
+		f = append(f, fmt.Sprintf("bar%d", op.Aux))
+	}
+	if op.Base != 0 {
+		f = append(f, fmt.Sprintf("base=%#x", uint64(op.Base)))
+	}
+	if op.Stride != 0 {
+		f = append(f, fmt.Sprintf("stride=%d", op.Stride))
+	}
+	if op.Ring != 0 {
+		f = append(f, fmt.Sprintf("ring=%d", op.Ring))
+	}
+	if op.A != 0 {
+		f = append(f, fmt.Sprintf("a=%d", op.A))
+	}
+	if op.F != 0 {
+		f = append(f, fmt.Sprintf("f=%g", op.F))
+	}
+	if op.Esc {
+		f = append(f, "esc")
+	}
+	if op.Open {
+		f = append(f, "open")
+	}
+	if op.AddJ {
+		f = append(f, "+j")
+	}
+	if len(f) == 0 {
+		return ""
+	}
+	return " " + strings.Join(f, " ")
+}

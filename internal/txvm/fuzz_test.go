@@ -1,0 +1,92 @@
+package txvm
+
+import (
+	"encoding/binary"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/core"
+)
+
+// decodeInstrs deterministically maps arbitrary fuzz bytes to a tape —
+// 20 bytes per instruction, fields taken raw so the fuzzer reaches both
+// valid and invalid encodings — capped well inside Validate's bounds
+// assumptions.
+func decodeInstrs(data []byte) []Instr {
+	const instrBytes = 20
+	n := len(data) / instrBytes
+	if n > 256 {
+		n = 256
+	}
+	ops := make([]Instr, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[i*instrBytes:]
+		ops = append(ops, Instr{
+			Code: Code(b[0] % uint8(numCodes+2)), // reach the unknown-opcode branch too
+			Dst:  b[1],
+			Src:  b[2],
+			Src2: b[3],
+			Cnt:  b[4],
+			Vec:  b[5],
+			Esc:  b[6]&1 != 0,
+			Open: b[6]&2 != 0,
+			AddJ: b[6]&4 != 0,
+			Tgt:  int32(binary.LittleEndian.Uint16(b[7:9])) - 8,
+			Aux:  int32(b[9]) - 2,
+			Base: addr.VAddr(binary.LittleEndian.Uint32(b[10:14])),
+			// Small signed immediates: big enough to hit every
+			// validation branch, small enough to decode visibly.
+			Stride: int64(int8(b[14])),
+			Ring:   int64(int8(b[15])),
+			A:      int64(int16(binary.LittleEndian.Uint16(b[16:18]))),
+			F:      float64(binary.LittleEndian.Uint16(b[18:20])) / 65536,
+		})
+	}
+	return ops
+}
+
+// FuzzValidateDisassemble is the ISA round-trip harness: arbitrary bytes
+// decode to a tape; Validate either rejects it or certifies every
+// operand in bounds, in which case Disassemble must render one line per
+// op (plus the header) without panicking, and a second Validate of the
+// same program must agree (validation is pure).
+func FuzzValidateDisassemble(f *testing.F) {
+	f.Add([]byte{})
+	// A minimal valid tape: set r0, done.
+	valid := make([]byte, 40)
+	valid[0] = byte(OpSet)
+	valid[20] = byte(OpDone)
+	f.Add(valid)
+	// An invalid one: jump past the end.
+	invalid := make([]byte, 40)
+	invalid[0] = byte(OpJmp)
+	binary.LittleEndian.PutUint16(invalid[7:9], 9999)
+	invalid[20] = byte(OpDone)
+	f.Add(invalid)
+	var ctr atomic.Int64
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := &Program{
+			Name:     "fuzz",
+			Ops:      decodeInstrs(data),
+			Counters: []*atomic.Int64{&ctr},
+			Barriers: []*core.Barrier{core.NewBarrier(1)},
+		}
+		err := p.Validate()
+		if err2 := p.Validate(); (err == nil) != (err2 == nil) {
+			t.Fatalf("Validate not pure: %v then %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		out := Disassemble(p)
+		lines := strings.Count(out, "\n")
+		if lines != len(p.Ops)+1 {
+			t.Fatalf("Disassemble: %d lines for %d ops + header", lines, len(p.Ops))
+		}
+		if !strings.HasPrefix(out, "; fuzz: ") {
+			t.Fatalf("Disassemble header missing: %q", out[:min(40, len(out))])
+		}
+	})
+}

@@ -1,0 +1,330 @@
+package txvm
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/core"
+	"logtmse/internal/mem"
+)
+
+// Machine integration tests: build small tapes with the Builder, run
+// them on a real System, and assert the effects in simulated memory.
+// (The root determinism suite proves the compiled workloads mirror the
+// interpreted closures; these tests pin the op semantics directly.)
+
+func testParams() core.Params {
+	p := core.DefaultParams()
+	p.Cores = 4
+	p.ThreadsPerCore = 2
+	p.GridW, p.GridH = 2, 2
+	p.L2Banks = 4
+	return p
+}
+
+// runTapes spawns one stepped thread per program, runs the system to
+// completion, and returns it with the shared page table.
+func runTapes(t *testing.T, progs ...*Program) (*core.System, *sysPT) {
+	t.Helper()
+	sys, err := core.NewSystem(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := sys.NewPageTable(1)
+	for i, p := range progs {
+		th := sys.SpawnStepped(p.Name, 1, pt)
+		Attach(sys, th, p)
+		if err := sys.Place(th, i%sys.P.Cores, (i/sys.P.Cores)%sys.P.ThreadsPerCore); err != nil {
+			t.Fatal(err)
+		}
+		sys.Start(th)
+	}
+	sys.Run()
+	if !sys.AllDone() {
+		t.Fatalf("threads stuck: %v", sys.Stuck())
+	}
+	return sys, &sysPT{sys, pt}
+}
+
+// sysPT bundles a system with a page table for word reads in asserts.
+type sysPT struct {
+	sys *core.System
+	pt  *mem.PageTable
+}
+
+func (sp *sysPT) word(va addr.VAddr) int64 {
+	return int64(sp.sys.Mem.ReadWord(sp.pt.Translate(va)))
+}
+
+const (
+	regionA = addr.VAddr(0x0010_0000) // scalar results
+	regionB = addr.VAddr(0x0020_0000) // fetch-add cell
+	regionC = addr.VAddr(0x0030_0000) // vector loop targets
+	regionL = addr.VAddr(0x0040_0000) // lock table
+	regionD = addr.VAddr(0x0050_0000) // lock-guarded data
+)
+
+func TestMachineArithmeticJumpsCounters(t *testing.T) {
+	var loops, units atomic.Int64
+	b := NewBuilder()
+	// r0..r7: one result per arithmetic op, stored to regionA slot k.
+	b.Set(0, 5)
+	b.AddI(1, 0, 3)  // 8
+	b.Add(2, 0, 1)   // 13
+	b.MulI(3, 2, 2)  // 26
+	b.DivI(4, 3, 5)  // 5
+	b.ModI(5, 3, 5)  // 1
+	b.MinI(6, 3, 10) // 10
+	b.Mov(7, 6)      // 10
+	for k := uint8(0); k < 8; k++ {
+		b.Set(8, int64(k))
+		b.Store(regionA, 8, 8, 0, k)
+	}
+	// Count down r9 from 3; each trip tallies the loop counter. The
+	// JgeI/JltI pair routes the exit so every jump op executes.
+	b.Set(9, 3)
+	b.Label("loop")
+	b.CounterAdd(&loops, NoReg, 1)
+	b.AddI(9, 9, -1)
+	b.Jnz(9, "loop")
+	b.Jz(9, "after")
+	b.Label("after")
+	b.JltI(9, 100, "low")
+	b.Label("low")
+	b.JgeI(9, 0, "done-cmp")
+	b.Jmp("done-cmp") // dead, but resolves and validates
+	b.Label("done-cmp")
+	// Fetch-add twice: second sees the first's value.
+	b.FetchAdd(10, regionB, NoReg, 0, 0, 5, false)
+	b.FetchAdd(10, regionB, NoReg, 0, 0, 5, false)
+	b.Set(11, 8)
+	b.Store(regionA, 11, 8, 0, 10) // old value of second fetch-add: 5
+	// Load back slot 3 (26) and re-store it to slot 9.
+	b.Set(11, 3)
+	b.Load(12, regionA, 11, 8, 0)
+	b.Set(11, 9)
+	b.Store(regionA, 11, 8, 0, 12)
+	// One unit of transactional work plus a compute (and a Compute(0)
+	// no-op) to touch the remaining dispatch paths.
+	b.Begin(false)
+	b.Compute(5)
+	b.Compute(0)
+	b.Commit()
+	b.WorkUnit()
+	b.CounterAdd(&units, NoReg, 1)
+	b.Done()
+	p, err := b.Build("arith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sp := runTapes(t, p)
+
+	want := []int64{5, 8, 13, 26, 5, 1, 10, 10, 5, 26}
+	for k, w := range want {
+		if got := sp.word(regionA + addr.VAddr(k*8)); got != w {
+			t.Errorf("slot %d = %d, want %d", k, got, w)
+		}
+	}
+	if got := sp.word(regionB); got != 10 {
+		t.Errorf("fetch-add cell = %d, want 10", got)
+	}
+	if loops.Load() != 3 {
+		t.Errorf("loop counter = %d, want 3", loops.Load())
+	}
+	if units.Load() != 1 {
+		t.Errorf("unit counter = %d, want 1", units.Load())
+	}
+}
+
+func TestMachineVectorLoops(t *testing.T) {
+	b := NewBuilder()
+	const n = 4
+	b.Set(0, 0) // base index
+	b.Set(1, n) // count
+	// v0 = [0,1,2,3]; store value 7+j at regionC slot j.
+	b.SeqVec(0, 0, 1, 0, 8)
+	b.Set(2, 7)
+	b.ForStore(regionC, 0, 0, 1, 8, 8, 2, true)
+	// Fetch-add 2 into each v0 slot, then load them all back.
+	b.ForFetchAddV(0, regionC, 8, 2)
+	b.ForLoadV(0, regionC, 8)
+	b.ForLoad(regionC, 0, 0, 1, 8, 8)
+	// Zero-iteration loops fall through without dispatching.
+	b.Set(3, 0)
+	b.ForLoad(regionC, 0, 0, 3, 8, 8)
+	// A zipf draw into v1, sorted (the draws land in [0, 8)); bump a
+	// histogram cell per draw so the vector path has a visible effect.
+	b.Set(4, 3)
+	b.ZipfVec(1, 4, 8, 1.5)
+	b.SortVec(1)
+	b.ForFetchAddV(1, regionC+64, 8, 1)
+	b.Done()
+	p, err := b.Build("vec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sp := runTapes(t, p)
+
+	for j := int64(0); j < n; j++ {
+		if got := sp.word(regionC + addr.VAddr(j*8)); got != 7+j+2 {
+			t.Errorf("slot %d = %d, want %d", j, got, 7+j+2)
+		}
+	}
+	var hist int64
+	for j := int64(0); j < 8; j++ {
+		hist += sp.word(regionC + 64 + addr.VAddr(j*8))
+	}
+	if hist != 3 {
+		t.Errorf("zipf histogram total = %d, want 3", hist)
+	}
+}
+
+// lockIncProg increments the data word n times under the single lock at
+// regionL — a non-atomic read-modify-write that is only correct when
+// the spinlock really excludes the other thread.
+func lockIncProg(name string, n int64) *Program {
+	b := NewBuilder()
+	b.Set(0, n)
+	b.Label("loop")
+	b.Jz(0, "end")
+	b.LockAcq(regionL, NoReg, 0)
+	b.Load(1, regionD, NoReg, 0, 0)
+	b.AddI(1, 1, 1)
+	b.Store(regionD, NoReg, 0, 0, 1)
+	b.LockRel(regionL, NoReg, 0)
+	b.AddI(0, 0, -1)
+	b.Jmp("loop")
+	b.Label("end")
+	b.Done()
+	return b.MustBuild(name)
+}
+
+func TestMachineSpinlockExcludes(t *testing.T) {
+	const n = 20
+	_, sp := runTapes(t, lockIncProg("lock-0", n), lockIncProg("lock-1", n))
+	if got := sp.word(regionD); got != 2*n {
+		t.Errorf("guarded counter = %d, want %d (lost updates)", got, 2*n)
+	}
+	if got := sp.word(regionL); got != 0 {
+		t.Errorf("lock word = %d, want 0 (released)", got)
+	}
+}
+
+// lockVecProg acquires a two-lock set (drawn with a duplicate, which
+// buildLockSet must dedup) and bumps one cell per trip.
+func lockVecProg(name string, n int64) *Program {
+	b := NewBuilder()
+	b.Set(0, n)
+	b.Label("loop")
+	b.Jz(0, "end")
+	b.Set(1, 0)
+	b.Set(2, 3)
+	b.SeqVec(0, 1, 2, 0, 2) // v0 = [0,1,0] -> lock set {0,1}
+	b.LockAcqVec(0, regionL, 2)
+	b.FetchAdd(NoReg, regionD+8, NoReg, 0, 0, 1, false)
+	b.LockRelVec(0, regionL, 2)
+	b.AddI(0, 0, -1)
+	b.Jmp("loop")
+	b.Label("end")
+	b.Done()
+	return b.MustBuild(name)
+}
+
+func TestMachineLockVector(t *testing.T) {
+	const n = 10
+	_, sp := runTapes(t, lockVecProg("lv-0", n), lockVecProg("lv-1", n))
+	if got := sp.word(regionD + 8); got != 2*n {
+		t.Errorf("counter = %d, want %d", got, 2*n)
+	}
+	for j := int64(0); j < 2; j++ {
+		if got := sp.word(regionL + addr.VAddr(j*addr.BlockBytes)); got != 0 {
+			t.Errorf("lock %d = %d, want 0", j, got)
+		}
+	}
+}
+
+// conflictProg touches two cells inside a transaction in the given
+// order, with a compute between the touches to widen the conflict
+// window. Opposite orders across two threads force cycle aborts; the
+// replay must leave both cells summing every increment.
+func conflictProg(name string, n int64, first, second addr.VAddr) *Program {
+	b := NewBuilder()
+	b.Set(0, n)
+	b.Label("loop")
+	b.Jz(0, "end")
+	b.Begin(false)
+	b.FetchAdd(NoReg, first, NoReg, 0, 0, 1, false)
+	b.Compute(40)
+	b.FetchAdd(NoReg, second, NoReg, 0, 0, 1, false)
+	// A nested frame inside the contended body exercises depth>1
+	// unwind bookkeeping on the replay path.
+	b.Begin(false)
+	b.Commit()
+	b.Commit()
+	b.WorkUnit()
+	b.AddI(0, 0, -1)
+	b.Jmp("loop")
+	b.Label("end")
+	b.Done()
+	return b.MustBuild(name)
+}
+
+func TestMachineAbortReplay(t *testing.T) {
+	const n = 40
+	a, c := regionB+64, regionB+128
+	sys, sp := runTapes(t, conflictProg("cyc-0", n, a, c), conflictProg("cyc-1", n, c, a))
+	if got := sp.word(a); got != 2*n {
+		t.Errorf("cell A = %d, want %d", got, 2*n)
+	}
+	if got := sp.word(c); got != 2*n {
+		t.Errorf("cell B = %d, want %d", got, 2*n)
+	}
+	st := sys.Stats()
+	if st.Commits != 2*n {
+		t.Errorf("commits = %d, want %d", st.Commits, 2*n)
+	}
+	// Opposite-order contention over 40 trips must abort at least once;
+	// if it never does, this test is not exercising replay.
+	if st.Aborts == 0 {
+		t.Error("no aborts: conflict pattern too weak to test replay")
+	}
+}
+
+func TestDrawHelpers(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if k := DrawCount(r, 7.3, 27); k < 1 || k > 27 {
+			t.Fatalf("DrawCount out of range: %d", k)
+		}
+		if k := DrawCount(r, 0.5, 27); k != 1 {
+			t.Fatalf("DrawCount(mean<=1) = %d, want 1", k)
+		}
+		if z := ZipfIdx(r, 64, 1.5); z < 0 || z >= 64 {
+			t.Fatalf("ZipfIdx out of range: %d", z)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	b.Done()
+	if _, err := b.Build("bad"); err == nil {
+		t.Error("undefined label not rejected")
+	}
+	b2 := NewBuilder()
+	b2.Set(0, 1) // no Done
+	if _, err := b2.Build("bad2"); err == nil {
+		t.Error("missing Done not rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label did not panic")
+		}
+	}()
+	b3 := NewBuilder()
+	b3.Label("x")
+	b3.Label("x")
+}

@@ -2,12 +2,14 @@ package workload
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync/atomic"
 
 	"logtmse/internal/addr"
 	"logtmse/internal/core"
 	"logtmse/internal/lockbase"
+	"logtmse/internal/txvm"
 )
 
 // BerkeleyDB models the paper's BerkeleyDB workload: a driver initializes
@@ -33,7 +35,32 @@ const (
 	bdbLockBlocks  = 64 // lock-table objects, one per block
 	bdbTxnsPerUnit = 9  // lock-subsystem ops per database read
 	bdbDBWords     = 1000
+	bdbMaxSet      = 27 // hard cap on read-/write-set draws
 )
+
+// bdbSets holds one transaction's lock-object index sets in reusable
+// buffers, so the per-transaction draws allocate nothing after the
+// first use.
+type bdbSets struct {
+	ridxs, widxs []int
+	buf          [2 * bdbMaxSet]int
+}
+
+// draw refills ridxs/widxs with the transaction's skewed lock-object
+// sets (write set sorted, per the deadlock-avoidance discipline).
+func (s *bdbSets) draw(rng *rand.Rand) {
+	kr := drawCount(rng, 7.3, 27)
+	s.ridxs = s.buf[:kr:bdbMaxSet]
+	for i := range s.ridxs {
+		s.ridxs[i] = zipfIdx(rng, bdbLockBlocks, 1.5)
+	}
+	kw := drawCount(rng, 7.6, 27)
+	s.widxs = s.buf[bdbMaxSet : bdbMaxSet+kw]
+	for i := range s.widxs {
+		s.widxs[i] = zipfIdx(rng, bdbLockBlocks, 2.8)
+	}
+	sort.Ints(s.widxs)
+}
 
 func spawnBDB(sys *core.System, cfg Config) (*Instance, error) {
 	pt := sys.NewPageTable(1)
@@ -48,6 +75,10 @@ func spawnBDB(sys *core.System, cfg Config) (*Instance, error) {
 	worker := func(id int, a *core.API) {
 		rng := a.Rand()
 		myUnits := split(units, cfg.Threads, id)
+		// Read-/write-set index buffers live for the whole worker; each
+		// transaction reslices them instead of allocating (guarded by
+		// TestBDBDrawSetsNoAlloc).
+		var sets bdbSets
 		for u := 0; u < myUnits; u++ {
 			for tx := 0; tx < bdbTxnsPerUnit; tx++ {
 				// One lock-subsystem operation: read lock-status blocks
@@ -55,17 +86,8 @@ func spawnBDB(sys *core.System, cfg Config) (*Instance, error) {
 				// skewed set of lock objects in sorted order (the
 				// database's deadlock-avoidance discipline), and read a
 				// database word.
-				kr := drawCount(rng, 7.3, 27)
-				ridxs := make([]int, kr)
-				for i := range ridxs {
-					ridxs[i] = zipfIdx(rng, bdbLockBlocks, 1.5)
-				}
-				kw := drawCount(rng, 7.6, 27)
-				widxs := make([]int, kw)
-				for i := range widxs {
-					widxs[i] = zipfIdx(rng, bdbLockBlocks, 2.8)
-				}
-				sort.Ints(widxs)
+				sets.draw(rng)
+				ridxs, widxs := sets.ridxs, sets.widxs
 				writeMeta := rng.Float64() < 0.5
 				// Occasionally a lock object's state is inspected before
 				// acquisition; these reads create the rare read-write
@@ -118,8 +140,16 @@ func spawnBDB(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
-	if err := spawnAll(sys, pt, cfg.Threads, "bdb", worker); err != nil {
-		return nil, err
+	if cfg.Interpret {
+		if err := spawnAll(sys, pt, cfg.Threads, "bdb", worker); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := spawnCompiled(sys, pt, cfg.Threads, "bdb", func(id int) *txvm.Program {
+			return compileBDB(cfg, units, id, &expected)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return &Instance{
 		PT: pt,

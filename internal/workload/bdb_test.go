@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBDBDrawSetsNoAlloc pins the per-transaction draw path as
+// allocation-free: bdbSets reslices its fixed backing array, so a
+// steady-state BerkeleyDB worker performs no heap allocation per
+// transaction for its index sets.
+func TestBDBDrawSetsNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sets bdbSets
+	sets.draw(rng) // warm up (first use may fault in nothing, but be safe)
+	if allocs := testing.AllocsPerRun(100, func() { sets.draw(rng) }); allocs != 0 {
+		t.Fatalf("bdbSets.draw allocates %.1f objects per transaction, want 0", allocs)
+	}
+}
+
+// TestBDBDrawSetsBounds checks the reslicing discipline: ridxs is capped
+// at bdbMaxSet so appends cannot clobber widxs' half of the buffer, and
+// both sets stay within the drawn bounds.
+func TestBDBDrawSetsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sets bdbSets
+	for i := 0; i < 1000; i++ {
+		sets.draw(rng)
+		if len(sets.ridxs) < 1 || len(sets.ridxs) > bdbMaxSet {
+			t.Fatalf("ridxs length %d out of [1, %d]", len(sets.ridxs), bdbMaxSet)
+		}
+		if len(sets.widxs) < 1 || len(sets.widxs) > bdbMaxSet {
+			t.Fatalf("widxs length %d out of [1, %d]", len(sets.widxs), bdbMaxSet)
+		}
+		if cap(sets.ridxs) != bdbMaxSet {
+			t.Fatalf("ridxs cap %d, want %d (full-slice cap would let appends clobber widxs)",
+				cap(sets.ridxs), bdbMaxSet)
+		}
+		for j := 1; j < len(sets.widxs); j++ {
+			if sets.widxs[j-1] > sets.widxs[j] {
+				t.Fatalf("widxs not sorted at %d: %v", j, sets.widxs)
+			}
+		}
+		for _, idx := range sets.ridxs {
+			if idx < 0 || idx >= bdbLockBlocks {
+				t.Fatalf("ridxs index %d out of range", idx)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"logtmse/internal/core"
 	"logtmse/internal/lockbase"
+	"logtmse/internal/txvm"
 )
 
 // Mp3d models the SPLASH rarefied-fluid-flow simulation with 128
@@ -98,8 +99,16 @@ func spawnMp3d(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
-	if err := spawnAll(sys, pt, cfg.Threads, "mp3d", worker); err != nil {
-		return nil, err
+	if cfg.Interpret {
+		if err := spawnAll(sys, pt, cfg.Threads, "mp3d", worker); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := spawnCompiled(sys, pt, cfg.Threads, "mp3d", func(id int) *txvm.Program {
+			return compileMp3d(cfg, steps, id, &moves, stepBarrier)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return &Instance{
 		PT: pt,

@@ -6,6 +6,7 @@ import (
 
 	"logtmse/internal/core"
 	"logtmse/internal/lockbase"
+	"logtmse/internal/txvm"
 )
 
 // NestedMicro is not one of the paper's five benchmarks: it is the
@@ -73,8 +74,16 @@ func spawnNestedMicro(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
-	if err := spawnAll(sys, pt, cfg.Threads, "nest", worker); err != nil {
-		return nil, err
+	if cfg.Interpret {
+		if err := spawnAll(sys, pt, cfg.Threads, "nest", worker); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := spawnCompiled(sys, pt, cfg.Threads, "nest", func(id int) *txvm.Program {
+			return compileNestedMicro(cfg, units, id, &opens)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return &Instance{
 		PT: pt,

@@ -6,6 +6,7 @@ import (
 
 	"logtmse/internal/core"
 	"logtmse/internal/lockbase"
+	"logtmse/internal/txvm"
 )
 
 // Radiosity models the SPLASH radiosity batch run: threads process tasks
@@ -108,8 +109,16 @@ func spawnRadiosity(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
-	if err := spawnAll(sys, pt, cfg.Threads, "rad", worker); err != nil {
-		return nil, err
+	if cfg.Interpret {
+		if err := spawnAll(sys, pt, cfg.Threads, "rad", worker); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := spawnCompiled(sys, pt, cfg.Threads, "rad", func(id int) *txvm.Program {
+			return compileRadiosity(cfg, tasks, id, &patchWrites)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return &Instance{
 		PT: pt,

@@ -6,6 +6,7 @@ import (
 
 	"logtmse/internal/core"
 	"logtmse/internal/lockbase"
+	"logtmse/internal/txvm"
 )
 
 // Raytrace models the SPLASH raytracer on the teapot image: the parallel
@@ -113,8 +114,16 @@ func spawnRaytrace(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
-	if err := spawnAll(sys, pt, cfg.Threads, "ray", worker); err != nil {
-		return nil, err
+	if cfg.Interpret {
+		if err := spawnAll(sys, pt, cfg.Threads, "ray", worker); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := spawnCompiled(sys, pt, cfg.Threads, "ray", func(id int) *txvm.Program {
+			return compileRaytrace(cfg, rays, id, &issued, done)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return &Instance{
 		PT: pt,

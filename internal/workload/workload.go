@@ -13,12 +13,12 @@ package workload
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"logtmse/internal/addr"
 	"logtmse/internal/core"
 	"logtmse/internal/mem"
+	"logtmse/internal/txvm"
 )
 
 // Mode selects the synchronization flavor.
@@ -46,6 +46,13 @@ type Config struct {
 	// Scale multiplies the paper's input sizes (1.0 = Table 2 inputs);
 	// benchmarks use smaller scales to keep iteration fast.
 	Scale float64
+	// Interpret runs the original closure-based workload bodies on
+	// goroutine threads instead of the compiled txvm tapes. The two
+	// executors produce bit-identical Stats (pinned by the determinism
+	// tests); the interpreted path is the readable reference, the
+	// compiled path (the zero-value default) the fast one. Cholesky has
+	// no compiled form and always interprets.
+	Interpret bool
 }
 
 func (c Config) withDefaults(sys *core.System) Config {
@@ -144,34 +151,17 @@ func split(total, n, id int) int {
 	return per
 }
 
-// drawCount draws a set size with the given mean and hard maximum: a
-// geometric-ish distribution with minimum 1, matching the skew the paper
-// reports (small averages, occasional large sets).
+// drawCount draws a set size with the given mean and hard maximum. The
+// math lives in txvm so the compiled tapes consume the identical RNG
+// stream.
 func drawCount(r *rand.Rand, mean float64, max int) int {
-	if mean <= 1 {
-		return 1
-	}
-	// Geometric with success probability 1/mean, shifted to minimum 1.
-	p := 1.0 / mean
-	u := r.Float64()
-	k := 1 + int(math.Log(1-u)/math.Log(1-p))
-	if k < 1 {
-		k = 1
-	}
-	if k > max {
-		k = max
-	}
-	return k
+	return txvm.DrawCount(r, mean, max)
 }
 
 // zipfIdx draws an index in [0, n) skewed toward 0; skew > 1 increases
 // the concentration on hot entries.
 func zipfIdx(r *rand.Rand, n int, skew float64) int {
-	i := int(float64(n) * math.Pow(r.Float64(), skew))
-	if i >= n {
-		i = n - 1
-	}
-	return i
+	return txvm.ZipfIdx(r, n, skew)
 }
 
 // Virtual-memory layout shared by the workloads (each workload runs in

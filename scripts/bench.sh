@@ -49,6 +49,10 @@ go test -run xxx -bench 'BenchmarkSweepCell' \
     -benchtime "$benchtime" -benchmem . >>"$tmp"
 go test -run xxx -bench 'BenchmarkSignatureOps' \
     -benchtime 10000x -benchmem . >>"$tmp"
+# Signature microbenchmarks: scalar vs batched (prepared-probe /
+# InsertBlocks) per filter kind, in internal/sig.
+go test -run xxx -bench 'BenchmarkInsert|BenchmarkMayContain' \
+    -benchtime 10000x -benchmem ./internal/sig >>"$tmp"
 go test -run xxx -bench 'BenchmarkEngine|BenchmarkMemory' \
     -benchtime 10000x -benchmem ./internal/sim ./internal/mem \
     >>"$tmp" 2>/dev/null || true

@@ -37,5 +37,6 @@ go test -fuzz FuzzUnmarshalSignature -fuzztime "$fuzztime" -run xxx ./internal/s
 go test -fuzz FuzzDecode -fuzztime "$fuzztime" -run xxx ./internal/trace
 go test -fuzz FuzzCatapult -fuzztime "$fuzztime" -run xxx ./internal/obs
 go test -fuzz FuzzFingerprint -fuzztime "$fuzztime" -run xxx .
+go test -fuzz FuzzValidateDisassemble -fuzztime "$fuzztime" -run xxx ./internal/txvm
 
 echo "check: OK"
