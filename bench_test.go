@@ -8,12 +8,14 @@ package logtmse
 // scale. The cmd/ tools run the same cells at full scale.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"logtmse/internal/core"
 	"logtmse/internal/osm"
 	"logtmse/internal/sig"
+	"logtmse/internal/snap"
 	"logtmse/internal/workload"
 )
 
@@ -451,4 +453,87 @@ func BenchmarkSignatureOps(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSnapshotRestore measures the snapshot layer itself: capture
+// of a mid-run machine, and restore of that capture onto an already-
+// spawned machine (the fork fast path — spawn cost is excluded, since a
+// sweep reuses pooled machines as fork targets).
+func BenchmarkSnapshotRestore(b *testing.B) {
+	p := DefaultParams()
+	p.Seed = 1
+	w, ok := workload.ByName("Mp3d")
+	if !ok {
+		b.Fatal("no Mp3d workload")
+	}
+	cfg := workload.Config{Scale: benchScale}
+	spawn := func() (*core.System, *workload.Instance) {
+		sys, err := core.NewSystem(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := w.Spawn(sys, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys, inst
+	}
+	donor, dinst := spawn()
+	var shot *snap.Snapshot
+	for cut := Cycle(5_000); cut <= 60_000; cut += 1_000 {
+		donor.RunUntil(cut)
+		if donor.AllDone() {
+			b.Fatal("donor run ended before a snapshot was captured")
+		}
+		if s, err := snap.Capture(donor, dinst); err == nil {
+			shot = s
+			break
+		}
+	}
+	if shot == nil {
+		b.Fatal("no capturable boundary")
+	}
+	b.Run("capture", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.Capture(donor, dinst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		target, tinst := spawn()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := snap.Restore(target, tinst, shot); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkForkedSweepRow measures what prefix sharing buys on a full
+// Figure-4 row: every transactional variant of one (workload, seed)
+// group replays the same timeline until the signatures first disagree,
+// so the shared path runs one reference with ghost signatures and forks
+// the siblings from a snapshot at the divergence point, instead of
+// running every variant from cycle zero. benchdiff reports the
+// shared/plain ratio from these two cells.
+func BenchmarkForkedSweepRow(b *testing.B) {
+	ctx := context.Background()
+	seeds := []int64{1, 2}
+	p := DefaultParams()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Figure4(ctx, "Radiosity", benchScale, seeds, &p, 0, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Figure4Shared(ctx, "Radiosity", benchScale, seeds, &p, 0, 1, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

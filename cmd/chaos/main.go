@@ -13,6 +13,12 @@
 // under the OS model so forced deschedules and page relocations can
 // fire.
 //
+// With -sabotage the fault mixes are replaced by a planted engine bug
+// (one undo record skipped during one abort, at a seed-dependent depth)
+// and the campaign becomes a self-test: the oracles must catch the
+// defect, and with -bisect each caught run is localized to its first
+// bad cycle by binary search over full-state snapshots.
+//
 // The report is byte-identical across repeated invocations with the same
 // flags: all randomness derives from the seeds, and no timestamps or map
 // iteration orders leak in. Reproduce a single failing run with -replay:
@@ -21,6 +27,7 @@
 //	chaos -seeds 50 -mix storm          # one mix only
 //	chaos -replay 137                   # re-run campaign seed 137 exactly
 //	chaos -seeds 200 -out report.json   # write the report to a file
+//	chaos -seeds 8 -sabotage -bisect    # plant a bug, catch it, localize it
 package main
 
 import (
@@ -55,6 +62,10 @@ type runRecord struct {
 	Faults   map[string]uint64      `json:"faults,omitempty"`
 	Failures []logtmse.CheckFailure `json:"failures,omitempty"`
 	Error    string                 `json:"error,omitempty"`
+	// Bisect localizes a sabotage-campaign failure to its first bad
+	// cycle via snapshot binary search (-sabotage -bisect).
+	Bisect      *logtmse.BisectResult `json:"bisect,omitempty"`
+	BisectError string                `json:"bisect_error,omitempty"`
 }
 
 // report is the campaign document. Field order and map encoding are
@@ -74,6 +85,8 @@ type campaign struct {
 	Threads   int     `json:"threads"`
 	MaxCycles uint64  `json:"max_cycles"`
 	Watchdog  uint64  `json:"watchdog_window"`
+	Sabotage  bool    `json:"sabotage,omitempty"`
+	SnapEvery uint64  `json:"snap_every,omitempty"`
 }
 
 type summary struct {
@@ -89,6 +102,12 @@ type config struct {
 	threads   int
 	maxCycles sim.Cycle
 	watchdog  sim.Cycle
+	// sabotage replaces the fault mix with the deliberate undo-walk bug;
+	// bisect then localizes each failure to its first bad cycle by
+	// snapshot binary search with snapEvery stride.
+	sabotage  bool
+	bisect    bool
+	snapEvery sim.Cycle
 	cache     *logtmse.ResultCache
 	// metrics, when set (-metrics-out), is shared by every run; the
 	// campaign then runs serially so the interval snapshots interleave
@@ -116,6 +135,9 @@ func run() int {
 	threads := flag.Int("threads", 8, "worker threads for the harness scenario")
 	maxCycles := flag.Int64("max-cycles", 3_000_000, "hang backstop per run (cycles)")
 	watchdog := flag.Int64("watchdog", 400_000, "progress-watchdog window (cycles; 0 disables)")
+	sabotage := flag.Bool("sabotage", false, "replace the fault mixes with a planted engine bug (one skipped undo record; see core.Sabotage) — the campaign is then a self-test that must catch it")
+	bisect := flag.Bool("bisect", false, "binary-search each sabotage failure to its first bad cycle over full-state snapshots (requires -sabotage)")
+	snapEvery := flag.Uint64("snap-every", 10_000, "snapshot stride in cycles for -bisect")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	verbose := flag.Bool("v", false, "print one line per run to stderr")
 	jobs := flag.Int("j", 0, "parallel campaign runs (0 = GOMAXPROCS); the report is byte-identical for any -j")
@@ -155,8 +177,18 @@ func run() int {
 		}()
 	}
 
+	if *bisect && !*sabotage {
+		fmt.Fprintln(os.Stderr, "chaos: -bisect requires -sabotage (fault mixes are hook state a snapshot cannot carry)")
+		return 2
+	}
 	mixes := fault.MixNames()
-	if *mix != "all" {
+	switch {
+	case *sabotage:
+		// The planted bug replaces the fault plan entirely: sabotage is
+		// plain machine state, which is what lets -bisect snapshot it.
+		mixes = []string{"sabotage"}
+		*mix = "sabotage"
+	case *mix != "all":
 		if _, err := fault.MixPlan(*mix, 0); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
@@ -169,6 +201,9 @@ func run() int {
 		threads:   *threads,
 		maxCycles: sim.Cycle(*maxCycles),
 		watchdog:  sim.Cycle(*watchdog),
+		sabotage:  *sabotage,
+		bisect:    *bisect,
+		snapEvery: sim.Cycle(*snapEvery),
 		cache:     logtmse.CacheFromFlags(*useCache, *cacheDir),
 	}
 	if *metricsOut != "" {
@@ -183,7 +218,11 @@ func run() int {
 		SeedBase: *seedBase, Seeds: *seeds, Mix: *mix,
 		Workload: cfg.workload, Scale: cfg.scale, Threads: cfg.threads,
 		MaxCycles: uint64(cfg.maxCycles), Watchdog: uint64(cfg.watchdog),
+		Sabotage: *sabotage,
 	}}
+	if *bisect {
+		rep.Campaign.SnapEvery = *snapEvery
+	}
 	list := campaignSeeds(*seedBase, *seeds)
 	if *replay != 0 {
 		list = []int64{*replay}
@@ -272,9 +311,40 @@ func run() int {
 	} else {
 		os.Stdout.Write(buf)
 	}
+	if *sabotage {
+		return sabotageVerdict(rep, *bisect)
+	}
 	if rep.Summary.Failed > 0 {
 		return 1
 	}
+	return 0
+}
+
+// sabotageVerdict inverts the exit logic for the self-test campaign: a
+// planted bug that no oracle catches means the oracles are blind, and
+// with -bisect every caught run must also be localized. (Seeds whose
+// sabotage never fired — not enough qualifying aborts — legitimately
+// pass.)
+func sabotageVerdict(rep report, bisect bool) int {
+	if rep.Summary.Failed == 0 {
+		fmt.Fprintln(os.Stderr, "chaos: SELF-TEST FAILED: the sabotaged engine produced no oracle failure")
+		return 1
+	}
+	if bisect {
+		for _, r := range rep.Runs {
+			if r.OK {
+				continue
+			}
+			if r.Bisect == nil || r.Bisect.Failure == nil {
+				fmt.Fprintf(os.Stderr, "chaos: SELF-TEST FAILED: seed %d caught but not localized: %s\n",
+					r.Seed, r.BisectError)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "chaos: seed %d: %s\n", r.Seed, r.Bisect)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "chaos: sabotage self-test passed: %d/%d runs caught the planted bug\n",
+		rep.Summary.Failed, rep.Summary.Runs)
 	return 0
 }
 
@@ -337,13 +407,17 @@ func runSeed(mix string, seed int64, cfg config) runRecord {
 }
 
 // runHarness runs one benchmark seed through the library harness with
-// the fault plan and every oracle attached.
+// the fault plan (or the planted sabotage) and every oracle attached.
 func runHarness(mix string, seed int64, cfg config) runRecord {
 	rec := runRecord{Seed: seed, Mix: mix, Scenario: "harness"}
-	plan, err := fault.MixPlan(mix, 0) // Seed 0: harness derives it from the run seed
-	if err != nil {
-		rec.Error = err.Error()
-		return rec
+	var plan logtmse.FaultPlan
+	if !cfg.sabotage {
+		var err error
+		plan, err = fault.MixPlan(mix, 0) // Seed 0: harness derives it from the run seed
+		if err != nil {
+			rec.Error = err.Error()
+			return rec
+		}
 	}
 	v, _ := logtmse.VariantByName("BS")
 	rc := logtmse.RunConfig{
@@ -356,6 +430,12 @@ func runHarness(mix string, seed int64, cfg config) runRecord {
 		Fault:     plan,
 		Cache:     cfg.cache,
 		Metrics:   cfg.metrics,
+	}
+	if cfg.sabotage {
+		// One corruption per run, buried a seed-dependent number of
+		// aborts deep so the campaign plants the defect at varying
+		// depths of the timeline.
+		rc.Sabotage = logtmse.Sabotage{SkipUndoRecord: true, SkipLimit: 1, SkipAfter: int(seed % 8)}
 	}
 	if cfg.camp != nil && cfg.cache == nil {
 		// Per-cause abort telemetry needs a sink, and a sink makes the
@@ -371,10 +451,31 @@ func runHarness(mix string, seed int64, cfg config) runRecord {
 	rec.Failures = res.CheckFailures
 	if err != nil {
 		rec.Error = err.Error()
+		bisectRecord(&rec, rc, seed, cfg)
 		return rec
 	}
 	rec.OK = true
 	return rec
+}
+
+// bisectRecord localizes a failing sabotage run to its first bad cycle.
+// The probing oracles ride inside BisectFailure itself, so the cell
+// hands over its checks but must shed every observer the snapshot layer
+// refuses (cache is merely useless — sabotaged cells have no
+// fingerprint — but metrics and sinks are hooks).
+func bisectRecord(rec *runRecord, rc logtmse.RunConfig, seed int64, cfg config) {
+	if !cfg.bisect || !cfg.sabotage {
+		return
+	}
+	rc.Cache = nil
+	rc.Metrics = nil
+	rc.Sink = nil
+	br, err := logtmse.BisectFailure(rc, seed, cfg.snapEvery)
+	if err != nil {
+		rec.BisectError = err.Error()
+		return
+	}
+	rec.Bisect = br
 }
 
 // runScheduler runs an oversubscribed shared-counter workload under the

@@ -53,6 +53,7 @@ func run() int {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (catapult) JSON timeline to this file (open in chrome://tracing or Perfetto; summarize with txviz)")
 	metricsOut := flag.String("metrics-out", "", "write the interval metrics time series (counters, gauges, histogram percentiles) as CSV to this file")
 	metricsInterval := flag.Uint64("metrics-interval", 10000, "metrics snapshot interval in cycles")
+	snapEvery := flag.Uint64("snap-every", 0, "capture a full-state snapshot every N cycles and prove the layer on the spot: the last snapshot is restored onto a fresh machine and replayed, and the replay must match bit for bit (needs the compiled executor and no -trace/-trace-out/-metrics-out)")
 	asJSON := flag.Bool("json", false, "emit the result as JSON (for scripting)")
 	printConfig := flag.Bool("print-config", false, "print the Table 1 system parameters and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
@@ -149,7 +150,20 @@ func run() int {
 	if rec != nil {
 		rc.Sink = rec
 	}
-	res, err := logtmse.RunOne(rc, *seed)
+	var res logtmse.RunResult
+	var err error
+	if *snapEvery > 0 {
+		var sc logtmse.SnapSelfCheck
+		res, sc, err = logtmse.RunWithSnapshots(rc, *seed, logtmse.Cycle(*snapEvery))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "logtmsim: %d snapshots; replay from cycle %d of %d bit-identical\n",
+			sc.Snapshots, sc.ResumedFrom, sc.EndCycle)
+	} else {
+		res, err = logtmse.RunOne(rc, *seed)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "logtmsim: %v\n", err)
 		return 1

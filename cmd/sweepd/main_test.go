@@ -84,6 +84,29 @@ func TestSweepdReportMatchesFigure4(t *testing.T) {
 	}
 }
 
+// TestSweepdSharePrefixReportIdentical pins the fabric half of the
+// prefix-sharing claim: a campaign whose local workers execute batched
+// cells through the prefix-shared runner prints a byte-identical report
+// to a plain per-cell campaign, and the sharing actually engaged.
+func TestSweepdSharePrefixReportIdentical(t *testing.T) {
+	var plain, plainLog bytes.Buffer
+	if code := run(context.Background(), campaignArgs("", 2), &plain, &plainLog); code != 0 {
+		t.Fatalf("plain run exited %d\n%s", code, plainLog.String())
+	}
+	var shared, sharedLog bytes.Buffer
+	args := append(campaignArgs("", 2), "-share-prefix", "-idle-inline", "1h")
+	if code := run(context.Background(), args, &shared, &sharedLog); code != 0 {
+		t.Fatalf("share-prefix run exited %d\n%s", code, sharedLog.String())
+	}
+	if !bytes.Equal(plain.Bytes(), shared.Bytes()) {
+		t.Fatalf("share-prefix report differs from plain:\n--- plain\n%s--- shared\n%s",
+			plain.String(), shared.String())
+	}
+	if !strings.Contains(sharedLog.String(), "share-prefix:") {
+		t.Fatalf("share-prefix run printed no sharing summary:\n%s", sharedLog.String())
+	}
+}
+
 // syncBuffer is a bytes.Buffer safe for one writer and one polling
 // reader on different goroutines.
 type syncBuffer struct {
@@ -139,7 +162,7 @@ func TestSweepdWorkerMode(t *testing.T) {
 	}
 
 	var wlog bytes.Buffer
-	if code := runWorker(ctx, base, 2, "", 30*time.Second, &wlog); code != 0 {
+	if code := runWorker(ctx, base, 2, "", 30*time.Second, 0, false, &wlog); code != 0 {
 		t.Fatalf("worker exited %d\n%s\ncoordinator log:\n%s", code, wlog.String(), log.String())
 	}
 	if code := <-codeCh; code != 0 {

@@ -5,6 +5,10 @@ import (
 	"context"
 	"reflect"
 	"testing"
+
+	"logtmse/internal/core"
+	"logtmse/internal/snap"
+	"logtmse/internal/workload"
 )
 
 // goldenCell pins one cell's headline Stats to values recorded before the
@@ -335,6 +339,114 @@ func TestCompiledMatchesInterpreted(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestResetAndRestoreEquivalence closes the loop on machine reuse: for
+// every workload and both executors, a pooled machine (System.Reset +
+// re-spawn) and a machine restored from a snapshot must reproduce a
+// fresh machine's run bit for bit. Interpreted threads live on
+// goroutine stacks mid-run, so their snapshot is taken at cycle zero
+// (every thread still at its start continuation); compiled runs capture
+// mid-flight at the first quiescent boundary past the cut.
+func TestResetAndRestoreEquivalence(t *testing.T) {
+	workloads := []string{"BerkeleyDB", "Cholesky", "Mp3d", "NestedMicro", "Radiosity", "Raytrace"}
+	for _, wname := range workloads {
+		for _, interp := range []bool{false, true} {
+			mode := "compiled"
+			if interp {
+				mode = "interpreted"
+			}
+			wname, interp := wname, interp
+			t.Run(wname+"/"+mode, func(t *testing.T) {
+				t.Parallel()
+				const seed = 3
+				p := core.DefaultParams()
+				p.Cores, p.ThreadsPerCore = 4, 2
+				p.GridW, p.GridH = 2, 2
+				p.L2Banks = 4
+				p.Seed = seed
+				w, ok := workload.ByName(wname)
+				if !ok {
+					t.Fatalf("no workload %q", wname)
+				}
+				cfg := workload.Config{Scale: 0.02, Interpret: interp}
+				spawn := func() (*core.System, *workload.Instance) {
+					sys, err := core.NewSystem(p)
+					if err != nil {
+						t.Fatalf("NewSystem: %v", err)
+					}
+					inst, err := w.Spawn(sys, cfg)
+					if err != nil {
+						t.Fatalf("Spawn: %v", err)
+					}
+					return sys, inst
+				}
+				finish := func(sys *core.System, inst *workload.Instance) core.Stats {
+					sys.Run()
+					if !sys.AllDone() {
+						t.Fatalf("run hung; stuck: %v", sys.Stuck())
+					}
+					if err := inst.Verify(sys); err != nil {
+						t.Fatalf("verify: %v", err)
+					}
+					return sys.Stats()
+				}
+
+				// Fresh reference run, snapshotting on the way.
+				sys, inst := spawn()
+				var shot *snap.Snapshot
+				if interp {
+					s, err := snap.Capture(sys, inst)
+					if err != nil {
+						t.Fatalf("cycle-0 capture: %v", err)
+					}
+					shot = s
+				} else {
+					// Cycle-0 capture as the fallback for cells that finish
+					// before the first cut; prefer a mid-run boundary.
+					if s, err := snap.Capture(sys, inst); err == nil {
+						shot = s
+					}
+					for cut := Cycle(500); cut <= 12_000; cut += 500 {
+						sys.RunUntil(cut)
+						if sys.AllDone() {
+							break
+						}
+						if s, err := snap.Capture(sys, inst); err == nil {
+							shot = s
+							break
+						}
+					}
+				}
+				want := finish(sys, inst)
+
+				// Pooled path: Reset the same machine and run the cell again.
+				if err := sys.Reset(seed); err != nil {
+					t.Fatalf("Reset: %v", err)
+				}
+				rinst, err := w.Spawn(sys, cfg)
+				if err != nil {
+					t.Fatalf("re-spawn after Reset: %v", err)
+				}
+				if got := finish(sys, rinst); got != want {
+					t.Errorf("Reset machine diverged:\n got %+v\nwant %+v", got, want)
+				}
+
+				// Restore path: fork the snapshot onto a fresh machine.
+				if shot == nil {
+					t.Logf("no capturable boundary before the run ended; restore path not exercised")
+					return
+				}
+				fsys, finst := spawn()
+				if err := snap.Restore(fsys, finst, shot); err != nil {
+					t.Fatalf("restore (cycle %d): %v", shot.Cycle, err)
+				}
+				if got := finish(fsys, finst); got != want {
+					t.Errorf("restored machine (cycle %d) diverged:\n got %+v\nwant %+v", shot.Cycle, got, want)
+				}
+			})
 		}
 	}
 }

@@ -75,6 +75,9 @@ type (
 	// FaultPlan configures the deterministic fault injector
 	// (RunConfig.Fault); the zero value injects nothing.
 	FaultPlan = fault.Plan
+	// Sabotage arms a deliberate engine bug (RunConfig.Sabotage); the
+	// zero value is a correct engine.
+	Sabotage = core.Sabotage
 	// Injector drives a FaultPlan against one system.
 	Injector = fault.Injector
 )

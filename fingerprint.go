@@ -32,10 +32,12 @@ const FingerprintSchemaVersion = 2
 // FlightRecorder — are excluded: their value is the event stream, which
 // the cache does not store. Stats are bit-identical with observers on
 // or off, so excluding observed cells costs nothing but re-simulation
-// time.
+// time. Sabotaged cells are excluded too: a deliberately broken run
+// must never be stored under (nor served from) the key of the correct
+// cell the fingerprint names.
 func Cacheable(rc RunConfig) bool {
 	return rc.Tracer == nil && rc.Sink == nil && rc.Metrics == nil &&
-		rc.Prof == nil && rc.Flight == nil &&
+		rc.Prof == nil && rc.Flight == nil && !rc.Sabotage.Active() &&
 		(rc.Params == nil || rc.Params.Sink == nil)
 }
 
@@ -55,7 +57,7 @@ func Cacheable(rc RunConfig) bool {
 // shared cell.
 func Fingerprint(rc RunConfig, seed int64) (string, error) {
 	if !Cacheable(rc) {
-		return "", fmt.Errorf("logtmse: cell with an observer attached has no fingerprint")
+		return "", fmt.Errorf("logtmse: cell with an observer or sabotage attached has no fingerprint")
 	}
 	rc = rc.withDefaults()
 	p := *rc.Params

@@ -112,6 +112,13 @@ type RunConfig struct {
 	// zero Fault.Seed derives one from the run seed so each seed sees a
 	// different (but reproducible) fault schedule.
 	Fault FaultPlan
+	// Sabotage, when active, arms a deliberate engine bug (see
+	// core.Sabotage) — the validation target the oracles, the
+	// differential harness and cycle-level bisect are proved against.
+	// Sabotaged cells are never cached, pooled or prefix-shared; unlike
+	// the hook-based fault injector, sabotage is plain machine state, so
+	// snapshots capture it and BisectFailure can localize its damage.
+	Sabotage Sabotage
 	// Jobs bounds how many seeds run concurrently (0 = GOMAXPROCS,
 	// 1 = serial). Each seed is a share-nothing cell, so the worker
 	// count never changes results — only wall-clock time. Cells with a
@@ -307,6 +314,7 @@ func runOneCold(rc RunConfig, seed int64) (RunResult, error) {
 		}
 	}
 	sys.Tracer = rc.Tracer
+	sys.Sabotage = rc.Sabotage
 	if rc.Metrics != nil {
 		interval := rc.MetricsInterval
 		if interval == 0 {

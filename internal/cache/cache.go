@@ -258,3 +258,35 @@ func (c *Cache) Reset() {
 	c.useClk = 0
 	c.evicted = 0
 }
+
+// Snapshot is a restorable copy of a cache's dynamic state (tags, MESI
+// states, LRU clock, eviction count). Geometry is captured only to
+// validate Restore targets.
+type Snapshot struct {
+	sets, ways int
+	lines      []line
+	useClk     uint32
+	evicted    uint64
+}
+
+// Snapshot captures the cache's dynamic state.
+func (c *Cache) Snapshot() *Snapshot {
+	return &Snapshot{
+		sets: c.sets, ways: c.ways,
+		lines:   append([]line(nil), c.lines...),
+		useClk:  c.useClk,
+		evicted: c.evicted,
+	}
+}
+
+// Restore overwrites the cache's dynamic state from a snapshot taken
+// from a cache of identical geometry.
+func (c *Cache) Restore(s *Snapshot) error {
+	if s.sets != c.sets || s.ways != c.ways {
+		return fmt.Errorf("cache: snapshot geometry %dx%d does not match %dx%d", s.sets, s.ways, c.sets, c.ways)
+	}
+	copy(c.lines, s.lines)
+	c.useClk = s.useClk
+	c.evicted = s.evicted
+	return nil
+}

@@ -179,10 +179,11 @@ func New(cfg Config, now func() sim.Cycle) *Checker {
 		now = func() sim.Cycle { return 0 }
 	}
 	return &Checker{
-		cfg:     cfg.withDefaults(),
-		now:     now,
-		shadow:  make(map[addr.PAddr]*mem.Block),
-		threads: make(map[int]*txState),
+		cfg:          cfg.withDefaults(),
+		now:          now,
+		shadow:       make(map[addr.PAddr]*mem.Block),
+		threads:      make(map[int]*txState),
+		lastProgress: now(),
 	}
 }
 
@@ -198,7 +199,11 @@ func (c *Checker) SetNamer(fn func(tid int) string) { c.name = fn }
 func (c *Checker) SetFlightDump(fn func() string) { c.flightDump = fn }
 
 // SeedShadow initializes the shadow from the current physical memory;
-// call it after workload setup writes but before the run starts.
+// call it after workload setup writes but before the run starts. When
+// the checker attaches to a machine mid-run (a restore-from-snapshot
+// probe), follow with AdoptFrame/AdoptUndo for every open transaction
+// so the shadow rewinds to committed state and the frame stacks match
+// the engine's.
 func (c *Checker) SeedShadow(m *mem.Memory) {
 	if !c.cfg.Shadow {
 		return
@@ -207,6 +212,71 @@ func (c *Checker) SeedShadow(m *mem.Memory) {
 		cp := *b
 		c.shadow[a] = &cp
 	})
+}
+
+// AdoptFrame registers one already-open transaction frame for tid —
+// called outermost first, mirroring OnBegin's bookkeeping, when the
+// checker attaches to a running machine whose threads are mid-
+// transaction. depth is the frame's nesting level (1 = outermost).
+func (c *Checker) AdoptFrame(tid, depth int, open bool) {
+	if depth == 1 {
+		c.activeTx++
+	}
+	if !c.tracksFrames() {
+		return
+	}
+	st := c.thread(tid)
+	st.frames = append(st.frames, &frame{open: open, writes: make(map[addr.PAddr]uint64)})
+	if len(st.frames) != depth {
+		c.fail("shadow", tid, "frame stack depth %d does not match engine depth %d at adoption",
+			len(st.frames), depth)
+	}
+}
+
+// AdoptUndo attaches one engine-logged undo record to tid's innermost
+// adopted frame. old is the record's pre-frame block contents and cur
+// the block's contents now; pa is the record's current translation.
+// rewind is set for the oldest record of each block across the thread's
+// frames: that record holds the committed contents, so the shadow — a
+// copy of current memory — is rewound to it. The frame's individual
+// pre-attach stores are unobservable, but their net effect is exactly
+// cur, so the frame adopts cur as synthetic writes: commit replays them
+// into the shadow, abort discards them, and the real undo records keep
+// the LIFO oracle armed either way.
+func (c *Checker) AdoptUndo(tid int, va addr.VAddr, pa addr.PAddr, old, cur *mem.Block, rewind bool) {
+	if !c.tracksFrames() {
+		return
+	}
+	st := c.thread(tid)
+	f := st.top()
+	if f == nil {
+		c.fail("undo", tid, "undo adoption for %v with no adopted frame", va.Block())
+		return
+	}
+	if c.cfg.UndoLIFO {
+		f.undo = append(f.undo, undoRec{va: va.Block(), old: *old})
+	}
+	if !c.cfg.Shadow {
+		return
+	}
+	blk := pa.Block()
+	if rewind {
+		b, ok := c.shadow[blk]
+		if !ok {
+			b = new(mem.Block)
+			c.shadow[blk] = b
+		}
+		*b = *old
+	}
+	for off := uint64(0); off < addr.BlockBytes; off += addr.WordBytes {
+		w := blk + addr.PAddr(off)
+		var v uint64
+		for i := 0; i < addr.WordBytes; i++ {
+			v |= uint64(cur[off+uint64(i)]) << (8 * uint(i))
+		}
+		f.ops = append(f.ops, op{write: true, word: w, val: v})
+		f.writes[w] = v
+	}
 }
 
 // Failures returns the recorded violations in detection order.

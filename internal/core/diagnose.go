@@ -8,7 +8,9 @@ import (
 	"logtmse/internal/addr"
 	"logtmse/internal/check"
 	"logtmse/internal/coherence"
+	"logtmse/internal/mem"
 	"logtmse/internal/sig"
+	"logtmse/internal/txlog"
 )
 
 // AttachChecker binds the runtime invariant oracles to the system: the
@@ -18,6 +20,11 @@ import (
 // watchdog. Oracles only observe — no latency, no strong events, no
 // engine RNG draws — so Stats stay bit-identical with the checker
 // attached.
+//
+// Attaching mid-run — a restore-from-snapshot probe — is supported:
+// threads caught inside a transaction hand the checker their open log
+// frames, so the shadow rewinds to committed state and commits, aborts
+// and the undo-LIFO walk verify from the first post-attach event.
 func (s *System) AttachChecker(cfg check.Config) *check.Checker {
 	c := check.New(cfg, s.Engine.Now)
 	c.SetNamer(func(tid int) string {
@@ -27,6 +34,25 @@ func (s *System) AttachChecker(cfg check.Config) *check.Checker {
 		return fmt.Sprintf("tid%d", tid)
 	})
 	c.SeedShadow(s.Mem)
+	for _, t := range s.threads {
+		if t.done || t.Log.Depth() == 0 {
+			continue
+		}
+		depth := 0
+		rewound := make(map[addr.PAddr]bool)
+		t.Log.ForEachFrame(func(f *txlog.Frame) {
+			depth++
+			c.AdoptFrame(t.ID, depth, f.Open)
+			for i := range f.Undo {
+				rec := &f.Undo[i]
+				pa := t.PT.Translate(rec.VAddr).Block()
+				var cur mem.Block
+				s.Mem.ReadBlock(pa, &cur)
+				c.AdoptUndo(t.ID, rec.VAddr, pa, &rec.Old, &cur, !rewound[pa])
+				rewound[pa] = true
+			}
+		})
+	}
 	s.Check = c
 	s.Engine.ScheduleWeakEvery(c.Config().AuditEvery, func() bool {
 		s.audit()
@@ -275,6 +301,9 @@ func (s *System) InjectSigNoise(core, thread, n int, salt uint64) int {
 		ctx.Sig.Insert(sig.Read, a)
 		ctx.Sig.Insert(sig.Write, a)
 		inserted++
+	}
+	if s.Shadow != nil && inserted > 0 {
+		s.Shadow.DivergeAll("signature noise injected")
 	}
 	return inserted
 }

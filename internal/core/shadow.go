@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"logtmse/internal/addr"
+	"logtmse/internal/sig"
+	"logtmse/internal/sim"
+)
+
+// ShadowSigs runs ghost signature filters for alternative signature
+// configurations alongside a reference run. Every operation the engine
+// performs on the real per-context signatures — insert, clear, nested
+// save/restore — is mirrored into each variant's ghost filters, and at
+// every consulted probe the ghost answer is compared to the real one.
+// The first operation where a variant's hardware would have answered
+// differently (a filter false positive the reference did not have, or a
+// different signature-copy latency) marks that variant diverged: up to
+// that cycle, a machine built with the variant's signature config
+// executes the byte-identical event sequence as the reference.
+//
+// The prefix-shared sweep runner exploits this: it runs one reference
+// cell per (workload, seed) group with ghosts for the sibling variants,
+// snapshots periodically, and forks each diverged variant from the last
+// snapshot before its divergence point — with the ghost signatures
+// substituted for the reference's via SystemState.WithSignatures. A
+// variant that never diverges needs no fork at all: the reference's
+// RunResult is its result, bit for bit.
+//
+// Mirroring only observes. A system with a ShadowSigs attached produces
+// bit-identical Stats, and CaptureState does not refuse it.
+type ShadowSigs struct {
+	sys      *System
+	variants []*shadowVariant
+	live     int // variants still mirroring; 0 makes every hook a no-op
+}
+
+type shadowVariant struct {
+	name string
+	cfg  sig.Config
+	sigs []*sig.Signature   // ghost signature per context (ctxIdx order)
+	sav  [][]*sig.Signature // ghost nested-save stacks, by thread ID
+
+	// One-entry probe cache per variant, mirroring System.probeFor: a
+	// coherence broadcast tests one address against every context, and
+	// all ghosts of one variant share a geometry.
+	probe      sig.Probe
+	probeAddr  addr.PAddr
+	probeValid bool
+
+	diverged bool
+	divergeC sim.Cycle
+	reason   string
+}
+
+// ShadowStatus reports one variant's mirroring outcome.
+type ShadowStatus struct {
+	Name string
+	// Diverged is false when the variant's hardware would have behaved
+	// identically to the reference for the whole run so far.
+	Diverged bool
+	// Cycle is the divergence cycle (first operation whose outcome
+	// differs); meaningful only when Diverged.
+	Cycle sim.Cycle
+	// Reason says what differed (probe answer, save/restore latency, or
+	// an operation mirroring cannot model).
+	Reason string
+}
+
+// AttachShadow installs ghost filters for the given variant configs and
+// returns the tracker. Call it on a freshly spawned system, before the
+// run starts. Attaching replaces any previous tracker.
+func (s *System) AttachShadow(variants []ShadowVariant) (*ShadowSigs, error) {
+	sh := &ShadowSigs{sys: s}
+	nctx := s.P.Cores * s.P.ThreadsPerCore
+	for _, v := range variants {
+		sv := &shadowVariant{name: v.Name, cfg: v.Sig}
+		for i := 0; i < nctx; i++ {
+			g, err := sig.NewSignature(v.Sig)
+			if err != nil {
+				return nil, fmt.Errorf("core: shadow variant %s: %w", v.Name, err)
+			}
+			sv.sigs = append(sv.sigs, g)
+		}
+		sv.sav = make([][]*sig.Signature, len(s.threads))
+		sh.variants = append(sh.variants, sv)
+	}
+	sh.live = len(sh.variants)
+	s.Shadow = sh
+	return sh, nil
+}
+
+// ShadowVariant names one alternative signature configuration to mirror.
+type ShadowVariant struct {
+	Name string
+	Sig  sig.Config
+}
+
+// Status reports every variant's mirroring outcome, in attach order.
+func (sh *ShadowSigs) Status() []ShadowStatus {
+	out := make([]ShadowStatus, 0, len(sh.variants))
+	for _, v := range sh.variants {
+		out = append(out, ShadowStatus{Name: v.name, Diverged: v.diverged, Cycle: v.divergeC, Reason: v.reason})
+	}
+	return out
+}
+
+// SigOverlay is one variant's ghost signature state cloned at a snapshot
+// boundary: what SystemState.WithSignatures substitutes into a capture so
+// a machine built with the variant's signature config can fork from it.
+type SigOverlay struct {
+	Name    string
+	Cfg     sig.Config
+	ctxSigs []*sig.Signature
+	sav     [][]*sig.Signature
+}
+
+// Overlay deep-clones a live variant's ghost state. It returns nil for a
+// diverged variant (its ghosts stopped mirroring at the divergence point
+// and are stale) and for unknown names.
+func (sh *ShadowSigs) Overlay(name string) *SigOverlay {
+	for _, v := range sh.variants {
+		if v.name != name || v.diverged {
+			continue
+		}
+		ov := &SigOverlay{Name: v.name, Cfg: v.cfg}
+		for _, g := range v.sigs {
+			ov.ctxSigs = append(ov.ctxSigs, g.Clone())
+		}
+		ov.sav = make([][]*sig.Signature, len(v.sav))
+		for tid, stack := range v.sav {
+			for _, g := range stack {
+				ov.sav[tid] = append(ov.sav[tid], g.Clone())
+			}
+		}
+		return ov
+	}
+	return nil
+}
+
+func (sh *ShadowSigs) diverge(v *shadowVariant, reason string) {
+	if v.diverged {
+		return
+	}
+	v.diverged = true
+	v.divergeC = sh.sys.Engine.Now()
+	v.reason = reason
+	sh.live--
+}
+
+// DivergeAll marks every variant diverged — used at operations mirroring
+// does not model (descheduling, summary installs, signature noise).
+func (sh *ShadowSigs) DivergeAll(reason string) {
+	for _, v := range sh.variants {
+		sh.diverge(v, reason)
+	}
+}
+
+func ctxIndex(s *System, ctx *Context) int { return ctx.Core*s.P.ThreadsPerCore + ctx.Thread }
+
+// threadStack returns the variant's ghost save stack slot for a thread,
+// growing the table if threads were spawned after attach.
+func (v *shadowVariant) threadStack(tid int) *[]*sig.Signature {
+	for tid >= len(v.sav) {
+		v.sav = append(v.sav, nil)
+	}
+	return &v.sav[tid]
+}
+
+// insert mirrors ctx.Sig.Insert into every live ghost.
+func (sh *ShadowSigs) insert(ctx *Context, op sig.Op, a addr.PAddr) {
+	if sh.live == 0 {
+		return
+	}
+	ci := ctxIndex(sh.sys, ctx)
+	for _, v := range sh.variants {
+		if v.diverged {
+			continue
+		}
+		v.sigs[ci].Insert(op, a)
+		v.probeValid = false
+	}
+}
+
+// clearAll mirrors the outermost commit/abort clear: ghost signature and
+// ghost save stack both reset.
+func (sh *ShadowSigs) clearAll(ctx *Context, tid int) {
+	if sh.live == 0 {
+		return
+	}
+	ci := ctxIndex(sh.sys, ctx)
+	for _, v := range sh.variants {
+		if v.diverged {
+			continue
+		}
+		v.sigs[ci].ClearAll()
+		*v.threadStack(tid) = (*v.threadStack(tid))[:0]
+		v.probeValid = false
+	}
+}
+
+// pushSave mirrors the nested-begin signature save (ctx.Sig.Clone into
+// the new frame). level is the sigCopyLat level the engine charged; a
+// variant whose copy latency differs diverges here — its machine would
+// schedule the begin completion at a different cycle.
+func (sh *ShadowSigs) pushSave(ctx *Context, tid, level int) {
+	if sh.live == 0 {
+		return
+	}
+	ci := ctxIndex(sh.sys, ctx)
+	refLat := sh.sys.sigCopyLat(level)
+	for _, v := range sh.variants {
+		if v.diverged {
+			continue
+		}
+		if sh.sys.sigCopyLatBits(v.cfg.Bits, level) != refLat {
+			sh.diverge(v, "nested-save latency differs")
+			continue
+		}
+		st := v.threadStack(tid)
+		*st = append(*st, v.sigs[ci].Clone())
+	}
+}
+
+// popRestore mirrors an open-commit or nested-abort signature restore
+// (ctx.Sig.CopyFrom(frame.SavedSig)), with the same latency check.
+func (sh *ShadowSigs) popRestore(ctx *Context, tid, level int) {
+	if sh.live == 0 {
+		return
+	}
+	ci := ctxIndex(sh.sys, ctx)
+	refLat := sh.sys.sigCopyLat(level)
+	for _, v := range sh.variants {
+		if v.diverged {
+			continue
+		}
+		if sh.sys.sigCopyLatBits(v.cfg.Bits, level) != refLat {
+			sh.diverge(v, "restore latency differs")
+			continue
+		}
+		st := v.threadStack(tid)
+		n := len(*st)
+		if n == 0 {
+			sh.diverge(v, "ghost save stack underflow")
+			continue
+		}
+		saved := (*st)[n-1]
+		*st = (*st)[:n-1]
+		if err := v.sigs[ci].CopyFrom(saved); err != nil {
+			sh.diverge(v, "ghost restore failed: "+err.Error())
+			continue
+		}
+		v.probeValid = false
+	}
+}
+
+// popDiscard mirrors a closed-nested commit: the child frame's saved
+// signature is discarded, the accumulated ghost union stays.
+func (sh *ShadowSigs) popDiscard(tid int) {
+	if sh.live == 0 {
+		return
+	}
+	for _, v := range sh.variants {
+		if v.diverged {
+			continue
+		}
+		st := v.threadStack(tid)
+		if n := len(*st); n > 0 {
+			*st = (*st)[:n-1]
+		} else {
+			sh.diverge(v, "ghost save stack underflow")
+		}
+	}
+}
+
+func (v *shadowVariant) probeFor(a addr.PAddr) *sig.Probe {
+	if !v.probeValid || v.probeAddr != a {
+		v.probe = v.sigs[0].PrepareProbe(a)
+		v.probeAddr = a
+		v.probeValid = true
+	}
+	return &v.probe
+}
+
+// checkConflict compares each live ghost's answer to the real filter's
+// at a consulted probe. A mismatch is the variant's first observable
+// behavioral difference: it NACKs (or grants) a request the reference
+// did not.
+func (sh *ShadowSigs) checkConflict(ctx *Context, op sig.Op, a addr.PAddr, actual bool) {
+	if sh.live == 0 {
+		return
+	}
+	ci := ctxIndex(sh.sys, ctx)
+	for _, v := range sh.variants {
+		if v.diverged {
+			continue
+		}
+		if v.sigs[ci].ConflictProbe(op, v.probeFor(a)) != actual {
+			sh.diverge(v, "probe answer differs")
+		}
+	}
+}

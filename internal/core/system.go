@@ -126,6 +126,12 @@ type System struct {
 	// harness can prove it detects real bugs (cmd/difftest -sabotage).
 	// The zero value is a correct engine; never set outside tests.
 	Sabotage Sabotage
+	// Shadow, when attached with AttachShadow, mirrors every signature
+	// operation into ghost filters for alternative signature configs and
+	// tracks where each would first behave differently (the prefix-shared
+	// sweep's divergence detector). Mirroring only observes: Stats are
+	// bit-identical with or without it, and CaptureState permits it.
+	Shadow *ShadowSigs
 }
 
 // Sabotage selects deliberate semantics bugs for differential-test
@@ -135,10 +141,40 @@ type Sabotage struct {
 	// undo record of every aborted frame — a version-management bug
 	// that leaves one block holding uncommitted data after an abort.
 	SkipUndoRecord bool
+	// SkipLimit bounds how many aborted frames SkipUndoRecord corrupts
+	// (0 = every one). A limit of 1 plants exactly one corruption —
+	// the single-defect shape cycle-level bisect localizes.
+	SkipLimit int
+	// SkipAfter spares that many qualifying frames before the first
+	// corruption, placing the planted defect deep in the run (the
+	// bisect canary uses this to land it past the early snapshots).
+	SkipAfter int
+	// seen and fired count qualifying frames spared and corrupted so
+	// far. They are live machine state: CaptureState records them and
+	// RestoreState reinstates them, so a run resumed from a snapshot
+	// fires — or stops firing — exactly where the original run did.
+	seen, fired int
 }
 
 // Active reports whether any sabotage knob is set.
 func (s Sabotage) Active() bool { return s.SkipUndoRecord }
+
+// shouldSkip reports whether the next qualifying undo record is
+// sabotaged, counting the firing against SkipAfter and SkipLimit.
+func (s *Sabotage) shouldSkip() bool {
+	if !s.SkipUndoRecord {
+		return false
+	}
+	if s.seen < s.SkipAfter {
+		s.seen++
+		return false
+	}
+	if s.SkipLimit > 0 && s.fired >= s.SkipLimit {
+		return false
+	}
+	s.fired++
+	return true
+}
 
 // FaultHook lets a fault injector perturb the engine at well-defined
 // points. Implementations must be deterministic functions of their own
@@ -398,6 +434,7 @@ func (s *System) Reset(seed int64) error {
 	s.OnOuterCommit, s.PreemptCheck, s.OnPreempt, s.OnThreadDone = nil, nil, nil, nil
 	s.Tracer, s.Sink, s.Met, s.Check, s.Fault = nil, nil, nil, nil, nil
 	s.Sabotage = Sabotage{}
+	s.Shadow = nil
 	return nil
 }
 
@@ -498,24 +535,32 @@ func (s *System) Start(t *Thread) {
 	if t.ctx == nil {
 		panic("core: Start of unplaced thread " + t.Name)
 	}
+	if t.stepped && t.stepFn == nil {
+		panic("core: Start of stepped thread without a step function: " + t.Name)
+	}
+	t.pendAt, t.pendKey = s.Engine.Schedule(0, s.startFn(t))
+	t.pendKind = pendStart
+}
+
+// startFn builds a thread's kickoff continuation. Stepped threads run the
+// tape up to its first request inline from the start event — the same
+// slot where an interpreted thread, handed the engine by its start event,
+// dispatches its first request. Snapshot restore re-creates the same
+// closure when a captured thread had not yet run.
+func (s *System) startFn(t *Thread) func() {
 	if t.stepped {
-		if t.stepFn == nil {
-			panic("core: Start of stepped thread without a step function: " + t.Name)
-		}
-		// Run the tape up to its first request inline from the start
-		// event — the same slot where an interpreted thread, handed the
-		// engine by its start event, dispatches its first request.
-		s.Engine.Schedule(0, func() {
+		return func() {
+			t.pendKind = pendNone
 			t.nowCache = s.Engine.Now()
 			t.stepFn(OpResult{})
-		})
-		return
+		}
 	}
-	s.Engine.Schedule(0, func() {
+	return func() {
 		// Hand the engine to the thread: it runs its function up to the
 		// first request, dispatches it inline, and keeps driving events.
+		t.pendKind = pendNone
 		s.readied = t
-	})
+	}
 }
 
 // SpawnOn is Spawn+Place+Start on context (core, thread).
@@ -753,34 +798,45 @@ func (s *System) handle(t *Thread, r request) {
 // allocates nothing.
 func (s *System) finish(t *Thread, resp response, lat sim.Cycle) {
 	t.finishResp = resp
-	if t.finishFn == nil {
-		if t.stepped {
-			// Stepped thread: the completion event runs the tape's step
-			// continuation inline — no wake channel, no goroutine switch.
-			// Its next dispatch lands inside this event, the same slot in
-			// the Schedule sequence where an interpreted thread's next
-			// dispatch lands after being readied, so event order (and
-			// every engine RNG draw) is identical across the two paths.
-			t.finishFn = func() {
-				t.nowCache = s.Engine.Now()
-				if t.escapedOp {
-					// The escaped access's response is delivered: the
-					// escape action is over (interpreted Escape clears the
-					// flag via defer at this same point, abort included).
-					t.escaped, t.escapedOp = false, false
-				}
-				r := t.finishResp
-				t.stepFn(OpResult{Val: r.val, Abort: r.abort, ToDepth: r.toDepth, Depth: r.depth})
+	s.ensureFinishFn(t)
+	t.pendAt, t.pendKey = s.Engine.Schedule(lat, t.finishFn)
+	t.pendKind = pendFinish
+}
+
+// ensureFinishFn builds the thread's pooled completion continuation on
+// first use (snapshot restore also calls it, to re-queue a captured
+// completion on a freshly spawned thread).
+func (s *System) ensureFinishFn(t *Thread) {
+	if t.finishFn != nil {
+		return
+	}
+	if t.stepped {
+		// Stepped thread: the completion event runs the tape's step
+		// continuation inline — no wake channel, no goroutine switch.
+		// Its next dispatch lands inside this event, the same slot in
+		// the Schedule sequence where an interpreted thread's next
+		// dispatch lands after being readied, so event order (and
+		// every engine RNG draw) is identical across the two paths.
+		t.finishFn = func() {
+			t.pendKind = pendNone
+			t.nowCache = s.Engine.Now()
+			if t.escapedOp {
+				// The escaped access's response is delivered: the
+				// escape action is over (interpreted Escape clears the
+				// flag via defer at this same point, abort included).
+				t.escaped, t.escapedOp = false, false
 			}
-		} else {
-			t.finishFn = func() {
-				t.nowCache = s.Engine.Now()
-				t.respReady = true
-				s.readied = t
-			}
+			r := t.finishResp
+			t.stepFn(OpResult{Val: r.val, Abort: r.abort, ToDepth: r.toDepth, Depth: r.depth})
+		}
+	} else {
+		t.finishFn = func() {
+			t.pendKind = pendNone
+			t.nowCache = s.Engine.Now()
+			t.respReady = true
+			s.readied = t
 		}
 	}
-	s.Engine.Schedule(lat, t.finishFn)
 }
 
 func (s *System) barrier(t *Thread, b *Barrier) {
@@ -831,6 +887,9 @@ func (s *System) begin(t *Thread, open bool) {
 			})
 			ctx.Filter.Clear()
 			lat += s.sigCopyLat(t.depth - 1)
+			if s.Shadow != nil {
+				s.Shadow.pushSave(ctx, t.ID, t.depth-1)
+			}
 		}
 	}
 	t.Log.Push(nil, saved, open)
@@ -855,13 +914,18 @@ func (s *System) begin(t *Thread, open bool) {
 // from a log frame header. Levels within the backup-signature depth
 // (§3.2 optimization) are free — hardware keeps S_backup copies.
 func (s *System) sigCopyLat(level int) sim.Cycle {
+	return s.sigCopyLatBits(s.P.Signature.Bits, level)
+}
+
+// sigCopyLatBits is sigCopyLat for an arbitrary filter width — the
+// shadow tracker uses it to ask what a variant's hardware would charge.
+func (s *System) sigCopyLatBits(bits, level int) sim.Cycle {
 	if level <= s.P.SigBackupCopies {
 		return 0
 	}
 	if s.P.SigSaveLat > 0 {
 		return s.P.SigSaveLat
 	}
-	bits := s.P.Signature.Bits
 	if bits <= 0 {
 		bits = 2048 // Perfect: model a 2 Kb software image
 	}
@@ -897,6 +961,9 @@ func (s *System) commit(t *Thread) {
 			t.exact = snap.set
 			t.depth--
 			s.recountTx(t.ctx.Core)
+			if s.Shadow != nil {
+				s.Shadow.popRestore(ctx, t.ID, t.depth)
+			}
 			if s.Tracer != nil {
 				s.trace(t, "commit open depth=%d", t.depth+1)
 			}
@@ -918,6 +985,9 @@ func (s *System) commit(t *Thread) {
 		}
 		if s.P.CD != CDCacheBits {
 			t.exactStack = t.exactStack[:len(t.exactStack)-1]
+			if s.Shadow != nil {
+				s.Shadow.popDiscard(t.ID)
+			}
 		}
 		t.depth--
 		s.recountTx(t.ctx.Core)
@@ -959,6 +1029,9 @@ func (s *System) commit(t *Thread) {
 	t.exactStack = t.exactStack[:0]
 	ctx.Sig.ClearAll()
 	ctx.Filter.Clear()
+	if s.Shadow != nil {
+		s.Shadow.clearAll(ctx, t.ID)
+	}
 	if s.P.CD == CDCacheBits {
 		// Flash clear of the R/W bits and overflow flag (the cache-array
 		// operation LogTM-SE eliminates).
@@ -1066,6 +1139,9 @@ func (s *System) access(t *Thread, r request, op sig.Op) {
 			}
 		} else {
 			ctx.Sig.Insert(op, pa)
+			if s.Shadow != nil {
+				s.Shadow.insert(ctx, op, pa)
+			}
 			if s.Check != nil {
 				s.Check.OnSigInsert(t.ID, ctx.Sig, op, pa)
 			}
@@ -1355,13 +1431,23 @@ func nackFlags(falsePos, sticky, overflow bool, op sig.Op) uint64 {
 // closure per retry dominated the allocation profile.
 func (s *System) scheduleRetry(t *Thread, retry request, op sig.Op) {
 	t.retryReq, t.retryOp, t.retryEpoch = retry, op, t.abortEpoch
-	if t.retryFn == nil {
-		t.retryFn = func() {
-			t.checkRetryEpoch(t.retryEpoch)
-			s.access(t, t.retryReq, t.retryOp)
-		}
+	s.ensureRetryFn(t)
+	t.pendAt, t.pendKey = s.Engine.Schedule(s.P.StallRetryLat+s.jitter()+s.faultRetryDelay(t), t.retryFn)
+	t.pendKind = pendRetry
+}
+
+// ensureRetryFn builds the thread's pooled NACK-retry continuation on
+// first use (snapshot restore also calls it, to re-queue a captured
+// retry on a freshly spawned thread).
+func (s *System) ensureRetryFn(t *Thread) {
+	if t.retryFn != nil {
+		return
 	}
-	s.Engine.Schedule(s.P.StallRetryLat+s.jitter()+s.faultRetryDelay(t), t.retryFn)
+	t.retryFn = func() {
+		t.pendKind = pendNone
+		t.checkRetryEpoch(t.retryEpoch)
+		s.access(t, t.retryReq, t.retryOp)
+	}
 }
 
 func (s *System) jitter() sim.Cycle {
@@ -1428,7 +1514,7 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 		restored := 0
 		frame, err := t.Log.Abort(func(rec txlog.UndoRecord) {
 			restored++
-			if s.Sabotage.SkipUndoRecord && restored == 1 {
+			if restored == 1 && s.Sabotage.shouldSkip() {
 				return // deliberate bug: first record not rolled back
 			}
 			pa := t.PT.Translate(rec.VAddr)
@@ -1450,6 +1536,9 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 		if t.depth == 0 {
 			ctx.Sig.ClearAll()
 			ctx.Filter.Clear()
+			if s.Shadow != nil {
+				s.Shadow.clearAll(ctx, t.ID)
+			}
 			if s.P.CD == CDCacheBits {
 				clear(ctx.rwRead)
 				clear(ctx.rwWrite)
@@ -1479,6 +1568,9 @@ func (s *System) abort(t *Thread, cause obs.AbortCause) {
 			t.exact = snap.set
 			ctx.Filter.Clear()
 			lat += s.sigCopyLat(t.depth)
+			if s.Shadow != nil {
+				s.Shadow.popRestore(ctx, t.ID, t.depth)
+			}
 			if s.Check != nil {
 				er, ew := t.ExactSets()
 				s.Check.SigCovers(t.ID, "nested-abort restore", ctx.Sig, er, ew)
@@ -1575,7 +1667,11 @@ func (s *System) ctxConflict(ctx *Context, op sig.Op, a addr.PAddr) bool {
 		}
 		return ctx.rwRead[a] || ctx.rwWrite[a]
 	}
-	return ctx.Sig.ConflictProbe(op, s.probeFor(a))
+	hit := ctx.Sig.ConflictProbe(op, s.probeFor(a))
+	if s.Shadow != nil {
+		s.Shadow.checkConflict(ctx, op, a, hit)
+	}
+	return hit
 }
 
 // SignatureCheck implements eager conflict detection at a target core: a
@@ -1644,7 +1740,11 @@ func (s *System) MayBeInSignature(core int, a addr.PAddr) bool {
 			}
 			continue
 		}
-		if ctx.Sig.ConflictProbe(sig.Write, s.probeFor(a)) {
+		h := ctx.Sig.ConflictProbe(sig.Write, s.probeFor(a))
+		if s.Shadow != nil {
+			s.Shadow.checkConflict(ctx, sig.Write, a, h)
+		}
+		if h {
 			hit = true
 		}
 	}
@@ -1682,7 +1782,11 @@ func (s *System) SignatureMember(core int, req coherence.Request) bool {
 		}
 		// A write probe conflicts with both the read and write sets, so
 		// it is exactly set membership.
-		if ctx.Sig.ConflictProbe(sig.Write, s.probeFor(req.Addr)) {
+		h := ctx.Sig.ConflictProbe(sig.Write, s.probeFor(req.Addr))
+		if s.Shadow != nil {
+			s.Shadow.checkConflict(ctx, sig.Write, req.Addr, h)
+		}
+		if h {
 			return true
 		}
 	}
@@ -1723,6 +1827,9 @@ func (s *System) Deschedule(t *Thread) {
 		panic("core: original LogTM cannot context-switch mid-transaction (R/W bits are not software accessible): " + t.Name)
 	}
 	ctx := t.ctx
+	if s.Shadow != nil {
+		s.Shadow.DivergeAll("thread descheduled")
+	}
 	if t.InTx() {
 		t.SavedSig = ctx.Sig.Clone()
 	} else {
@@ -1760,5 +1867,8 @@ func (s *System) ScheduleOn(t *Thread, core, thread int) error {
 // InstallSummary sets the summary signature checked on every memory
 // reference by the context. Pass nil to clear.
 func (s *System) InstallSummary(core, thread int, sum *sig.Signature) {
+	if s.Shadow != nil {
+		s.Shadow.DivergeAll("summary signature installed")
+	}
 	s.ctxs[core][thread].Summary = sum
 }

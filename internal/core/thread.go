@@ -242,6 +242,17 @@ type Thread struct {
 	// must trap to the OS to recompute summary signatures.
 	NeedsSummaryUpdate bool
 
+	// Pending-continuation descriptor: while the thread's single
+	// scheduled continuation is in the event queue, pendKind records
+	// which closure it is and pendAt/pendKey its heap position. Snapshot
+	// capture serializes these three fields instead of the closure; a
+	// restore re-creates the closure and re-inserts it at the original
+	// ordering key (sim.Engine.ScheduleRaw), reproducing the heap
+	// bit-identically. Cleared at the top of each closure.
+	pendKind uint8
+	pendAt   sim.Cycle
+	pendKey  uint64
+
 	ctx *Context
 	// wake is the engine-ownership handoff: a thread parked in pump (or
 	// at startup) resumes when the current engine owner sends on it (see
@@ -254,6 +265,7 @@ type Thread struct {
 	pending   *request // request held while descheduled
 	nowCache  sim.Cycle
 	rngSeed   int64 // lazily seeds rng on first Rand call
+	rngSrc    *sim.CountingSource
 	rng       *rand.Rand
 
 	// stepped-thread state (internal/txvm): stepFn consumes responses in
@@ -267,6 +279,14 @@ type Thread struct {
 	Stalls    uint64
 	WorkUnits uint64
 }
+
+// Continuation kinds recorded in Thread.pendKind.
+const (
+	pendNone   uint8 = iota
+	pendStart        // Start's kickoff event (thread has not run yet)
+	pendFinish       // finish's completion continuation (finishFn)
+	pendRetry        // scheduleRetry's NACK-retry continuation (retryFn)
+)
 
 // InTx reports whether the thread has an active transaction.
 func (t *Thread) InTx() bool { return t.depth > 0 }
@@ -416,8 +436,11 @@ func (t *Thread) Rand() *rand.Rand {
 	// Seeding a math/rand source fills a 607-word feedback register —
 	// expensive enough to dominate short runs — so the source is built
 	// on first use. The stream is identical to an eagerly seeded one.
+	// The counting wrapper makes (seed, draw count) the complete RNG
+	// state, so a snapshot stores one integer and a restore replays it.
 	if t.rng == nil {
-		t.rng = rand.New(rand.NewSource(t.rngSeed))
+		t.rngSrc = sim.NewCountingSource(t.rngSeed)
+		t.rng = rand.New(t.rngSrc)
 	}
 	return t.rng
 }

@@ -289,29 +289,57 @@ const (
 
 // Lease hands the lowest-index eligible pending cell to worker.
 func (co *Coordinator) Lease(worker string) (Grant, LeaseState, time.Duration) {
+	grants, state, retry := co.LeaseBatch(worker, 1)
+	if state == LeaseCell {
+		return grants[0], state, retry
+	}
+	return Grant{}, state, retry
+}
+
+// LeaseBatch hands up to max lowest-index eligible pending cells to
+// worker in one round trip, each under its own lease — heartbeats,
+// results and failures stay per-cell, so a worker that dies mid-batch
+// only re-issues the cells it had not yet delivered. Batching exists
+// for two reasons: it amortizes the poll loop over slow links, and it
+// co-locates adjacent cells on one worker, which is what lets a
+// prefix-sharing executor see a whole variant group (campaign cells are
+// submission-ordered, so consecutive indexes are group-mates).
+func (co *Coordinator) LeaseBatch(worker string, max int) ([]Grant, LeaseState, time.Duration) {
+	if max < 1 {
+		max = 1
+	}
 	now := time.Now()
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	co.activity = now
 	co.expireLocked(now)
 	if co.remaining == 0 {
-		return Grant{}, LeaseDone, 0
+		return nil, LeaseDone, 0
 	}
-	pick := -1
+	var grants []Grant
 	nextEligible := time.Time{}
 	for i := range co.st {
+		if len(grants) >= max {
+			break
+		}
 		if co.st[i].status != statusPending {
 			continue
 		}
-		if !co.st[i].eligibleAt.After(now) {
-			pick = i
-			break
+		if co.st[i].eligibleAt.After(now) {
+			if nextEligible.IsZero() || co.st[i].eligibleAt.Before(nextEligible) {
+				nextEligible = co.st[i].eligibleAt
+			}
+			continue
 		}
-		if nextEligible.IsZero() || co.st[i].eligibleAt.Before(nextEligible) {
-			nextEligible = co.st[i].eligibleAt
-		}
+		co.seq++
+		id := fmt.Sprintf("L%d-%d", co.seq, co.rng.Int63())
+		co.st[i].status = statusLeased
+		co.st[i].leaseID = id
+		co.leases[id] = &lease{id: id, cell: i, worker: worker, expires: now.Add(co.opt.LeaseTTL)}
+		co.granted++
+		grants = append(grants, Grant{LeaseID: id, Cell: co.cells[i], TTL: co.opt.LeaseTTL})
 	}
-	if pick < 0 {
+	if len(grants) == 0 {
 		retry := co.opt.LeaseTTL / 2
 		if !nextEligible.IsZero() {
 			if d := nextEligible.Sub(now); d < retry {
@@ -321,15 +349,9 @@ func (co *Coordinator) Lease(worker string) (Grant, LeaseState, time.Duration) {
 		if retry < 10*time.Millisecond {
 			retry = 10 * time.Millisecond
 		}
-		return Grant{}, LeaseWait, retry
+		return nil, LeaseWait, retry
 	}
-	co.seq++
-	id := fmt.Sprintf("L%d-%d", co.seq, co.rng.Int63())
-	co.st[pick].status = statusLeased
-	co.st[pick].leaseID = id
-	co.leases[id] = &lease{id: id, cell: pick, worker: worker, expires: now.Add(co.opt.LeaseTTL)}
-	co.granted++
-	return Grant{LeaseID: id, Cell: co.cells[pick], TTL: co.opt.LeaseTTL}, LeaseCell, 0
+	return grants, LeaseCell, 0
 }
 
 // Heartbeat extends a live lease and reports whether it is still held;

@@ -743,3 +743,183 @@ func TestWorkerGivesUpOnUnreachableCoordinator(t *testing.T) {
 		t.Fatalf("gave up after %v, want ~100ms budget", elapsed)
 	}
 }
+
+// --- batch leases ---
+
+// TestLeaseBatchGrantsAndWait pins the batch grant contract: up to max
+// lowest-index eligible cells per call, each under its own lease, with
+// per-cell results retiring them independently.
+func TestLeaseBatchGrantsAndWait(t *testing.T) {
+	cells := testCells(5)
+	co, err := NewCoordinator(cells, Options{Inline: inlineExec, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	grants, state, _ := co.LeaseBatch("w1", 3)
+	if state != LeaseCell || len(grants) != 3 {
+		t.Fatalf("first batch: state %v, %d grants, want 3 cells", state, len(grants))
+	}
+	seen := map[string]bool{}
+	for i, g := range grants {
+		if g.Cell.Index != i {
+			t.Fatalf("grant %d is cell %d, want lowest-index-first", i, g.Cell.Index)
+		}
+		if seen[g.LeaseID] {
+			t.Fatalf("duplicate lease ID %q in one batch", g.LeaseID)
+		}
+		seen[g.LeaseID] = true
+	}
+	rest, state, _ := co.LeaseBatch("w2", 10)
+	if state != LeaseCell || len(rest) != 2 {
+		t.Fatalf("second batch: state %v, %d grants, want the 2 remaining cells", state, len(rest))
+	}
+	if _, state, retry := co.LeaseBatch("w3", 4); state != LeaseWait || retry <= 0 {
+		t.Fatalf("drained pool: state %v retry %v, want wait", state, retry)
+	}
+	// Cells retire one at a time; the campaign only finishes when every
+	// batch member reported.
+	for _, g := range append(grants, rest...) {
+		if _, state, _ := co.LeaseBatch("w3", 1); state == LeaseDone {
+			t.Fatalf("campaign done with cell %d still leased", g.Cell.Index)
+		}
+		if _, err := co.Result(g.LeaseID, g.Cell.Key, execPayload(g.Cell)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, state, _ := co.LeaseBatch("w3", 1); state != LeaseDone {
+		t.Fatalf("state %v after all results, want done", state)
+	}
+	got, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPayloads(t, got, baseline(cells))
+}
+
+// TestBatchWorkersJournalResumeByteIdentical is the batch-lease
+// regression gate: a campaign served in multi-cell grants to ExecBatch
+// workers, killed partway, and resumed from its journal must produce
+// the byte-identical report of a never-interrupted single-cell run —
+// and the batch path must actually have engaged.
+func TestBatchWorkersJournalResumeByteIdentical(t *testing.T) {
+	cells := testCells(60)
+	journal := filepath.Join(t.TempDir(), "batch.journal")
+	var maxBatch atomic.Int32
+	var delivered atomic.Int32
+	newWorkers := func(ctx context.Context, base string, n int, interruptAfter int32, interrupt func()) {
+		for i := 0; i < n; i++ {
+			w := &Worker{
+				Base:  base,
+				ID:    fmt.Sprintf("bw%d", i),
+				Batch: 8,
+				Exec:  func(_ context.Context, c Cell) ([]byte, error) { return execPayload(c), nil },
+				ExecBatch: func(_ context.Context, batch []Cell) ([][]byte, error) {
+					if n := int32(len(batch)); n > maxBatch.Load() {
+						maxBatch.Store(n)
+					}
+					out := make([][]byte, len(batch))
+					for i, c := range batch {
+						out[i] = execPayload(c)
+					}
+					if interrupt != nil && delivered.Add(int32(len(batch))) >= interruptAfter {
+						interrupt()
+					}
+					return out, nil
+				},
+			}
+			go w.Run(ctx)
+		}
+	}
+
+	// Phase 1: kill the coordinator after ~a third of the campaign.
+	func() {
+		co, err := NewCoordinator(cells, Options{Inline: inlineExec, LeaseTTL: time.Second, JournalPath: journal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer co.Close()
+		srv := httptest.NewServer(co.Handler())
+		defer srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		wctx, stopWorkers := context.WithCancel(ctx)
+		defer stopWorkers()
+		coCtx, kill := context.WithCancel(ctx)
+		defer kill()
+		newWorkers(wctx, srv.URL, 2, 20, kill)
+		if _, err := co.Run(coCtx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+		}
+	}()
+
+	// Phase 2: resume over the same journal and finish with batch workers.
+	co, err := NewCoordinator(cells, Options{Inline: inlineExec, LeaseTTL: time.Second, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	if p := co.Progress(); p.Resumed == 0 {
+		t.Fatalf("nothing resumed from the journal (progress %+v)", p)
+	}
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	wctx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	newWorkers(wctx, srv.URL, 2, 0, nil)
+	got, err := co.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPayloads(t, got, baseline(cells))
+	if maxBatch.Load() < 2 {
+		t.Fatalf("no multi-cell batch was ever granted (max batch %d)", maxBatch.Load())
+	}
+}
+
+// TestBatchSequentialFallback: a worker with Batch > 1 but no ExecBatch
+// still drains multi-cell grants correctly, one cell at a time, with
+// per-cell failure isolation.
+func TestBatchSequentialFallback(t *testing.T) {
+	cells := testCells(20)
+	poison := cells[7].Key
+	co, err := NewCoordinator(cells, Options{
+		Inline:      inlineExec,
+		LeaseTTL:    time.Second,
+		MaxAttempts: 2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	w := &Worker{
+		Base:  srv.URL,
+		ID:    "seq",
+		Batch: 6,
+		Exec: func(_ context.Context, c Cell) ([]byte, error) {
+			if c.Key == poison {
+				return nil, errors.New("poisoned cell")
+			}
+			return execPayload(c), nil
+		},
+	}
+	go w.Run(ctx)
+	got, err := co.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPayloads(t, got, baseline(cells))
+	p := co.Progress()
+	if p.WorkerFailures < 2 || p.InlineRuns != 1 {
+		t.Fatalf("progress = %+v, want the poison cell quarantined to exactly 1 inline run", p)
+	}
+}

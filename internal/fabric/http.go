@@ -13,6 +13,16 @@ import (
 
 type leaseReq struct {
 	Worker string `json:"worker"`
+	// Max asks for up to that many cells in one grant (0 or absent
+	// means 1, so a coordinator never hands an old single-cell worker
+	// more than it will execute).
+	Max int `json:"max,omitempty"`
+}
+
+type grantMsg struct {
+	LeaseID   string `json:"lease_id"`
+	Cell      Cell   `json:"cell"`
+	TTLMillis int64  `json:"ttl_ms"`
 }
 
 type leaseResp struct {
@@ -21,6 +31,9 @@ type leaseResp struct {
 	Cell        *Cell  `json:"cell,omitempty"`
 	TTLMillis   int64  `json:"ttl_ms,omitempty"`
 	RetryMillis int64  `json:"retry_ms,omitempty"`
+	// Grants carries the full batch; the single-cell fields above
+	// duplicate Grants[0] for rolling compatibility.
+	Grants []grantMsg `json:"grants,omitempty"`
 }
 
 type heartbeatReq struct {
@@ -69,10 +82,15 @@ func (co *Coordinator) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		g, state, retry := co.Lease(req.Worker)
+		grants, state, retry := co.LeaseBatch(req.Worker, req.Max)
 		switch state {
 		case LeaseCell:
-			writeJSON(w, leaseResp{Status: "cell", LeaseID: g.LeaseID, Cell: &g.Cell, TTLMillis: g.TTL.Milliseconds()})
+			resp := leaseResp{Status: "cell", LeaseID: grants[0].LeaseID, Cell: &grants[0].Cell, TTLMillis: grants[0].TTL.Milliseconds()}
+			for _, g := range grants {
+				g := g
+				resp.Grants = append(resp.Grants, grantMsg{LeaseID: g.LeaseID, Cell: g.Cell, TTLMillis: g.TTL.Milliseconds()})
+			}
+			writeJSON(w, resp)
 		case LeaseWait:
 			writeJSON(w, leaseResp{Status: "wait", RetryMillis: retry.Milliseconds()})
 		case LeaseDone:

@@ -28,6 +28,17 @@ type Worker struct {
 	// Exec runs one cell and returns its payload. Panics are trapped
 	// and reported as cell failures, not worker deaths.
 	Exec func(ctx context.Context, c Cell) ([]byte, error)
+	// Batch, when > 1, asks the coordinator for up to that many cells
+	// per lease round trip. Each cell still rides its own lease, so a
+	// death mid-batch only re-issues undelivered cells. Without
+	// ExecBatch the cells run sequentially through Exec (every lease is
+	// heartbeated for the whole batch, so slow cells do not expire
+	// their waiting batch-mates).
+	Batch int
+	// ExecBatch runs a whole granted batch at once and returns one
+	// payload per cell, aligned by index — the hook a prefix-sharing
+	// executor uses to simulate a variant group's common prefix once.
+	ExecBatch func(ctx context.Context, cells []Cell) ([][]byte, error)
 	// Client is the HTTP client; nil means a dedicated client with a
 	// sane timeout.
 	Client *http.Client
@@ -73,8 +84,12 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		max := 1
+		if w.Batch > 1 {
+			max = w.Batch
+		}
 		var resp leaseResp
-		err := w.post(ctx, "/lease", leaseReq{Worker: w.ID}, &resp)
+		err := w.post(ctx, "/lease", leaseReq{Worker: w.ID, Max: max}, &resp)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -111,6 +126,10 @@ func (w *Worker) Run(ctx context.Context) error {
 				return ctx.Err()
 			}
 		case "cell":
+			if len(resp.Grants) > 1 {
+				w.runBatch(ctx, resp.Grants)
+				continue
+			}
 			if resp.Cell == nil {
 				w.logf("fabric worker %s: malformed lease response (no cell)", w.ID)
 				continue
@@ -154,15 +173,19 @@ func (w *Worker) runCell(ctx context.Context, leaseID string, c Cell, ttl time.D
 		w.post(ctx, "/fail", failReq{LeaseID: leaseID, Key: c.Key, Error: err.Error()}, &fr)
 		return
 	}
-	// Deliver the result, retrying transport errors: the coordinator
-	// may process a delivery whose response we never see, so retries
-	// can produce duplicates — which the coordinator drops. A 4xx is
-	// permanent (coordinator closed, unknown key): abandon instead.
+	w.deliver(ctx, leaseID, c.Key, payload)
+}
+
+// deliver posts one result, retrying transport errors: the coordinator
+// may process a delivery whose response we never see, so retries can
+// produce duplicates — which the coordinator drops. A 4xx is permanent
+// (coordinator closed, unknown key): abandon instead.
+func (w *Worker) deliver(ctx context.Context, leaseID, key string, payload []byte) {
 	backoff := 20 * time.Millisecond
 	downSince := time.Now()
 	for {
 		var rr resultResp
-		err := w.post(ctx, "/result", resultReq{LeaseID: leaseID, Key: c.Key, Payload: payload}, &rr)
+		err := w.post(ctx, "/result", resultReq{LeaseID: leaseID, Key: key, Payload: payload}, &rr)
 		if err == nil {
 			return
 		}
@@ -170,20 +193,86 @@ func (w *Worker) runCell(ctx context.Context, leaseID string, c Cell, ttl time.D
 			return
 		}
 		if errors.Is(err, errPermanent) {
-			w.logf("fabric worker %s: result for %s rejected: %v", w.ID, shortKey(c.Key), err)
+			w.logf("fabric worker %s: result for %s rejected: %v", w.ID, shortKey(key), err)
 			return
 		}
 		if w.GiveUpAfter > 0 && time.Since(downSince) >= w.GiveUpAfter {
 			// Abandon: the lease expires and the cell is re-run (or the
 			// campaign is already over and the result is moot).
-			w.logf("fabric worker %s: result for %s undeliverable, abandoning: %v", w.ID, shortKey(c.Key), err)
+			w.logf("fabric worker %s: result for %s undeliverable, abandoning: %v", w.ID, shortKey(key), err)
 			return
 		}
-		w.logf("fabric worker %s: result for %s: %v (retrying in %v)", w.ID, shortKey(c.Key), err, backoff)
+		w.logf("fabric worker %s: result for %s: %v (retrying in %v)", w.ID, shortKey(key), err, backoff)
 		if !sleepCtx(ctx, backoff) {
 			return
 		}
 		backoff = minDuration(backoff*2, time.Second)
+	}
+}
+
+// runBatch executes one granted batch through ExecBatch under every
+// cell's lease, heartbeating all of them, and delivers (or fails) each
+// cell individually — the coordinator never learns batches exist.
+func (w *Worker) runBatch(ctx context.Context, grants []grantMsg) {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	for _, g := range grants {
+		if ttl := time.Duration(g.TTLMillis) * time.Millisecond; ttl > 0 {
+			go w.heartbeatLoop(hbCtx, g.LeaseID, ttl)
+		}
+	}
+	cells := make([]Cell, len(grants))
+	for i, g := range grants {
+		cells[i] = g.Cell
+	}
+	if w.ExecBatch == nil {
+		// Sequential fallback: per-cell execution and per-cell outcome,
+		// under the batch-wide heartbeat umbrella above.
+		for i, g := range grants {
+			if ctx.Err() != nil {
+				return
+			}
+			var payload []byte
+			err := sweep.Trap(func() error {
+				var execErr error
+				payload, execErr = w.Exec(ctx, cells[i])
+				return execErr
+			})
+			if ctx.Err() != nil {
+				return
+			}
+			if err != nil {
+				w.logf("fabric worker %s: cell %s failed: %v", w.ID, shortKey(cells[i].Key), err)
+				var fr resultResp
+				w.post(ctx, "/fail", failReq{LeaseID: g.LeaseID, Key: cells[i].Key, Error: err.Error()}, &fr)
+				continue
+			}
+			w.deliver(ctx, g.LeaseID, cells[i].Key, payload)
+		}
+		return
+	}
+	var payloads [][]byte
+	err := sweep.Trap(func() error {
+		var execErr error
+		payloads, execErr = w.ExecBatch(ctx, cells)
+		return execErr
+	})
+	if err == nil && len(payloads) != len(cells) {
+		err = fmt.Errorf("batch executor returned %d payloads for %d cells", len(payloads), len(cells))
+	}
+	if ctx.Err() != nil {
+		return // killed mid-batch: abandon, the leases expire
+	}
+	if err != nil {
+		w.logf("fabric worker %s: batch of %d cells failed: %v", w.ID, len(cells), err)
+		for _, g := range grants {
+			var fr resultResp
+			w.post(ctx, "/fail", failReq{LeaseID: g.LeaseID, Key: g.Cell.Key, Error: err.Error()}, &fr)
+		}
+		return
+	}
+	for i, g := range grants {
+		w.deliver(ctx, g.LeaseID, g.Cell.Key, payloads[i])
 	}
 }
 

@@ -83,6 +83,24 @@ func (m *Memory) Reset() {
 	m.blocks.Reset()
 }
 
+// Snapshot is a copy-on-write capture of a physical memory: page arrays
+// are shared with the live memory until either side writes them, so
+// taking one is cheap regardless of footprint.
+type Snapshot struct {
+	blocks ptable.Table[Block]
+}
+
+// Snapshot captures the memory contents copy-on-write.
+func (m *Memory) Snapshot() *Snapshot {
+	return &Snapshot{blocks: m.blocks.Snapshot()}
+}
+
+// RestoreFrom resets the memory to a snapshot's contents, again sharing
+// pages copy-on-write; the snapshot can seed any number of restores.
+func (m *Memory) RestoreFrom(s *Snapshot) {
+	m.blocks.RestoreFrom(&s.blocks)
+}
+
 // ForEachBlock calls fn for every touched block, in the deterministic
 // slot order of the underlying page table. The invariant checker uses it
 // to seed its shadow copy.
@@ -224,6 +242,35 @@ func (pt *PageTable) Relocate(v addr.VAddr) (oldBase, newBase addr.PAddr, err er
 	pt.entries[vpn] = np
 	pt.tlb[vpn&(tlbSize-1)] = tlbEntry{}
 	return addr.PAddr(ppn << addr.PageShift), addr.PAddr(np << addr.PageShift), nil
+}
+
+// PageTableState is a restorable copy of a page table's mappings. The
+// TLB is deliberately absent: it is a pure translation cache with no
+// timing or behavioral effect, so restore just leaves it cold.
+type PageTableState struct {
+	Entries map[uint64]uint64
+	NextPhy uint64
+}
+
+// State captures the page table's mappings.
+func (pt *PageTable) State() PageTableState {
+	entries := make(map[uint64]uint64, len(pt.entries))
+	for k, v := range pt.entries {
+		entries[k] = v
+	}
+	return PageTableState{Entries: entries, NextPhy: pt.nextPhy}
+}
+
+// RestoreState overwrites the mappings from a capture and invalidates
+// the TLB. The allocator closure is kept — on a forked system it is the
+// fork's own, bound to the fork's allocation counter.
+func (pt *PageTable) RestoreState(st PageTableState) {
+	pt.entries = make(map[uint64]uint64, len(st.Entries))
+	for k, v := range st.Entries {
+		pt.entries[k] = v
+	}
+	pt.nextPhy = st.NextPhy
+	pt.tlb = [tlbSize]tlbEntry{}
 }
 
 // MappedPages reports the number of mapped virtual pages.

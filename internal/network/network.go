@@ -115,6 +115,18 @@ func (g *Grid) Reset() {
 	g.perturb = nil
 }
 
+// RouterState returns a copy of the per-router next-free cycles (empty
+// when contention modeling is off) for snapshot capture.
+func (g *Grid) RouterState() []sim.Cycle {
+	return append([]sim.Cycle(nil), g.routerFree...)
+}
+
+// RestoreRouterState overwrites the router queues from a capture taken
+// on a grid of identical configuration.
+func (g *Grid) RestoreRouterState(st []sim.Cycle) {
+	copy(g.routerFree, st)
+}
+
 // SetPerturb installs (or, with nil, removes) a latency perturbation: fn
 // receives each computed message latency and returns the latency to
 // charge instead. The fault injector uses it to add hop delay and jitter;

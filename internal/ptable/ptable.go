@@ -29,6 +29,17 @@ type slot[T any] struct {
 	page    uint64 // page number + 1; 0 marks an empty slot
 	present [wordsPerPage]uint64
 	data    *[addr.BlocksPerPage]T
+	cow     bool // data is shared with a snapshot; unshare before any write
+}
+
+// unshare gives the slot a private copy of its page array. Every path
+// that hands out a mutable *T (or writes through data) must call it on a
+// cow slot first; tables that never meet Snapshot/RestoreFrom never set
+// cow, so the normal simulation path pays one predictable branch.
+func (s *slot[T]) unshare() {
+	d := *s.data
+	s.data = &d
+	s.cow = false
 }
 
 // Table maps block-aligned physical addresses to values of T.
@@ -120,6 +131,9 @@ func (t *Table[T]) Get(a addr.PAddr) *T {
 	if s.present[b/64]&(1<<(b%64)) == 0 {
 		return nil
 	}
+	if s.cow {
+		s.unshare() // callers mutate through Get pointers (directory state)
+	}
 	return &s.data[b]
 }
 
@@ -128,6 +142,9 @@ func (t *Table[T]) Get(a addr.PAddr) *T {
 // this call added the block.
 func (t *Table[T]) GetOrCreate(a addr.PAddr) (v *T, created bool) {
 	s := t.ensure(a.PageIndex())
+	if s.cow {
+		s.unshare()
+	}
 	b := blockIdx(a)
 	if s.present[b/64]&(1<<(b%64)) == 0 {
 		s.present[b/64] |= 1 << (b % 64)
@@ -149,6 +166,9 @@ func (t *Table[T]) Delete(a addr.PAddr) {
 	if s.present[b/64]&(1<<(b%64)) == 0 {
 		return
 	}
+	if s.cow {
+		s.unshare()
+	}
 	s.present[b/64] &^= 1 << (b % 64)
 	s.data[b] = *new(T)
 	t.blocks--
@@ -164,6 +184,9 @@ func (t *Table[T]) ForEach(fn func(a addr.PAddr, v *T)) {
 		s := &t.slots[i]
 		if s.page == 0 {
 			continue
+		}
+		if s.cow {
+			s.unshare() // fn receives mutable pointers
 		}
 		base := addr.PAddr((s.page - 1) << addr.PageShift)
 		for w := 0; w < wordsPerPage; w++ {
@@ -185,6 +208,14 @@ func (t *Table[T]) Clear() {
 		if s.page == 0 {
 			continue
 		}
+		if s.cow {
+			// The array belongs to a snapshot too: swap in a fresh
+			// zeroed page instead of zeroing the shared one.
+			s.data = new([addr.BlocksPerPage]T)
+			s.cow = false
+			s.present = [wordsPerPage]uint64{}
+			continue
+		}
 		for w := 0; w < wordsPerPage; w++ {
 			for m := s.present[w]; m != 0; m &= m - 1 {
 				s.data[uint64(w*64)+uint64(bits.TrailingZeros64(m))] = zero
@@ -201,6 +232,15 @@ func (t *Table[T]) Clear() {
 // like a fresh one (a fresh insertion history yields a fresh probe
 // order) without reallocating page storage.
 func (t *Table[T]) Reset() {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.cow {
+			// Drop the shared array entirely: ensure reallocates on the
+			// next touch, and the snapshot keeps sole ownership.
+			s.data, s.cow = nil, false
+			s.present = [wordsPerPage]uint64{}
+		}
+	}
 	t.Clear()
 	for i := range t.slots {
 		t.slots[i].page = 0
@@ -214,10 +254,46 @@ func (t *Table[T]) Clone() Table[T] {
 	for i := range t.slots {
 		s := &t.slots[i]
 		c.slots[i] = *s
+		c.slots[i].cow = false
 		if s.data != nil {
 			d := *s.data
 			c.slots[i].data = &d
 		}
 	}
 	return c
+}
+
+// Snapshot returns a copy-on-write snapshot: slot headers are copied,
+// page data arrays are shared, and both sides are marked cow so the
+// first write on the live table copies the page it dirties. A snapshot
+// is therefore O(slots) to take regardless of how much data is mapped,
+// and the live table keeps running undisturbed. Empty slots' spare
+// arrays (left by Reset) are not shared — they stay private so pooled
+// reuse cannot scribble on snapshot state.
+func (t *Table[T]) Snapshot() Table[T] {
+	c := Table[T]{slots: make([]slot[T], len(t.slots)), pages: t.pages, blocks: t.blocks}
+	for i := range t.slots {
+		s := &t.slots[i]
+		c.slots[i] = *s
+		if s.page == 0 {
+			c.slots[i].data = nil
+			continue
+		}
+		s.cow = true
+		c.slots[i].cow = true
+	}
+	return c
+}
+
+// RestoreFrom resets the table to the state captured in snap, sharing
+// snap's page arrays copy-on-write. snap itself is never mutated, so
+// the same snapshot can seed any number of forks.
+func (t *Table[T]) RestoreFrom(snap *Table[T]) {
+	if cap(t.slots) >= len(snap.slots) {
+		t.slots = t.slots[:len(snap.slots)]
+	} else {
+		t.slots = make([]slot[T], len(snap.slots))
+	}
+	copy(t.slots, snap.slots)
+	t.pages, t.blocks = snap.pages, snap.blocks
 }

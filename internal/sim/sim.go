@@ -21,6 +21,43 @@ import (
 // Cycle is a point in simulated time, measured in processor clock cycles.
 type Cycle uint64
 
+// CountingSource is a seeded rand.Source64 that counts how many values
+// have been drawn from it. math/rand exposes no way to serialize
+// generator state, but every draw (Int63 or Uint64) advances the
+// underlying generator exactly one step — so (seed, draw count) IS the
+// state: a fresh source fast-forwarded by Skip(n) continues the stream
+// bit-identically. The snapshot engine records the count and replays it
+// on restore.
+type CountingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountingSource returns a counting source seeded with seed.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 draws one value.
+func (c *CountingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+// Uint64 draws one value.
+func (c *CountingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+// Seed reseeds the source and zeroes the draw count.
+func (c *CountingSource) Seed(seed int64) { c.n = 0; c.src.Seed(seed) }
+
+// Draws reports how many values have been drawn since seeding.
+func (c *CountingSource) Draws() uint64 { return c.n }
+
+// Skip advances the source by n draws (snapshot restore fast-forward).
+func (c *CountingSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.n += n
+}
+
 // event is a scheduled closure, stored by value in the heap array. Weak
 // events (observability snapshots) never extend a run: Run and RunUntil
 // report the cycle of the last strong event, so instrumentation cannot
@@ -52,7 +89,8 @@ type Engine struct {
 	seq      uint64
 	heap     []event // 4-ary min-heap by (at, seq); index 0 is the root
 	seed     int64
-	rng      *rand.Rand // lazily seeded from seed on first Rand call
+	rng      *rand.Rand      // lazily seeded from seed on first Rand call
+	src      *CountingSource // the source behind rng; draw count = RNG state
 	halted   bool
 	strong   int  // queued non-weak events
 	lastWeak bool // the most recently executed event was weak
@@ -87,9 +125,20 @@ func (e *Engine) Now() Cycle { return e.now }
 // same stream as an eagerly seeded source.
 func (e *Engine) Rand() *rand.Rand {
 	if e.rng == nil {
-		e.rng = rand.New(rand.NewSource(e.seed))
+		e.src = NewCountingSource(e.seed)
+		e.rng = rand.New(e.src)
 	}
 	return e.rng
+}
+
+// RandDraws reports how many values the engine's random source has
+// produced (zero when Rand has never been called). Together with the
+// seed this fully determines the RNG state at a snapshot boundary.
+func (e *Engine) RandDraws() uint64 {
+	if e.src == nil {
+		return 0
+	}
+	return e.src.Draws()
 }
 
 // push inserts ev, sifting parents down rather than swapping so each
@@ -149,11 +198,15 @@ func (e *Engine) pop() event {
 }
 
 // Schedule runs fn after delay cycles (delay 0 runs later in the current
-// cycle, after all previously scheduled work for this cycle).
-func (e *Engine) Schedule(delay Cycle, fn func()) {
+// cycle, after all previously scheduled work for this cycle). It returns
+// the event's absolute cycle and ordering key; callers that track
+// pending events for snapshots record them, everyone else ignores them.
+func (e *Engine) Schedule(delay Cycle, fn func()) (Cycle, uint64) {
 	e.seq++
 	e.strong++
-	e.push(event{at: e.now + delay, key: e.seq << 1, fn: fn})
+	at, key := e.now+delay, e.seq<<1
+	e.push(event{at: at, key: key, fn: fn})
+	return at, key
 }
 
 // ScheduleWeak runs fn after delay cycles like Schedule, but marks the
@@ -191,14 +244,33 @@ func (e *Engine) ScheduleWeakEvery(every Cycle, fn func() bool) {
 }
 
 // ScheduleAt runs fn at absolute cycle at. If at is in the past the event
-// fires at the current cycle.
-func (e *Engine) ScheduleAt(at Cycle, fn func()) {
+// fires at the current cycle. Like Schedule it returns the event's
+// (cycle, key) pair for snapshot bookkeeping.
+func (e *Engine) ScheduleAt(at Cycle, fn func()) (Cycle, uint64) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
 	e.strong++
-	e.push(event{at: at, key: e.seq << 1, fn: fn})
+	key := e.seq << 1
+	e.push(event{at: at, key: key, fn: fn})
+	return at, key
+}
+
+// ScheduleRaw re-queues a strong event with an explicit absolute cycle
+// and ordering key. Snapshot restore uses it to rebuild the event heap:
+// the recorded keys preserve the original insertion order among the
+// re-queued events, so execution order — and with it every downstream
+// RNG draw and statistic — is identical to the run the snapshot was
+// taken from. key must be even (strong) and no greater than the engine's
+// restored sequence counter; ScheduleRaw panics otherwise rather than
+// silently corrupting determinism.
+func (e *Engine) ScheduleRaw(at Cycle, key uint64, fn func()) {
+	if key&1 != 0 || key > e.seq<<1 {
+		panic("sim: ScheduleRaw key out of range")
+	}
+	e.strong++
+	e.push(event{at: at, key: key, fn: fn})
 }
 
 // Pending reports the number of queued events.
@@ -289,4 +361,51 @@ func (e *Engine) RunUntil(limit Cycle) Cycle {
 		last = limit
 	}
 	return last
+}
+
+// EngineState is the restorable scalar state of an Engine at a quiescent
+// boundary (between events). The heap itself is not part of it: queued
+// closures capture live model pointers and cannot be serialized, so the
+// snapshot layer records per-thread pending-event descriptors and
+// rebuilds the heap through ScheduleRaw.
+type EngineState struct {
+	Now       Cycle
+	Seq       uint64
+	Seed      int64
+	RandDraws uint64
+	RandBuilt bool
+}
+
+// State captures the engine's scalar state.
+func (e *Engine) State() EngineState {
+	return EngineState{
+		Now:       e.now,
+		Seq:       e.seq,
+		Seed:      e.seed,
+		RandDraws: e.RandDraws(),
+		RandBuilt: e.rng != nil,
+	}
+}
+
+// RestoreState resets the engine to st with an empty queue: clock and
+// sequence counter as captured, the random source reseeded and
+// fast-forwarded to the captured draw count. The caller then rebuilds
+// the queue with ScheduleRaw.
+func (e *Engine) RestoreState(st EngineState) {
+	clear(e.heap)
+	e.heap = e.heap[:0]
+	e.now, e.seq, e.strong = st.Now, st.Seq, 0
+	e.halted, e.lastWeak = false, false
+	e.seed = st.Seed
+	if !st.RandBuilt {
+		e.rng, e.src = nil, nil
+		return
+	}
+	if e.rng == nil {
+		e.src = NewCountingSource(st.Seed)
+		e.rng = rand.New(e.src)
+	} else {
+		e.rng.Seed(st.Seed)
+	}
+	e.src.Skip(st.RandDraws)
 }

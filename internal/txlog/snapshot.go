@@ -1,0 +1,67 @@
+package txlog
+
+import "fmt"
+
+// Snapshot support: a Log or Filter captured at a quiescent simulation
+// boundary can be rebuilt onto a freshly spawned thread, so a forked run
+// continues bit-identically. Captures are deep copies — the snapshot
+// stays valid however many forks restore from it.
+
+// State returns a deep copy of the active frames, outermost first.
+// Signature-save areas are cloned; undo records are copied.
+func (l *Log) State() []Frame {
+	out := make([]Frame, len(l.frames))
+	for i, f := range l.frames {
+		out[i] = Frame{Checkpoint: f.Checkpoint, Open: f.Open}
+		if f.SavedSig != nil {
+			out[i].SavedSig = f.SavedSig.Clone()
+		}
+		out[i].Undo = append([]UndoRecord(nil), f.Undo...)
+	}
+	return out
+}
+
+// RestoreState rebuilds the log from a State capture, replacing any
+// current frames. The capture itself is left untouched (frames are
+// deep-copied in), so one capture can seed many forks.
+func (l *Log) RestoreState(frames []Frame) {
+	l.Reset()
+	for i := range frames {
+		src := &frames[i]
+		var saved = src.SavedSig
+		if saved != nil {
+			saved = saved.Clone()
+		}
+		f := l.Push(src.Checkpoint, saved, src.Open)
+		f.Undo = append(f.Undo[:0], src.Undo...)
+	}
+}
+
+// FilterState is a restorable copy of a log filter's contents.
+type FilterState struct {
+	Sets, Ways int
+	Tags, Use  []uint64
+	Clk        uint64
+}
+
+// State captures the filter contents.
+func (f *Filter) State() FilterState {
+	return FilterState{
+		Sets: f.sets, Ways: f.ways,
+		Tags: append([]uint64(nil), f.tags...),
+		Use:  append([]uint64(nil), f.use...),
+		Clk:  f.clk,
+	}
+}
+
+// RestoreState overwrites the filter with a capture taken from a filter
+// of identical geometry.
+func (f *Filter) RestoreState(st FilterState) error {
+	if st.Sets != f.sets || st.Ways != f.ways {
+		return fmt.Errorf("txlog: filter geometry mismatch %dx%d vs %dx%d", f.sets, f.ways, st.Sets, st.Ways)
+	}
+	copy(f.tags, st.Tags)
+	copy(f.use, st.Use)
+	f.clk = st.Clk
+	return nil
+}

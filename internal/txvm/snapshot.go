@@ -1,0 +1,78 @@
+package txvm
+
+import (
+	"fmt"
+
+	"logtmse/internal/addr"
+)
+
+// MachineState is a restorable copy of a Machine's execution state: the
+// program counter, registers, vectors, transaction frames and the
+// spinlock engine. The program itself is not part of it — a restore
+// target must be attached to an identical tape, which the fork path
+// guarantees by respawning the cell from its RunConfig.
+type MachineState struct {
+	PC       int
+	Inflight bool
+	Regs     [NumRegs]int64
+	Vecs     [NumVecs][]int64
+	Vlen     [NumVecs]int
+	Frame    [MaxDepth + 1]int32
+	Vi       int64
+	Spin     uint8
+	Backoff  int64
+	SpinAddr addr.VAddr
+	LockSet  [MaxVecLen]int64
+	LockN    int
+	LockI    int
+}
+
+// State captures the machine's execution state. Vectors are deep-copied,
+// so the capture stays valid however many forks restore from it.
+func (m *Machine) State() MachineState {
+	st := MachineState{
+		PC:       m.pc,
+		Inflight: m.inflight,
+		Regs:     m.regs,
+		Vlen:     m.vlen,
+		Frame:    m.frame,
+		Vi:       m.vi,
+		Spin:     m.spin,
+		Backoff:  m.backoff,
+		SpinAddr: m.spinAddr,
+		LockSet:  m.lockSet,
+		LockN:    m.lockN,
+		LockI:    m.lockI,
+	}
+	for i := range m.vecs {
+		st.Vecs[i] = append([]int64(nil), m.vecs[i]...)
+	}
+	return st
+}
+
+// SetState overwrites the machine's execution state from a capture taken
+// on a machine attached to an identical program.
+func (m *Machine) SetState(st MachineState) error {
+	for i := range m.vecs {
+		if len(st.Vecs[i]) != len(m.vecs[i]) {
+			return fmt.Errorf("txvm: %s: vector %d capture length %d, machine has %d",
+				m.p.Name, i, len(st.Vecs[i]), len(m.vecs[i]))
+		}
+	}
+	m.pc = st.PC
+	m.inflight = st.Inflight
+	m.regs = st.Regs
+	for i := range m.vecs {
+		copy(m.vecs[i], st.Vecs[i])
+	}
+	m.vlen = st.Vlen
+	m.frame = st.Frame
+	m.vi = st.Vi
+	m.spin = st.Spin
+	m.backoff = st.Backoff
+	m.spinAddr = st.SpinAddr
+	m.lockSet = st.LockSet
+	m.lockN = st.LockN
+	m.lockI = st.LockI
+	return nil
+}

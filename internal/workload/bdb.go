@@ -140,19 +140,23 @@ func spawnBDB(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
+	var machines []*txvm.Machine
 	if cfg.Interpret {
 		if err := spawnAll(sys, pt, cfg.Threads, "bdb", worker); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := spawnCompiled(sys, pt, cfg.Threads, "bdb", func(id int) *txvm.Program {
+		var err error
+		if machines, err = spawnCompiled(sys, pt, cfg.Threads, "bdb", func(id int) *txvm.Program {
 			return compileBDB(cfg, units, id, &expected)
 		}); err != nil {
 			return nil, err
 		}
 	}
 	return &Instance{
-		PT: pt,
+		PT:       pt,
+		Machines: machines,
+		Counters: []*atomic.Int64{&expected},
 		Verify: func(sys *core.System) error {
 			var got int64
 			for i := 0; i < bdbLockBlocks; i++ {

@@ -84,7 +84,8 @@ func spawnCholesky(sys *core.System, cfg Config) (*Instance, error) {
 		return nil, err
 	}
 	return &Instance{
-		PT: pt,
+		PT:       pt,
+		Barriers: []*core.Barrier{done},
 		Verify: func(sys *core.System) error {
 			head := sys.Mem.ReadWord(pt.Translate(blockAt(regionA, 0)))
 			if head != uint64(tasks) {

@@ -27,22 +27,24 @@ const noReg = txvm.NoReg
 
 // spawnCompiled places n stepped tape threads exactly as spawnAll
 // places interpreted ones (same round-robin contexts, names, ASID, and
-// therefore the same thread IDs and RNG seeds).
-func spawnCompiled(sys *core.System, pt *mem.PageTable, n int, name string, build func(id int) *txvm.Program) error {
+// therefore the same thread IDs and RNG seeds). It returns the attached
+// machines in thread-ID order for snapshot capture.
+func spawnCompiled(sys *core.System, pt *mem.PageTable, n int, name string, build func(id int) *txvm.Program) ([]*txvm.Machine, error) {
 	if n > sys.P.Contexts() {
-		return fmt.Errorf("workload: %d threads exceed %d contexts (use the osm scheduler for oversubscription)", n, sys.P.Contexts())
+		return nil, fmt.Errorf("workload: %d threads exceed %d contexts (use the osm scheduler for oversubscription)", n, sys.P.Contexts())
 	}
+	machines := make([]*txvm.Machine, 0, n)
 	for i := 0; i < n; i++ {
 		c := i % sys.P.Cores
 		th := (i / sys.P.Cores) % sys.P.ThreadsPerCore
 		t := sys.SpawnStepped(fmt.Sprintf("%s-%d", name, i), 1, pt)
-		txvm.Attach(sys, t, build(i))
+		machines = append(machines, txvm.Attach(sys, t, build(i)))
 		if err := sys.Place(t, c, th); err != nil {
-			return err
+			return nil, err
 		}
 		sys.Start(t)
 	}
-	return nil
+	return machines, nil
 }
 
 // --- BerkeleyDB ---------------------------------------------------------------

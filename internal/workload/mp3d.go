@@ -99,19 +99,24 @@ func spawnMp3d(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
+	var machines []*txvm.Machine
 	if cfg.Interpret {
 		if err := spawnAll(sys, pt, cfg.Threads, "mp3d", worker); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := spawnCompiled(sys, pt, cfg.Threads, "mp3d", func(id int) *txvm.Program {
+		var err error
+		if machines, err = spawnCompiled(sys, pt, cfg.Threads, "mp3d", func(id int) *txvm.Program {
 			return compileMp3d(cfg, steps, id, &moves, stepBarrier)
 		}); err != nil {
 			return nil, err
 		}
 	}
 	return &Instance{
-		PT: pt,
+		PT:       pt,
+		Machines: machines,
+		Counters: []*atomic.Int64{&moves},
+		Barriers: []*core.Barrier{stepBarrier},
 		Verify: func(sys *core.System) error {
 			var got int64
 			for c := 0; c < mp3dCells; c++ {

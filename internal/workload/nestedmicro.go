@@ -74,19 +74,23 @@ func spawnNestedMicro(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
+	var machines []*txvm.Machine
 	if cfg.Interpret {
 		if err := spawnAll(sys, pt, cfg.Threads, "nest", worker); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := spawnCompiled(sys, pt, cfg.Threads, "nest", func(id int) *txvm.Program {
+		var err error
+		if machines, err = spawnCompiled(sys, pt, cfg.Threads, "nest", func(id int) *txvm.Program {
 			return compileNestedMicro(cfg, units, id, &opens)
 		}); err != nil {
 			return nil, err
 		}
 	}
 	return &Instance{
-		PT: pt,
+		PT:       pt,
+		Machines: machines,
+		Counters: []*atomic.Int64{&opens},
 		Verify: func(sys *core.System) error {
 			got := int64(sys.Mem.ReadWord(pt.Translate(regionMeta)))
 			if got != opens.Load() {

@@ -109,19 +109,23 @@ func spawnRadiosity(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
+	var machines []*txvm.Machine
 	if cfg.Interpret {
 		if err := spawnAll(sys, pt, cfg.Threads, "rad", worker); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := spawnCompiled(sys, pt, cfg.Threads, "rad", func(id int) *txvm.Program {
+		var err error
+		if machines, err = spawnCompiled(sys, pt, cfg.Threads, "rad", func(id int) *txvm.Program {
 			return compileRadiosity(cfg, tasks, id, &patchWrites)
 		}); err != nil {
 			return nil, err
 		}
 	}
 	return &Instance{
-		PT: pt,
+		PT:       pt,
+		Machines: machines,
+		Counters: []*atomic.Int64{&patchWrites},
 		Verify: func(sys *core.System) error {
 			var got int64
 			for i := 0; i < radiosityPatches; i++ {

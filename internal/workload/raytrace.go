@@ -114,19 +114,24 @@ func spawnRaytrace(sys *core.System, cfg Config) (*Instance, error) {
 		}
 	}
 
+	var machines []*txvm.Machine
 	if cfg.Interpret {
 		if err := spawnAll(sys, pt, cfg.Threads, "ray", worker); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := spawnCompiled(sys, pt, cfg.Threads, "ray", func(id int) *txvm.Program {
+		var err error
+		if machines, err = spawnCompiled(sys, pt, cfg.Threads, "ray", func(id int) *txvm.Program {
 			return compileRaytrace(cfg, rays, id, &issued, done)
 		}); err != nil {
 			return nil, err
 		}
 	}
 	return &Instance{
-		PT: pt,
+		PT:       pt,
+		Machines: machines,
+		Counters: []*atomic.Int64{&issued},
+		Barriers: []*core.Barrier{done},
 		Verify: func(sys *core.System) error {
 			got := int64(sys.Mem.ReadWord(pt.Translate(regionMeta)))
 			if got != issued.Load() {

@@ -14,6 +14,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"logtmse/internal/addr"
 	"logtmse/internal/core"
@@ -71,6 +72,16 @@ type Instance struct {
 	// Verify checks workload invariants after the run (atomicity holds,
 	// no lost updates); it returns nil on success.
 	Verify func(sys *core.System) error
+
+	// Snapshot plumbing (internal/snap): the workload-level mutable
+	// state a System capture cannot see. Machines holds the compiled
+	// tape machines in thread-ID order (empty when interpreting);
+	// Counters the shared verification counters and Barriers the
+	// workload barriers, each in a fixed order every spawn of the same
+	// workload reproduces.
+	Machines []*txvm.Machine
+	Counters []*atomic.Int64
+	Barriers []*core.Barrier
 }
 
 // Workload describes one benchmark.

@@ -1,0 +1,199 @@
+package logtmse
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestSharedRowMatchesUnshared is the prefix-sharing acceptance gate: a
+// Figure 4 row computed with prefix-shared groups must be bit-identical
+// to the same row computed cell by cell — every RunResult, Stats value
+// and derived speedup — and sharing must actually have engaged (at
+// least one group simulated one reference instead of five cells).
+func TestSharedRowMatchesUnshared(t *testing.T) {
+	for _, wl := range []string{"Mp3d", "BerkeleyDB"} {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			p := DefaultParams()
+			seeds := []int64{1, 2}
+			before := SharedPrefixStats()
+			shared, err := Figure4Shared(context.Background(), wl, testScale, seeds, &p, 0, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := SharedPrefixStats()
+			if after.Groups == before.Groups {
+				t.Errorf("no shared group ran (groups %d -> %d)", before.Groups, after.Groups)
+			}
+			plain, err := Figure4(context.Background(), wl, testScale, seeds, &p, 0, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(shared, plain) {
+				t.Errorf("shared row differs from unshared row:\nshared %+v\nplain  %+v", shared, plain)
+			}
+		})
+	}
+}
+
+// TestRunCellsSharedMatchesRunOne pins the general grouped runner
+// against per-cell execution over a Table 3-shaped group (seven TM
+// signature configs of one benchmark) plus an unshareable straggler,
+// and asserts the forked path was exercised: BS_64 is small enough that
+// its ghost filters answer some probe differently mid-run.
+func TestRunCellsSharedMatchesRunOne(t *testing.T) {
+	sigs := []string{"Perfect", "BS", "CBS", "DBS", "BS_64"}
+	var cells []SweepCell
+	for _, name := range sigs {
+		v, ok := VariantByName(name)
+		if !ok {
+			t.Fatalf("unknown variant %q", name)
+		}
+		cells = append(cells, SweepCell{
+			RC:   RunConfig{Workload: "BerkeleyDB", Variant: v, Scale: testScale},
+			Seed: 5,
+		})
+	}
+	// A Lock cell groups with nothing (different synchronization mode)
+	// and must still come back in position, bit-identical.
+	lock, _ := VariantByName("Lock")
+	cells = append(cells, SweepCell{
+		RC:   RunConfig{Workload: "BerkeleyDB", Variant: lock, Scale: testScale},
+		Seed: 5,
+	})
+
+	before := SharedPrefixStats()
+	got, err := RunCellsShared(context.Background(), cells, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := SharedPrefixStats()
+	if after.Groups == before.Groups {
+		t.Errorf("no shared group ran")
+	}
+	if after.Reused == before.Reused && after.Forked == before.Forked {
+		t.Errorf("sharing never reused or forked a cell (reused %d->%d, forked %d->%d, cold %d->%d)",
+			before.Reused, after.Reused, before.Forked, after.Forked, before.Cold, after.Cold)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("got %d results for %d cells", len(got), len(cells))
+	}
+	for i, c := range cells {
+		want, err := RunOne(c.RC, c.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("cell %d (%s): shared result differs\n got %+v\nwant %+v", i, c.RC.Variant.Name, got[i], want)
+		}
+	}
+}
+
+// TestSharedCacheInterchangeable pins cache interchangeability in both
+// directions: results computed by a shared group serve later unshared
+// cached runs, and a cache warmed by unshared runs short-circuits the
+// shared group entirely.
+func TestSharedCacheInterchangeable(t *testing.T) {
+	mk := func(name string, cache *ResultCache) RunConfig {
+		v, _ := VariantByName(name)
+		return RunConfig{Workload: "Mp3d", Variant: v, Scale: testScale, Cache: cache}
+	}
+	names := []string{"Perfect", "BS", "BS_64"}
+
+	// Shared first: the group populates the cache.
+	cache := NewResultCache("", 0)
+	var rcs []RunConfig
+	for _, n := range names {
+		rcs = append(rcs, mk(n, cache))
+	}
+	shared, err := RunShared(context.Background(), rcs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterShared := cache.Stats().Misses
+	if missesAfterShared == 0 {
+		t.Fatalf("shared group stored nothing")
+	}
+	for i, n := range names {
+		r, err := RunOne(mk(n, cache), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r, shared[i]) {
+			t.Errorf("%s: cached unshared result differs from shared", n)
+		}
+	}
+	if cache.Stats().Misses != missesAfterShared {
+		t.Errorf("unshared reruns missed the cache the shared group filled")
+	}
+
+	// Unshared first: the warmed cache must satisfy the whole group
+	// without a reference run.
+	cache2 := NewResultCache("", 0)
+	var want []RunResult
+	for _, n := range names {
+		r, err := RunOne(mk(n, cache2), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	before := SharedPrefixStats()
+	rcs2 := rcs[:0:0]
+	for _, n := range names {
+		rcs2 = append(rcs2, mk(n, cache2))
+	}
+	got, err := RunShared(context.Background(), rcs2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SharedPrefixStats().Groups != before.Groups {
+		t.Errorf("warm cache still simulated a reference run")
+	}
+	for i := range names {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s: shared-from-cache result differs", names[i])
+		}
+	}
+}
+
+// TestShareableGate pins the exclusions: anything the snapshot layer
+// cannot capture (interpreted executor, oracles, faults, warm-up, cycle
+// bounds, Lock mode, observers) must be refused, and refused cells must
+// still run correctly through RunCellsShared's solo path.
+func TestShareableGate(t *testing.T) {
+	bs, _ := VariantByName("BS")
+	lock, _ := VariantByName("Lock")
+	base := RunConfig{Workload: "Mp3d", Variant: bs, Scale: testScale}
+	if !Shareable(base) {
+		t.Fatalf("baseline TM cell should be shareable")
+	}
+	cases := map[string]RunConfig{}
+	withInterp := base
+	withInterp.Interpret = true
+	cases["interpret"] = withInterp
+	withChecks := base
+	withChecks.Checks = AllChecks(500_000)
+	cases["checks"] = withChecks
+	withWarmup := base
+	withWarmup.WarmupCycles = 1000
+	cases["warmup"] = withWarmup
+	withMax := base
+	withMax.MaxCycles = 1_000_000
+	cases["max-cycles"] = withMax
+	withLock := base
+	withLock.Variant = lock
+	cases["lock-mode"] = withLock
+	withTracer := base
+	withTracer.Tracer = func(c Cycle, thread, event string) {}
+	cases["tracer"] = withTracer
+	for name, rc := range cases {
+		if Shareable(rc) {
+			t.Errorf("%s cell must not be shareable", name)
+		}
+		if _, ok := PrefixKey(rc, 1); ok {
+			t.Errorf("%s cell must not produce a prefix key", name)
+		}
+	}
+}
